@@ -1,0 +1,138 @@
+// E13 (extension) — the applications the paper's introduction motivates,
+// end to end: conference voice, airport-lounge video, and an industrial
+// sensor floor, each run over both MACs with identical workloads.  Reported
+// per class: delivery rate, mean/p99 delay and deadline misses — the
+// numbers a deployment engineer would ask for before choosing the MAC.
+#include "bench/bench_common.hpp"
+
+#include "analysis/bounds.hpp"
+#include "tpt/engine.hpp"
+#include "traffic/workloads.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt {
+namespace {
+
+struct Outcome {
+  std::uint64_t rt_delivered = 0;
+  std::uint64_t rt_misses = 0;
+  double rt_mean = 0.0;
+  double rt_p99 = 0.0;
+  std::uint64_t be_delivered = 0;
+  double be_mean = 0.0;
+};
+
+Outcome summarize(const traffic::Sink& sink) {
+  Outcome outcome;
+  const auto& rt = sink.by_class(TrafficClass::kRealTime);
+  outcome.rt_delivered = rt.delivered;
+  outcome.rt_misses = rt.deadline_misses;
+  outcome.rt_mean = rt.delay_slots.mean();
+  outcome.rt_p99 = rt.delay_slots.quantile(0.99);
+  const auto& assured = sink.by_class(TrafficClass::kAssured);
+  const auto& be = sink.by_class(TrafficClass::kBestEffort);
+  outcome.be_delivered = assured.delivered + be.delivered;
+  const auto total = assured.delivered + be.delivered;
+  outcome.be_mean = total == 0
+                        ? 0.0
+                        : (assured.delay_slots.mean() *
+                               static_cast<double>(assured.delivered) +
+                           be.delay_slots.mean() *
+                               static_cast<double>(be.delivered)) /
+                              static_cast<double>(total);
+  return outcome;
+}
+
+void attach(wrtring::Engine& engine, const traffic::Workload& workload) {
+  for (const auto& flow : workload.flows) engine.add_source(flow);
+  for (const auto& bound : workload.traces) {
+    engine.add_trace_source(bound.trace, bound.flow, bound.src, bound.dst,
+                            bound.deadline_slots);
+  }
+}
+
+void attach(tpt::TptEngine& engine, const traffic::Workload& workload) {
+  for (const auto& flow : workload.flows) engine.add_source(flow);
+  for (const auto& bound : workload.traces) {
+    engine.add_trace_source(bound.trace, bound.flow, bound.src, bound.dst,
+                            bound.deadline_slots);
+  }
+}
+
+Outcome run_wrt(const traffic::Workload& workload, std::size_t n,
+                std::int64_t slots) {
+  phy::Topology topology = bench::ring_room(n);
+  wrtring::Config config;
+  config.default_quota = {2, 2};
+  config.k1_assured = 1;
+  wrtring::Engine engine(&topology, config, 51);
+  if (!engine.init().ok()) return {};
+  attach(engine, workload);
+  engine.run_slots(slots);
+  return summarize(engine.stats().sink);
+}
+
+Outcome run_tpt(const traffic::Workload& workload, std::size_t n,
+                std::int64_t slots) {
+  phy::Topology topology = bench::dense_room(n);
+  tpt::TptConfig config;
+  config.h_sync_default = 4;
+  config.ttrt_slots = static_cast<std::int64_t>(6 * n);
+  tpt::TptEngine engine(&topology, config, 51);
+  if (!engine.init().ok()) return {};
+  attach(engine, workload);
+  engine.run_slots(slots);
+  return summarize(engine.stats().sink);
+}
+
+void emit_rows(util::Table& table, const char* scenario,
+               const Outcome& wrt_outcome, const Outcome& tpt_outcome) {
+  table.add_row({std::string(scenario), std::string("WRT-Ring"),
+                 static_cast<std::int64_t>(wrt_outcome.rt_delivered),
+                 static_cast<std::int64_t>(wrt_outcome.rt_misses),
+                 wrt_outcome.rt_mean, wrt_outcome.rt_p99,
+                 static_cast<std::int64_t>(wrt_outcome.be_delivered),
+                 wrt_outcome.be_mean});
+  table.add_row({std::string(scenario), std::string("TPT"),
+                 static_cast<std::int64_t>(tpt_outcome.rt_delivered),
+                 static_cast<std::int64_t>(tpt_outcome.rt_misses),
+                 tpt_outcome.rt_mean, tpt_outcome.rt_p99,
+                 static_cast<std::int64_t>(tpt_outcome.be_delivered),
+                 tpt_outcome.be_mean});
+}
+
+}  // namespace
+}  // namespace wrt
+
+int main(int argc, char** argv) {
+  using namespace wrt;
+  const bool csv = bench::csv_mode(argc, argv);
+  constexpr std::int64_t kSlots = 40000;
+
+  util::Table table(
+      "E13  application workloads, identical arrivals on both MACs",
+      {"scenario", "MAC", "RT delivered", "RT misses", "RT mean delay",
+       "RT p99", "A+BE delivered", "A+BE mean delay"});
+
+  {
+    constexpr std::size_t kN = 12;
+    const auto workload =
+        traffic::conference(kN, 400, slots_to_ticks(kSlots), 5);
+    emit_rows(table, "conference (voice + browse)",
+              run_wrt(workload, kN, kSlots), run_tpt(workload, kN, kSlots));
+  }
+  {
+    constexpr std::size_t kN = 16;
+    const auto workload = traffic::lounge(kN, 4, 600, 5);
+    emit_rows(table, "lounge (video + web)", run_wrt(workload, kN, kSlots),
+              run_tpt(workload, kN, kSlots));
+  }
+  {
+    constexpr std::size_t kN = 14;
+    const auto workload = traffic::sensor_floor(kN, 140, 300);
+    emit_rows(table, "sensor floor (periodic RT)",
+              run_wrt(workload, kN, kSlots), run_tpt(workload, kN, kSlots));
+  }
+  bench::emit(table, csv);
+  return 0;
+}

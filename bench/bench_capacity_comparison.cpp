@@ -1,0 +1,104 @@
+// E11 — the claim inherited from RT-Ring [13] that motivates the design:
+// letting multiple stations access the network simultaneously (CDMA spatial
+// reuse) yields higher capacity than token passing, where only the token
+// holder may transmit.
+//
+// Offered-load sweep under two patterns: neighbour traffic (dst = next
+// station; maximal spatial reuse) and uniform traffic (dst ring-opposite;
+// transit load eats reuse).  Throughput and RT delay, WRT-Ring vs TPT.
+#include "bench/bench_common.hpp"
+
+#include "tpt/engine.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt {
+namespace {
+
+struct Load {
+  double throughput = 0.0;
+  double rt_delay = 0.0;
+  double utilization = 0.0;  // WRT only: busy-link fraction
+};
+
+Load run_wrt(std::size_t n, double load, bool neighbour) {
+  phy::Topology topology = bench::ring_room(n);
+  wrtring::Config config;
+  config.default_quota = {8, 2};
+  wrtring::Engine engine(&topology, config, 29);
+  if (!engine.init().ok()) return {};
+  for (NodeId node = 0; node < n; ++node) {
+    traffic::FlowSpec spec;
+    spec.id = node;
+    spec.src = node;
+    spec.dst = static_cast<NodeId>(neighbour ? (node + 1) % n
+                                             : (node + n / 2) % n);
+    spec.cls = TrafficClass::kRealTime;
+    spec.kind = traffic::ArrivalKind::kPoisson;
+    spec.rate_per_slot = load;
+    spec.deadline_slots = 1 << 20;
+    engine.add_source(spec);
+  }
+  engine.run_slots(20000);
+  return {engine.stats().sink.throughput(0, engine.now()),
+          engine.stats()
+              .sink.by_class(TrafficClass::kRealTime)
+              .delay_slots.mean(),
+          engine.ring_utilization()};
+}
+
+Load run_tpt(std::size_t n, double load, bool neighbour) {
+  phy::Topology topology = bench::dense_room(n);
+  tpt::TptConfig config;
+  config.h_sync_default = 10;
+  config.ttrt_slots = static_cast<std::int64_t>(6 * n);
+  tpt::TptEngine engine(&topology, config, 29);
+  if (!engine.init().ok()) return {};
+  for (NodeId node = 0; node < n; ++node) {
+    traffic::FlowSpec spec;
+    spec.id = node;
+    spec.src = node;
+    spec.dst = static_cast<NodeId>(neighbour ? (node + 1) % n
+                                             : (node + n / 2) % n);
+    spec.cls = TrafficClass::kRealTime;
+    spec.kind = traffic::ArrivalKind::kPoisson;
+    spec.rate_per_slot = load;
+    spec.deadline_slots = 1 << 20;
+    engine.add_source(spec);
+  }
+  engine.run_slots(20000);
+  return {engine.stats().sink.throughput(0, engine.now()),
+          engine.stats()
+              .sink.by_class(TrafficClass::kRealTime)
+              .delay_slots.mean()};
+}
+
+}  // namespace
+}  // namespace wrt
+
+int main(int argc, char** argv) {
+  using namespace wrt;
+  const bool csv = bench::csv_mode(argc, argv);
+  constexpr std::size_t kN = 12;
+
+  for (const bool neighbour : {true, false}) {
+    util::Table table(
+        neighbour
+            ? "E11a  capacity, neighbour traffic (dst = successor), N = 12"
+            : "E11b  capacity, uniform worst traffic (dst = opposite), N = 12",
+        {"offered/station", "offered total", "WRT thpt", "TPT thpt",
+         "WRT/TPT", "WRT RT delay", "TPT RT delay", "WRT link util"});
+    for (const double load : {0.02, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+      const Load wrt_load = run_wrt(kN, load, neighbour);
+      const Load tpt_load = run_tpt(kN, load, neighbour);
+      table.add_row({load, load * kN, wrt_load.throughput,
+                     tpt_load.throughput,
+                     tpt_load.throughput > 0.0
+                         ? wrt_load.throughput / tpt_load.throughput
+                         : 0.0,
+                     wrt_load.rt_delay, tpt_load.rt_delay,
+                     wrt_load.utilization});
+    }
+    bench::emit(table, csv);
+  }
+  return 0;
+}

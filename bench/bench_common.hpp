@@ -1,0 +1,50 @@
+// Shared scaffolding for the experiment benches.
+//
+// Every bench binary regenerates one table/figure-equivalent of the paper's
+// evaluation (see DESIGN.md, "Per-experiment index") and prints it as an
+// aligned table; pass --csv to emit machine-readable CSV instead.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <numbers>
+#include <string>
+
+#include "phy/topology.hpp"
+#include "util/table.hpp"
+
+namespace wrt::bench {
+
+inline bool csv_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") return true;
+  }
+  return false;
+}
+
+inline void emit(const util::Table& table, bool csv) {
+  if (csv) {
+    std::cout << "# " << table.title() << '\n';
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+/// N stations on a circle, range covering ~2 ring hops (cut-out capable).
+inline phy::Topology ring_room(std::size_t n, double range_hops = 2.4) {
+  const double radius = 10.0;
+  const double chord =
+      2.0 * radius * std::sin(std::numbers::pi / static_cast<double>(n));
+  return phy::Topology(phy::placement::circle(n, radius),
+                       phy::RadioParams{chord * range_hops, 0.0});
+}
+
+/// Dense room: everyone hears everyone (TPT's natural habitat).
+inline phy::Topology dense_room(std::size_t n) {
+  return phy::Topology(phy::placement::circle(n, 5.0),
+                       phy::RadioParams{100.0, 0.0});
+}
+
+}  // namespace wrt::bench

@@ -1,0 +1,48 @@
+// E6 — Section 3.2.1 / Figure 4: link traversals per control-signal round.
+// The token must walk every tree edge twice (2 (N-1) traversals); the SAT
+// walks each ring link once (N traversals).
+#include "bench/bench_common.hpp"
+
+#include "analysis/bounds.hpp"
+#include "tpt/engine.hpp"
+#include "wrtring/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wrt;
+  const bool csv = bench::csv_mode(argc, argv);
+
+  util::Table table("E6  control-signal link traversals per round",
+                    {"N", "SAT measured", "SAT formula (N)", "token measured",
+                     "token formula 2(N-1)", "token/SAT ratio"});
+
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    double sat_hops = 0.0;
+    if (n >= 3) {
+      phy::Topology topology = bench::ring_room(n);
+      wrtring::Engine ring(&topology, wrtring::Config{}, 1);
+      if (!ring.init().ok()) return 1;
+      ring.run_slots(static_cast<std::int64_t>(n) * 300);
+      sat_hops = static_cast<double>(ring.stats().sat_hops) /
+                 static_cast<double>(ring.stats().sat_rounds);
+    } else {
+      sat_hops = static_cast<double>(n);  // degenerate: formula value
+    }
+
+    phy::Topology tree_topology = bench::dense_room(n);
+    tpt::TptEngine token(&tree_topology, tpt::TptConfig{}, 1);
+    if (!token.init().ok()) return 1;
+    token.run_slots(static_cast<std::int64_t>(n) * 300);
+    const double token_hops =
+        static_cast<double>(token.stats().token_hops) /
+        static_cast<double>(token.stats().token_rounds);
+
+    table.add_row(
+        {static_cast<std::int64_t>(n), sat_hops,
+         analysis::wrt_hops_per_round(static_cast<std::int64_t>(n)),
+         token_hops,
+         analysis::tpt_hops_per_round(static_cast<std::int64_t>(n)),
+         token_hops / sat_hops});
+  }
+  bench::emit(table, csv);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E9 — Section 2.4.1 / Figure 3: joining the ring.  A requesting station
+// must hear NEXT_FREE from every station (one RAP per SAT round), detect
+// the repeat, then answer its chosen ingress on its next RAP — so the join
+// latency scales with N * SAT rounds.  The RAP design also promises that
+// ongoing QoS flows keep their guarantees while stations join.
+#include "bench/bench_common.hpp"
+
+#include "analysis/bounds.hpp"
+#include "tpt/engine.hpp"
+#include "wrtring/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wrt;
+  const bool csv = bench::csv_mode(argc, argv);
+
+  util::Table table(
+      "E9  join latency and QoS impact during join (loaded ring)",
+      {"N", "join latency (slots)", "latency (SAT rounds)",
+       "RT deadline misses", "RT mean delay before", "RT mean delay after"});
+
+  for (const std::size_t n : {4u, 8u, 12u, 16u, 24u}) {
+    phy::Topology topology = bench::ring_room(n);
+    wrtring::Config config;
+    config.rap_policy = wrtring::RapPolicy::kRotating;
+    config.t_ear_slots = 4;
+    config.t_update_slots = 2;
+    wrtring::Engine engine(&topology, config, 3);
+    if (!engine.init().ok()) return 1;
+    // Moderate RT load with deadlines set from the Theorem-1 bound.
+    const auto bound = analysis::sat_time_bound(engine.ring_params());
+    for (NodeId node = 0; node < n; ++node) {
+      traffic::FlowSpec spec;
+      spec.id = node;
+      spec.src = node;
+      spec.dst = static_cast<NodeId>((node + 1) % n);
+      spec.cls = TrafficClass::kRealTime;
+      spec.kind = traffic::ArrivalKind::kCbr;
+      spec.period_slots = static_cast<double>(2 * bound);
+      spec.deadline_slots = 2 * bound + static_cast<std::int64_t>(n);
+      engine.add_source(spec);
+    }
+    engine.run_slots(3000);
+    const double delay_before =
+        engine.stats()
+            .sink.by_class(TrafficClass::kRealTime)
+            .delay_slots.mean();
+
+    const phy::Vec2 mid =
+        (topology.position(0) + topology.position(1)) * 0.5;
+    const NodeId joiner = topology.add_node(mid);
+    engine.request_join(joiner, {1, 1});
+    engine.run_slots(static_cast<std::int64_t>(n) * bound * 6);
+
+    const auto& stats = engine.stats();
+    const double latency = stats.join_latency_slots.count() > 0
+                               ? stats.join_latency_slots.max()
+                               : -1.0;
+    const double mean_rotation = stats.sat_rotation_slots.mean();
+    table.add_row(
+        {static_cast<std::int64_t>(n), latency,
+         mean_rotation > 0.0 ? latency / mean_rotation : 0.0,
+         static_cast<std::int64_t>(
+             stats.sink.by_class(TrafficClass::kRealTime).deadline_misses),
+         delay_before,
+         stats.sink.by_class(TrafficClass::kRealTime).delay_slots.mean()});
+  }
+  bench::emit(table, csv);
+
+  // Baseline contrast: TPT's join (Section 3.1.1) needs only to hear one
+  // RAP from any station — one scan, not two — so its join latency is
+  // shorter; the price is paid elsewhere (Section 3.3: every failure
+  // rebuilds the whole tree, and the token round itself is ~2x longer).
+  util::Table tpt_table("E9b  TPT join latency (RAP every 4 rounds)",
+                        {"N", "join latency (slots)", "latency (rounds)"});
+  for (const std::size_t n : {4u, 8u, 12u, 16u, 24u}) {
+    phy::Topology topology = bench::dense_room(n);
+    tpt::TptConfig config;
+    config.rap_every_rounds = 4;
+    config.t_rap_slots = 6;
+    tpt::TptEngine engine(&topology, config, 3);
+    if (!engine.init().ok()) return 1;
+    const NodeId joiner = topology.add_node({0.0, 0.0});
+    engine.request_join(joiner);
+    engine.run_slots(static_cast<std::int64_t>(n) * 600);
+    const auto& stats = engine.stats();
+    const double latency = stats.join_latency_slots.count() > 0
+                               ? stats.join_latency_slots.max()
+                               : -1.0;
+    const double rotation = stats.token_rotation_slots.mean();
+    tpt_table.add_row({static_cast<std::int64_t>(n), latency,
+                       rotation > 0.0 ? latency / rotation : 0.0});
+  }
+  bench::emit(tpt_table, csv);
+  return 0;
+}

@@ -1,0 +1,135 @@
+// E8 — Section 3.3 reaction-time comparison: when the control signal is
+// lost, WRT-Ring detects within SAT_TIME and repairs by cutting the failed
+// station out of the ring; TPT detects within D = 2 TTRT and, when a
+// station actually died, must rebuild the entire tree.
+//
+// Both protocols are configured with the same reserved bandwidth
+// (H_e = l + k) and both fault modes are exercised: a transient signal drop
+// and a station death.  Each cell aggregates 8 independent replications
+// (distinct seeds and fault phases) run on parallel threads; ± is the 95%
+// confidence half-width.
+#include "bench/bench_common.hpp"
+
+#include "analysis/bounds.hpp"
+#include "sim/replication.hpp"
+#include "tpt/engine.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt {
+namespace {
+
+constexpr std::uint32_t kReplications = 8;
+
+sim::ReplicationResult wrt_replication(std::size_t n, bool kill,
+                                       std::uint64_t seed) {
+  sim::ReplicationResult result;
+  phy::Topology topology = bench::ring_room(n);
+  wrtring::Config config;
+  config.default_quota = {1, 1};
+  wrtring::Engine engine(&topology, config, seed);
+  if (!engine.init().ok()) return result;
+  engine.run_slots(200 + static_cast<std::int64_t>(seed % 37));
+  const auto bound = analysis::sat_time_bound(engine.ring_params());
+  if (kill) {
+    engine.kill_station(engine.virtual_ring().station_at(n / 2));
+  } else {
+    engine.drop_sat_once();
+  }
+  engine.run_slots(10 * bound + 200);
+  const auto& stats = engine.stats();
+  result.add("bound", static_cast<double>(bound));
+  if (stats.sat_loss_detection_slots.count() > 0) {
+    result.add("detect", stats.sat_loss_detection_slots.max());
+  }
+  if (stats.recovery_total_slots.count() > 0) {
+    result.add("recover", stats.recovery_total_slots.max());
+  }
+  result.add("rebuilds", static_cast<double>(stats.ring_rebuilds));
+  return result;
+}
+
+sim::ReplicationResult tpt_replication(std::size_t n, bool kill,
+                                       std::uint64_t seed) {
+  sim::ReplicationResult result;
+  phy::Topology topology = bench::dense_room(n);
+  tpt::TptConfig config;
+  config.h_sync_default = 2;  // = l + k
+  config.ttrt_slots =
+      static_cast<std::int64_t>(n) * 2 + 2 * (static_cast<std::int64_t>(n) - 1);
+  tpt::TptEngine engine(&topology, config, seed);
+  if (!engine.init().ok()) return result;
+  engine.run_slots(200 + static_cast<std::int64_t>(seed % 37));
+  if (kill) {
+    engine.kill_station(static_cast<NodeId>(n / 2));
+  } else {
+    engine.drop_token_once();
+  }
+  engine.run_slots(30 * config.ttrt_slots + 200);
+  const auto& stats = engine.stats();
+  result.add("bound",
+             static_cast<double>(analysis::tpt_reaction_bound(engine.params())));
+  if (stats.loss_detection_slots.count() > 0) {
+    result.add("detect", stats.loss_detection_slots.max());
+  }
+  if (stats.recovery_total_slots.count() > 0) {
+    result.add("recover", stats.recovery_total_slots.max());
+  }
+  result.add("rebuilds", static_cast<double>(stats.tree_rebuilds));
+  return result;
+}
+
+std::string pm(const std::vector<sim::MetricSummary>& summaries,
+               const std::string& name) {
+  for (const auto& summary : summaries) {
+    if (summary.name == name) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "%.1f +/- %.1f", summary.mean,
+                    summary.ci95_half_width());
+      return buffer;
+    }
+  }
+  return "-";
+}
+
+double metric_mean(const std::vector<sim::MetricSummary>& summaries,
+                   const std::string& name, double fallback = 0.0) {
+  for (const auto& summary : summaries) {
+    if (summary.name == name) return summary.mean;
+  }
+  return fallback;
+}
+
+}  // namespace
+}  // namespace wrt
+
+int main(int argc, char** argv) {
+  using namespace wrt;
+  const bool csv = bench::csv_mode(argc, argv);
+
+  for (const bool kill : {false, true}) {
+    util::Table table(
+        kill ? "E8b  station death: detection / recovery, 8 seeds "
+               "(equal bandwidth)"
+             : "E8a  transient signal drop: detection / recovery, 8 seeds",
+        {"N", "protocol", "timer bound", "detected after", "recovered after",
+         "full rebuilds (mean)"});
+    for (const std::size_t n : {6u, 10u, 16u, 24u, 32u}) {
+      const auto wrt_summary = sim::run_replications(
+          kReplications, 0xE8 + n,
+          [&](std::uint64_t seed) { return wrt_replication(n, kill, seed); });
+      const auto tpt_summary = sim::run_replications(
+          kReplications, 0xE8 + n,
+          [&](std::uint64_t seed) { return tpt_replication(n, kill, seed); });
+      table.add_row({static_cast<std::int64_t>(n), std::string("WRT-Ring"),
+                     metric_mean(wrt_summary, "bound"),
+                     pm(wrt_summary, "detect"), pm(wrt_summary, "recover"),
+                     metric_mean(wrt_summary, "rebuilds")});
+      table.add_row({static_cast<std::int64_t>(n), std::string("TPT"),
+                     metric_mean(tpt_summary, "bound"),
+                     pm(tpt_summary, "detect"), pm(tpt_summary, "recover"),
+                     metric_mean(tpt_summary, "rebuilds")});
+    }
+    bench::emit(table, csv);
+  }
+  return 0;
+}

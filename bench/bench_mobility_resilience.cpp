@@ -1,0 +1,150 @@
+// E14 (extension) — "WRT-Ring can better react to the changes of the
+// wireless environment" (Section 1), measured: sweep pedestrian mobility
+// intensity under the Gauss-Markov model and record how often the ring
+// breaks, how fast it heals, and what QoS survives.  The same sweep runs
+// over TPT for contrast — every topology change there costs a full tree
+// rebuild.
+#include "bench/bench_common.hpp"
+
+#include "analysis/bounds.hpp"
+#include "phy/mobility.hpp"
+#include "tpt/engine.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt {
+namespace {
+
+constexpr std::size_t kN = 10;
+constexpr std::int64_t kSlots = 40000;
+constexpr std::int64_t kMobilityPeriod = 50;
+
+phy::GaussMarkovParams mobility_params(double speed) {
+  phy::GaussMarkovParams params;
+  params.mean_speed = speed;
+  params.slot_seconds = 1e-3;
+  return params;
+}
+
+struct Outcome {
+  std::uint64_t losses = 0;
+  std::uint64_t recoveries = 0;  // cut-outs (WRT) / claims (TPT)
+  std::uint64_t rebuilds = 0;
+  std::uint64_t rejoins = 0;
+  double rt_delivered_ratio = 0.0;  // vs the static baseline
+  std::uint64_t rt_delivered = 0;
+};
+
+Outcome run_wrt(double speed) {
+  // 18 m radio range in a 40 m room: moderate slack before links break.
+  phy::Topology topology(phy::placement::circle(kN, 10.0, {20.0, 20.0}),
+                         phy::RadioParams{18.0, 0.0});
+  wrtring::Config config;
+  config.rap_policy = wrtring::RapPolicy::kRotating;
+  config.auto_rejoin = true;
+  wrtring::Engine engine(&topology, config, 61);
+  if (!engine.init().ok()) return {};
+  for (NodeId node = 0; node < kN; ++node) {
+    traffic::FlowSpec spec;
+    spec.id = node;
+    spec.src = node;
+    spec.dst = static_cast<NodeId>((node + kN / 2) % kN);
+    spec.cls = TrafficClass::kRealTime;
+    spec.kind = traffic::ArrivalKind::kCbr;
+    spec.period_slots = 80.0;
+    spec.deadline_slots = 1 << 20;
+    engine.add_source(spec);
+  }
+  phy::GaussMarkov mobility(phy::Rect{{0, 0}, {40, 40}},
+                            mobility_params(speed), 7);
+  for (std::int64_t slot = 0; slot < kSlots; slot += kMobilityPeriod) {
+    if (speed > 0.0) {
+      mobility.step(topology, engine.now(), slots_to_ticks(kMobilityPeriod));
+    }
+    engine.run_slots(kMobilityPeriod);
+  }
+  Outcome outcome;
+  const auto& stats = engine.stats();
+  outcome.losses = stats.sat_losses_detected;
+  outcome.recoveries = stats.sat_recoveries;
+  outcome.rebuilds = stats.ring_rebuilds;
+  outcome.rejoins = stats.joins_completed;
+  outcome.rt_delivered =
+      stats.sink.by_class(TrafficClass::kRealTime).delivered;
+  return outcome;
+}
+
+Outcome run_tpt(double speed) {
+  phy::Topology topology(phy::placement::circle(kN, 10.0, {20.0, 20.0}),
+                         phy::RadioParams{18.0, 0.0});
+  tpt::TptConfig config;
+  config.ttrt_slots = 50;
+  tpt::TptEngine engine(&topology, config, 61);
+  if (!engine.init().ok()) return {};
+  for (NodeId node = 0; node < kN; ++node) {
+    traffic::FlowSpec spec;
+    spec.id = node;
+    spec.src = node;
+    spec.dst = static_cast<NodeId>((node + kN / 2) % kN);
+    spec.cls = TrafficClass::kRealTime;
+    spec.kind = traffic::ArrivalKind::kCbr;
+    spec.period_slots = 80.0;
+    spec.deadline_slots = 1 << 20;
+    engine.add_source(spec);
+  }
+  phy::GaussMarkov mobility(phy::Rect{{0, 0}, {40, 40}},
+                            mobility_params(speed), 7);
+  for (std::int64_t slot = 0; slot < kSlots; slot += kMobilityPeriod) {
+    if (speed > 0.0) {
+      mobility.step(topology, engine.now(), slots_to_ticks(kMobilityPeriod));
+    }
+    engine.run_slots(kMobilityPeriod);
+  }
+  Outcome outcome;
+  const auto& stats = engine.stats();
+  outcome.losses = stats.losses_detected;
+  outcome.recoveries = stats.claims_succeeded;
+  outcome.rebuilds = stats.tree_rebuilds;
+  outcome.rt_delivered =
+      stats.sink.by_class(TrafficClass::kRealTime).delivered;
+  return outcome;
+}
+
+}  // namespace
+}  // namespace wrt
+
+int main(int argc, char** argv) {
+  using namespace wrt;
+  const bool csv = bench::csv_mode(argc, argv);
+
+  util::Table table(
+      "E14  mobility sweep (Gauss-Markov, 40k slots, N = 10)",
+      {"speed (m/s)", "MAC", "losses", "recoveries", "full rebuilds",
+       "rejoins", "RT delivered", "goodput vs static %"});
+
+  const Outcome wrt_static = run_wrt(0.0);
+  const Outcome tpt_static = run_tpt(0.0);
+  for (const double speed : {0.0, 0.3, 0.8, 1.5, 3.0}) {
+    const Outcome wrt_outcome = run_wrt(speed);
+    const Outcome tpt_outcome = run_tpt(speed);
+    table.add_row(
+        {speed, std::string("WRT-Ring"),
+         static_cast<std::int64_t>(wrt_outcome.losses),
+         static_cast<std::int64_t>(wrt_outcome.recoveries),
+         static_cast<std::int64_t>(wrt_outcome.rebuilds),
+         static_cast<std::int64_t>(wrt_outcome.rejoins),
+         static_cast<std::int64_t>(wrt_outcome.rt_delivered),
+         100.0 * static_cast<double>(wrt_outcome.rt_delivered) /
+             static_cast<double>(wrt_static.rt_delivered)});
+    table.add_row(
+        {speed, std::string("TPT"),
+         static_cast<std::int64_t>(tpt_outcome.losses),
+         static_cast<std::int64_t>(tpt_outcome.recoveries),
+         static_cast<std::int64_t>(tpt_outcome.rebuilds),
+         std::int64_t{0},
+         static_cast<std::int64_t>(tpt_outcome.rt_delivered),
+         100.0 * static_cast<double>(tpt_outcome.rt_delivered) /
+             static_cast<double>(tpt_static.rt_delivered)});
+  }
+  bench::emit(table, csv);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E3 — Theorem 2 / Proposition 2 (Eqs 3-4): the span of n consecutive SAT
+// visits at one station is bounded by n S + n T_rap + (n+1) sum(l_j + k_j).
+//
+// Under saturation, for each station we take every window of n+1 recorded
+// arrivals and compare the worst span against the bound, for n = 1..32.
+#include "bench/bench_common.hpp"
+
+#include <algorithm>
+
+#include "analysis/bounds.hpp"
+#include "wrtring/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wrt;
+  const bool csv = bench::csv_mode(argc, argv);
+
+  util::Table table("E3  n-round SAT span vs Theorem-2 bound (saturated)",
+                    {"N", "n rounds", "bound Eq(3)", "max measured span",
+                     "slack %", "holds"});
+
+  for (const std::size_t n_stations : {8u, 16u, 32u}) {
+    phy::Topology topology = bench::ring_room(n_stations);
+    wrtring::Config config;
+    config.default_quota = {1, 1};
+    wrtring::Engine engine(&topology, config, 11);
+    if (!engine.init().ok()) return 1;
+    for (NodeId node = 0; node < n_stations; ++node) {
+      traffic::FlowSpec rt;
+      rt.id = node;
+      rt.src = node;
+      rt.dst = static_cast<NodeId>((node + n_stations / 2) % n_stations);
+      rt.cls = TrafficClass::kRealTime;
+      engine.add_saturated_source(rt, 8);
+      traffic::FlowSpec be = rt;
+      be.id = static_cast<FlowId>(node + n_stations);
+      be.cls = TrafficClass::kBestEffort;
+      engine.add_saturated_source(be, 8);
+    }
+    engine.run_slots(12000);
+
+    const auto params = engine.ring_params();
+    for (const std::int64_t rounds : {1, 2, 4, 8, 16, 32}) {
+      const auto bound = analysis::sat_time_n_rounds_bound(params, rounds);
+      Tick worst = 0;
+      for (std::size_t p = 0; p < engine.virtual_ring().size(); ++p) {
+        const auto& history =
+            engine.sat_arrival_history(engine.virtual_ring().station_at(p));
+        const auto window = static_cast<std::size_t>(rounds);
+        if (history.size() <= window) continue;
+        for (std::size_t i = 0; i + window < history.size(); ++i) {
+          worst = std::max(worst, history[i + window] - history[i]);
+        }
+      }
+      const double worst_slots = ticks_to_slots_real(worst);
+      table.add_row(
+          {static_cast<std::int64_t>(n_stations), rounds, bound, worst_slots,
+           100.0 * (static_cast<double>(bound) - worst_slots) /
+               static_cast<double>(bound),
+           std::string(worst_slots <= static_cast<double>(bound) ? "yes"
+                                                                 : "NO")});
+    }
+  }
+  bench::emit(table, csv);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Capacity study: why the paper builds on RT-Ring rather than a timed
+// token.  Sweeps offered load on the same 12-station room under both MACs
+// and prints the throughput/delay curves (a compact, human-readable version
+// of bench_capacity_comparison).
+//
+//   $ build/examples/capacity_study
+#include <iostream>
+
+#include "phy/topology.hpp"
+#include "tpt/engine.hpp"
+#include "util/table.hpp"
+#include "wrtring/engine.hpp"
+
+namespace {
+
+constexpr std::size_t kN = 12;
+
+wrt::traffic::FlowSpec neighbour_flow(wrt::FlowId id, wrt::NodeId src,
+                                      double rate) {
+  wrt::traffic::FlowSpec spec;
+  spec.id = id;
+  spec.src = src;
+  spec.dst = static_cast<wrt::NodeId>((src + 1) % kN);
+  spec.cls = wrt::TrafficClass::kRealTime;
+  spec.kind = wrt::traffic::ArrivalKind::kPoisson;
+  spec.rate_per_slot = rate;
+  spec.deadline_slots = 1 << 20;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wrt;
+
+  util::Table table("offered load vs delivered throughput (12 stations)",
+                    {"offered total (pkt/slot)", "WRT-Ring thpt",
+                     "WRT RT delay", "TPT thpt", "TPT RT delay"});
+
+  for (const double per_station : {0.02, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    phy::Topology ring_topology(phy::placement::circle(kN, 10.0),
+                                phy::RadioParams{14.0, 0.0});
+    wrtring::Config ring_config;
+    ring_config.default_quota = {2, 2};
+    wrtring::Engine ring(&ring_topology, ring_config, 3);
+    if (!ring.init().ok()) return 1;
+    for (NodeId node = 0; node < kN; ++node) {
+      ring.add_source(neighbour_flow(node, node, per_station));
+    }
+    ring.run_slots(15000);
+
+    phy::Topology room(phy::placement::circle(kN, 5.0),
+                       phy::RadioParams{100.0, 0.0});
+    tpt::TptConfig tpt_config;
+    tpt_config.h_sync_default = 4;
+    tpt_config.ttrt_slots = 6 * kN;
+    tpt::TptEngine token(&room, tpt_config, 3);
+    if (!token.init().ok()) return 1;
+    for (NodeId node = 0; node < kN; ++node) {
+      token.add_source(neighbour_flow(node, node, per_station));
+    }
+    token.run_slots(15000);
+
+    table.add_row(
+        {per_station * kN, ring.stats().sink.throughput(0, ring.now()),
+         ring.stats()
+             .sink.by_class(TrafficClass::kRealTime)
+             .delay_slots.mean(),
+         token.stats().sink.throughput(0, token.now()),
+         token.stats()
+             .sink.by_class(TrafficClass::kRealTime)
+             .delay_slots.mean()});
+  }
+  table.print(std::cout);
+  std::cout << "\nWRT-Ring keeps delivering as the offered load passes the\n"
+               "single-channel ceiling because CDMA + destination release\n"
+               "let all 12 links carry traffic in the same slot; TPT tops\n"
+               "out below 1 packet/slot (one transmitter at a time).\n";
+  return 0;
+}

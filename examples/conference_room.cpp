@@ -1,0 +1,147 @@
+// Conference-room scenario — the paper's motivating use case (Section 1):
+// an ad hoc meeting where attendees stream audio/video with QoS needs, a
+// late attendee joins mid-session (Section 2.4.1), one laptop's battery
+// dies (Section 2.5), and people shuffle around the room (low mobility).
+//
+//   $ build/examples/conference_room
+#include <iostream>
+#include <optional>
+
+#include "analysis/bounds.hpp"
+#include "phy/mobility.hpp"
+#include "phy/topology.hpp"
+#include "wrtring/engine.hpp"
+#include "wrtring/report.hpp"
+
+namespace {
+
+void report(const char* phase, const wrt::wrtring::Engine& engine) {
+  const auto& stats = engine.stats();
+  const auto& rt = stats.sink.by_class(wrt::TrafficClass::kRealTime);
+  std::cout << "[" << engine.now_slots() << " slots] " << phase << "\n"
+            << "    ring size " << engine.virtual_ring().size()
+            << " | RT delivered " << rt.delivered << " (miss "
+            << rt.deadline_misses << ") | joins "
+            << stats.joins_completed << " | losses detected "
+            << stats.sat_losses_detected << " | cut-outs "
+            << stats.sat_recoveries << " | rebuilds "
+            << stats.ring_rebuilds << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace wrt;
+
+  // Ten attendees seated loosely around a 12 m-wide room.  Not every
+  // random seating admits a virtual ring (the graph may not be
+  // Hamiltonian), so — as a routing layer would — we redraw until the ring
+  // forms.
+  wrtring::Config config;
+  config.default_quota = {2, 2};
+  config.rap_policy = wrtring::RapPolicy::kRotating;  // open to late joiners
+  config.t_ear_slots = 4;
+  config.t_update_slots = 2;
+
+  std::optional<phy::Topology> topology_storage;
+  std::optional<wrtring::Engine> engine_storage;
+  for (std::uint64_t seed = 2026;; ++seed) {
+    const auto placement = phy::placement::random_connected(
+        10, phy::Rect{{0, 0}, {12, 12}}, 7.0, seed);
+    if (!placement.ok()) continue;
+    topology_storage.emplace(placement.value(), phy::RadioParams{7.0, 0.0});
+    engine_storage.emplace(&*topology_storage, config, 7);
+    if (engine_storage->init().ok()) break;
+    if (seed > 2126) {
+      std::cerr << "could not seat attendees in a ring\n";
+      return 1;
+    }
+  }
+  phy::Topology& topology = *topology_storage;
+  wrtring::Engine& engine = *engine_storage;
+  const auto bound = analysis::sat_time_bound(engine.ring_params());
+  engine.set_max_sat_time_goal(bound + 30);  // admission headroom
+  std::cout << "meeting starts: " << engine.virtual_ring().size()
+            << " attendees, SAT-rotation bound " << bound << " slots\n";
+
+  // Every attendee shares a voice stream (RT, 50-slot period) and browses
+  // (bursty best-effort).
+  const std::size_t n = engine.virtual_ring().size();
+  for (NodeId node = 0; node < n; ++node) {
+    traffic::FlowSpec voice;
+    voice.id = node;
+    voice.src = node;
+    voice.dst = static_cast<NodeId>((node + n / 2) % n);
+    voice.cls = TrafficClass::kRealTime;
+    voice.kind = traffic::ArrivalKind::kCbr;
+    voice.period_slots = 50.0;
+    voice.deadline_slots = 3 * bound;
+    engine.add_source(voice);
+
+    traffic::FlowSpec browse;
+    browse.id = static_cast<FlowId>(node + n);
+    browse.src = node;
+    browse.dst = static_cast<NodeId>((node + 1) % n);
+    browse.cls = TrafficClass::kBestEffort;
+    browse.kind = traffic::ArrivalKind::kOnOff;
+    browse.rate_per_slot = 0.2;
+    browse.on_mean_slots = 80.0;
+    browse.off_mean_slots = 400.0;
+    engine.add_source(browse);
+  }
+
+  // Attendees shift in their seats: sub-metre leash, walking pace.
+  phy::WaypointParams wander;
+  wander.leash_radius = 0.5;
+  wander.slot_seconds = 1e-3;
+  phy::BoundedRandomWaypoint mobility(phy::Rect{{0, 0}, {12, 12}}, wander, 3);
+  mobility.bind(topology);
+
+  const auto advance = [&](std::int64_t slots) {
+    for (std::int64_t i = 0; i < slots; i += 50) {
+      mobility.step(topology, engine.now(), slots_to_ticks(50));
+      engine.run_slots(50);
+    }
+  };
+
+  advance(4000);
+  report("meeting underway", engine);
+
+  // A late attendee arrives near the middle of the room and asks to join.
+  const NodeId late = topology.add_node({6.0, 6.0});
+  engine.request_join(late, {2, 2});
+  std::cout << "late attendee (station " << late << ") requests to join\n";
+  advance(static_cast<std::int64_t>(n) * bound * 6);
+  report(engine.virtual_ring().contains(late) ? "late attendee joined"
+                                              : "join still pending",
+         engine);
+
+  // A battery dies without notice.
+  const NodeId victim = engine.virtual_ring().station_at(3);
+  std::cout << "station " << victim << "'s battery dies\n";
+  engine.kill_station(victim);
+  advance(8 * analysis::sat_time_bound(engine.ring_params()));
+  report("after unannounced failure", engine);
+
+  // Someone leaves politely at the end.
+  const NodeId leaver = engine.virtual_ring().station_at(1);
+  if (engine.request_leave(leaver).ok()) {
+    std::cout << "station " << leaver << " says goodbye\n";
+  }
+  advance(1000);
+  report("meeting winds down", engine);
+
+  const auto& rt = engine.stats().sink.by_class(TrafficClass::kRealTime);
+  const double miss_pct =
+      rt.delivered + rt.dropped == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(rt.deadline_misses) /
+                static_cast<double>(rt.delivered);
+  std::cout << "\nsummary: " << rt.delivered << " voice packets, "
+            << miss_pct << "% late, mean delay " << rt.delay_slots.mean()
+            << " slots (p99 " << rt.delay_slots.quantile(0.99) << ")\n\n";
+  wrtring::traffic_report(engine).print(std::cout);
+  std::cout << '\n';
+  wrtring::resilience_report(engine).print(std::cout);
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification pass: configure, build (warnings-as-errors), run the
+# complete test suite, then every experiment bench and example.  This is
+# the command CI (or a suspicious reviewer) runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "== benches =="
+for b in build/bench/bench_*; do
+  echo "--- $(basename "$b")"
+  "$b" > /dev/null
+done
+
+echo "== examples =="
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  echo "--- $(basename "$e")"
+  "$e" > /dev/null
+done
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,45 @@
+// Average-case access-delay approximation.
+//
+// The paper provides only worst-case bounds (Section 2.6); provisioning a
+// real deployment also wants the *expected* delay at a given load.  This
+// module adds a quota-server approximation: the station may send l
+// real-time packets per SAT rotation, and measurements show the rotation
+// sits at its travel floor S + T_rap under steady load, so for Poisson
+// arrivals the real-time queue is approximately M/D/1 with
+//
+//   service time   D   = (S + T_rap) / l      (slots per packet)
+//   utilisation    rho = lambda * D
+//   mean wait      W   = rho * D / (2 (1 - rho))
+//
+// There is no residual term: a station holding unused quota injects into
+// the next empty slot, so an arrival at an idle station barely waits.  The
+// approximation is load-monotone, diverges at rho -> 1 and vanishes at
+// lambda -> 0; DelayModel.WithinEngineeringFactorOfSimulation keeps it
+// honest against the simulator (engineering estimate, not a bound).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/bounds.hpp"
+#include "util/result.hpp"
+
+namespace wrt::analysis {
+
+struct DelayEstimate {
+  double utilisation = 0.0;        ///< rho of the station's RT server
+  double mean_wait_slots = 0.0;    ///< queueing + residual (access delay)
+  double mean_round_slots = 0.0;   ///< the Prop-3 rotation used
+  bool stable = false;             ///< rho < 1
+};
+
+/// Expected access delay for Poisson real-time arrivals of rate
+/// `lambda_per_slot` at station `station` under `params`.  Fails on bad
+/// station index or zero real-time quota.
+[[nodiscard]] util::Result<DelayEstimate> approx_rt_access_delay(
+    const RingParams& params, std::size_t station, double lambda_per_slot);
+
+/// Largest Poisson rate the station can sustain (rho < 1): l / T_round.
+[[nodiscard]] util::Result<double> rt_capacity_per_slot(
+    const RingParams& params, std::size_t station);
+
+}  // namespace wrt::analysis

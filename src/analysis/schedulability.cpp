@@ -1,0 +1,63 @@
+#include "analysis/schedulability.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace wrt::analysis {
+
+util::Result<SchedulabilityReport> analyze_schedulability(
+    AllocationScheme scheme, const AllocationInput& input,
+    std::size_t n_stations) {
+  auto params = allocate(scheme, input, n_stations);
+  if (!params.ok()) return params.error();
+
+  SchedulabilityReport report;
+  report.params = std::move(params.value());
+  report.sat_time_bound_slots = sat_time_bound(report.params);
+  report.feasible = true;
+
+  std::int64_t min_slack = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t idx = 0; idx < input.flows.size(); ++idx) {
+    const RtRequirement& flow = input.flows[idx];
+    report.rt_utilisation += flow.utilisation();
+
+    FlowVerdict verdict;
+    verdict.flow_index = idx;
+    verdict.station = flow.station;
+    verdict.deadline_slots = flow.deadline_slots;
+    if (report.params.quotas[flow.station].l == 0) {
+      verdict.worst_case_wait_slots =
+          std::numeric_limits<std::int64_t>::max();
+      verdict.slack_slots = std::numeric_limits<std::int64_t>::min();
+      verdict.feasible = false;
+    } else {
+      verdict.worst_case_wait_slots = access_time_bound(
+          report.params, flow.station, flow.packets_per_period - 1);
+      verdict.slack_slots =
+          flow.deadline_slots - verdict.worst_case_wait_slots;
+      verdict.feasible = verdict.slack_slots >= 0;
+    }
+    if (!verdict.feasible) report.feasible = false;
+    if (verdict.slack_slots < min_slack) {
+      min_slack = verdict.slack_slots;
+      report.bottleneck_flow = idx;
+    }
+    report.verdicts.push_back(verdict);
+  }
+
+  if (input.flows.empty()) {
+    report.summary = "no real-time flows; trivially schedulable";
+  } else if (report.feasible) {
+    report.summary =
+        "schedulable under " + to_string(scheme) + "; tightest slack " +
+        std::to_string(min_slack) + " slots (flow " +
+        std::to_string(report.bottleneck_flow) + ")";
+  } else {
+    report.summary = "NOT schedulable under " + to_string(scheme) +
+                     "; flow " + std::to_string(report.bottleneck_flow) +
+                     " misses by " + std::to_string(-min_slack) + " slots";
+  }
+  return report;
+}
+
+}  // namespace wrt::analysis

@@ -1,0 +1,47 @@
+// Schedulability reporting: one call from "here are my flows" to a
+// complete, explainable admission verdict.
+//
+// Wraps allocate() + check_feasibility() and computes, per flow, the
+// Theorem-3 worst-case wait, the slack against its deadline, and which
+// station is the bottleneck — the artefact an operator reads before
+// signing off a configuration, and the engine room behind example
+// `admission_control` and bench E12c.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/allocation.hpp"
+#include "analysis/bounds.hpp"
+#include "util/result.hpp"
+
+namespace wrt::analysis {
+
+struct FlowVerdict {
+  std::size_t flow_index = 0;
+  std::size_t station = 0;
+  std::int64_t worst_case_wait_slots = 0;  ///< Theorem 3 under the allocation
+  std::int64_t deadline_slots = 0;
+  std::int64_t slack_slots = 0;            ///< deadline - worst case
+  bool feasible = false;
+};
+
+struct SchedulabilityReport {
+  bool feasible = false;                 ///< every flow fits
+  RingParams params;                     ///< the applied allocation
+  std::vector<FlowVerdict> verdicts;     ///< per flow, input order
+  std::int64_t sat_time_bound_slots = 0; ///< Theorem 1 under the allocation
+  double rt_utilisation = 0.0;           ///< sum of flow utilisations
+  std::size_t bottleneck_flow = 0;       ///< index of the minimum slack
+  std::string summary;                   ///< one-line human verdict
+};
+
+/// Runs `scheme` over the flow set and produces the full report.  Unlike
+/// check_feasibility, this never short-circuits: every flow gets a verdict
+/// even when the set as a whole is infeasible.  Fails only when the
+/// allocation itself cannot be computed (bad input / overload).
+[[nodiscard]] util::Result<SchedulabilityReport> analyze_schedulability(
+    AllocationScheme scheme, const AllocationInput& input,
+    std::size_t n_stations);
+
+}  // namespace wrt::analysis

@@ -1,0 +1,11 @@
+#include "phy/geometry.hpp"
+
+#include <algorithm>
+
+namespace wrt::phy {
+
+Vec2 Rect::clamp(Vec2 p) const noexcept {
+  return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+}
+
+}  // namespace wrt::phy

@@ -1,0 +1,46 @@
+// 2-D geometry for indoor node placement.
+#pragma once
+
+#include <cmath>
+
+namespace wrt::phy {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double s) noexcept {
+    return {a.x * s, a.y * s};
+  }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm();
+}
+
+/// Axis-aligned rectangle, used as the movement area ("the room").
+struct Rect {
+  Vec2 lo;
+  Vec2 hi;
+
+  [[nodiscard]] constexpr double width() const noexcept { return hi.x - lo.x; }
+  [[nodiscard]] constexpr double height() const noexcept { return hi.y - lo.y; }
+  [[nodiscard]] constexpr bool contains(Vec2 p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  /// Clamps a point into the rectangle.
+  [[nodiscard]] Vec2 clamp(Vec2 p) const noexcept;
+};
+
+}  // namespace wrt::phy

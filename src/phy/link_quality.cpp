@@ -1,0 +1,46 @@
+#include "phy/link_quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wrt::phy {
+
+double path_loss_db(const LinkBudget& budget, double distance_m) {
+  const double d = std::max(distance_m, 0.1);
+  return budget.path_loss_d0_db +
+         10.0 * budget.path_loss_exponent * std::log10(d);
+}
+
+double snr_db(const LinkBudget& budget, double distance_m) {
+  return budget.tx_power_dbm - path_loss_db(budget, distance_m) -
+         budget.noise_floor_dbm;
+}
+
+double bpsk_ber(double snr_db_value) {
+  const double snr_linear = std::pow(10.0, snr_db_value / 10.0);
+  // Q(x) = erfc(x / sqrt(2)) / 2;  BER = Q(sqrt(2 SNR)).
+  return 0.5 * std::erfc(std::sqrt(std::max(snr_linear, 0.0)));
+}
+
+double frame_error_rate(const LinkBudget& budget, double distance_m) {
+  const double ber = bpsk_ber(snr_db(budget, distance_m));
+  const double per =
+      1.0 - std::pow(1.0 - ber, static_cast<double>(budget.frame_bits));
+  return std::clamp(per, 0.0, 1.0);
+}
+
+double distance_for_per(const LinkBudget& budget, double target_per) {
+  double lo = 0.1;
+  double hi = 10000.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (frame_error_rate(budget, mid) < target_per) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace wrt::phy

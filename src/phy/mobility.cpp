@@ -1,0 +1,131 @@
+#include "phy/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wrt::phy {
+
+GaussMarkov::GaussMarkov(Rect area, GaussMarkovParams params,
+                         std::uint64_t seed)
+    : area_(area), params_(params), seed_(seed) {}
+
+void GaussMarkov::step(Topology& topology, Tick now, Tick dt) {
+  if (states_.size() < topology.node_count()) {
+    states_.resize(topology.node_count());
+  }
+  const double dt_seconds = ticks_to_slots_real(dt) * params_.slot_seconds;
+  for (NodeId i = 0; i < topology.node_count(); ++i) {
+    if (!topology.alive(i)) continue;
+    auto& state = states_[i];
+    util::RngStream rng(seed_,
+                        0x6A55 + i * 104729 + static_cast<std::uint64_t>(now));
+    if (!state.initialised) {
+      state.speed = params_.mean_speed;
+      state.heading = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+      state.initialised = true;
+    }
+    Vec2 pos = topology.position(i);
+    double remaining = dt_seconds;
+    while (remaining > 0.0) {
+      const double step = std::min(remaining, params_.step_seconds);
+      remaining -= step;
+      // Mean-reverting AR(1) updates (the Gauss-Markov recurrences).
+      const double root = std::sqrt(1.0 - params_.alpha * params_.alpha);
+      state.speed = params_.alpha * state.speed +
+                    (1.0 - params_.alpha) * params_.mean_speed +
+                    root * params_.speed_sigma * rng.normal();
+      state.speed = std::max(0.0, state.speed);
+      state.heading += root * params_.heading_sigma * rng.normal();
+      pos.x += state.speed * std::cos(state.heading) * step;
+      pos.y += state.speed * std::sin(state.heading) * step;
+      // Reflect off walls.
+      if (pos.x < area_.lo.x || pos.x > area_.hi.x) {
+        state.heading = 3.14159265358979323846 - state.heading;
+        pos.x = std::clamp(pos.x, area_.lo.x, area_.hi.x);
+      }
+      if (pos.y < area_.lo.y || pos.y > area_.hi.y) {
+        state.heading = -state.heading;
+        pos.y = std::clamp(pos.y, area_.lo.y, area_.hi.y);
+      }
+    }
+    topology.set_position(i, pos);
+  }
+}
+
+BoundedRandomWaypoint::BoundedRandomWaypoint(Rect area, WaypointParams params,
+                                             std::uint64_t seed)
+    : area_(area), params_(params), seed_(seed) {}
+
+void BoundedRandomWaypoint::bind(const Topology& topology) {
+  states_.resize(topology.node_count());
+  for (NodeId i = 0; i < topology.node_count(); ++i) {
+    states_[i].home = topology.position(i);
+    states_[i].target = states_[i].home;
+    states_[i].bound = true;
+  }
+}
+
+void BoundedRandomWaypoint::pick_new_target(NodeState& state,
+                                            util::RngStream& rng) {
+  // Rejection-sample a point inside both the leash disc and the area.
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const double angle = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    const double radius = params_.leash_radius * std::sqrt(rng.uniform());
+    const Vec2 candidate = {state.home.x + radius * std::cos(angle),
+                            state.home.y + radius * std::sin(angle)};
+    if (area_.contains(candidate)) {
+      state.target = candidate;
+      state.speed = rng.uniform(params_.speed_min, params_.speed_max);
+      return;
+    }
+  }
+  state.target = area_.clamp(state.home);
+  state.speed = params_.speed_min;
+}
+
+void BoundedRandomWaypoint::step(Topology& topology, Tick now, Tick dt) {
+  if (states_.size() < topology.node_count()) {
+    // New nodes joined since bind(); adopt their current position as home.
+    const std::size_t old = states_.size();
+    states_.resize(topology.node_count());
+    for (std::size_t i = old; i < states_.size(); ++i) {
+      states_[i].home = topology.position(static_cast<NodeId>(i));
+      states_[i].target = states_[i].home;
+      states_[i].bound = true;
+    }
+  }
+
+  const double dt_seconds =
+      ticks_to_slots_real(dt) * params_.slot_seconds;
+  for (NodeId i = 0; i < topology.node_count(); ++i) {
+    auto& state = states_[i];
+    if (!state.bound || !topology.alive(i)) continue;
+    util::RngStream rng(seed_, 0xB0B0 + i * 7919 + static_cast<std::uint64_t>(now));
+    double remaining = dt_seconds;
+    Vec2 pos = topology.position(i);
+    while (remaining > 0.0) {
+      if (state.pause_left > 0.0) {
+        const double pause = std::min(state.pause_left, remaining);
+        state.pause_left -= pause;
+        remaining -= pause;
+        continue;
+      }
+      if (state.speed <= 0.0) pick_new_target(state, rng);
+      const Vec2 to_target = state.target - pos;
+      const double dist = to_target.norm();
+      const double reachable_in = state.speed * remaining;
+      if (dist <= reachable_in || dist < 1e-9) {
+        pos = state.target;
+        remaining -= state.speed > 0.0 ? dist / state.speed : remaining;
+        state.pause_left = rng.exponential(params_.pause_mean_s);
+        state.speed = 0.0;
+      } else {
+        pos = pos + to_target * (reachable_in / dist);
+        remaining = 0.0;
+      }
+    }
+    topology.set_position(i, area_.clamp(pos));
+  }
+}
+
+}  // namespace wrt::phy

@@ -1,0 +1,181 @@
+#include "phy/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <queue>
+#include <stdexcept>
+
+namespace wrt::phy {
+namespace {
+
+std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+}  // namespace
+
+Topology::Topology(std::vector<Vec2> positions, RadioParams radio,
+                   std::uint64_t seed)
+    : positions_(std::move(positions)),
+      alive_(positions_.size(), true),
+      radio_(radio),
+      seed_(seed) {}
+
+Vec2 Topology::position(NodeId node) const {
+  return positions_.at(node);
+}
+
+void Topology::set_position(NodeId node, Vec2 pos) {
+  positions_.at(node) = pos;
+}
+
+NodeId Topology::add_node(Vec2 pos) {
+  positions_.push_back(pos);
+  alive_.push_back(true);
+  return static_cast<NodeId>(positions_.size() - 1);
+}
+
+void Topology::set_alive(NodeId node, bool is_alive) {
+  alive_.at(node) = is_alive;
+}
+
+bool Topology::alive(NodeId node) const { return alive_.at(node); }
+
+void Topology::fail_link(NodeId a, NodeId b) {
+  failed_links_.insert(ordered(a, b));
+}
+
+void Topology::restore_link(NodeId a, NodeId b) {
+  failed_links_.erase(ordered(a, b));
+}
+
+double Topology::effective_range(NodeId a, NodeId b) const {
+  if (radio_.shadowing_sigma <= 0.0) return radio_.range;
+  // Deterministic per-link shadowing: hash the link into a stream so the
+  // same link always sees the same fade.
+  const auto [lo, hi] = ordered(a, b);
+  util::RngStream stream(seed_,
+                         (static_cast<std::uint64_t>(lo) << 32) | hi);
+  const double shrink = std::abs(stream.normal(0.0, radio_.shadowing_sigma));
+  return std::max(0.0, radio_.range - shrink);
+}
+
+bool Topology::reachable(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  if (a >= positions_.size() || b >= positions_.size()) return false;
+  if (!alive_[a] || !alive_[b]) return false;
+  if (failed_links_.contains(ordered(a, b))) return false;
+  return distance(positions_[a], positions_[b]) <= effective_range(a, b);
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId node) const {
+  std::vector<NodeId> result;
+  for (NodeId other = 0; other < positions_.size(); ++other) {
+    if (reachable(node, other)) result.push_back(other);
+  }
+  return result;
+}
+
+bool Topology::hidden_pair(NodeId a, NodeId c, NodeId receiver) const {
+  return reachable(a, receiver) && reachable(c, receiver) && !reachable(a, c);
+}
+
+bool Topology::connected() const {
+  const std::size_t n = positions_.size();
+  std::size_t alive_count = 0;
+  NodeId start = kInvalidNode;
+  for (NodeId i = 0; i < n; ++i) {
+    if (alive_[i]) {
+      ++alive_count;
+      if (start == kInvalidNode) start = i;
+    }
+  }
+  if (alive_count <= 1) return true;
+
+  std::vector<bool> seen(n, false);
+  std::queue<NodeId> frontier;
+  frontier.push(start);
+  seen[start] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v = 0; v < n; ++v) {
+      if (!seen[v] && reachable(u, v)) {
+        seen[v] = true;
+        ++visited;
+        frontier.push(v);
+      }
+    }
+  }
+  return visited == alive_count;
+}
+
+bool Topology::min_degree_at_least(std::size_t min_degree) const {
+  for (NodeId i = 0; i < positions_.size(); ++i) {
+    if (!alive_[i]) continue;
+    if (neighbors(i).size() < min_degree) return false;
+  }
+  return true;
+}
+
+namespace placement {
+
+std::vector<Vec2> circle(std::size_t n, double radius, Vec2 center) {
+  std::vector<Vec2> positions;
+  positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle =
+        2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(n);
+    positions.push_back(
+        {center.x + radius * std::cos(angle), center.y + radius * std::sin(angle)});
+  }
+  return positions;
+}
+
+util::Result<std::vector<Vec2>> random_connected(std::size_t n, Rect area,
+                                                 double range,
+                                                 std::uint64_t seed,
+                                                 std::size_t max_attempts) {
+  util::RngStream rng(seed, 0x91ACE);
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    std::vector<Vec2> positions;
+    positions.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      positions.push_back({rng.uniform(area.lo.x, area.hi.x),
+                           rng.uniform(area.lo.y, area.hi.y)});
+    }
+    Topology probe(positions, RadioParams{range, 0.0});
+    if (probe.connected() && probe.min_degree_at_least(2)) return positions;
+  }
+  return util::Error::no_ring_possible(
+      "random_connected: could not draw a connected min-degree-2 placement");
+}
+
+std::vector<Vec2> grid(std::size_t rows, std::size_t cols, double spacing,
+                       Vec2 origin) {
+  std::vector<Vec2> positions;
+  positions.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      positions.push_back({origin.x + spacing * static_cast<double>(c),
+                           origin.y + spacing * static_cast<double>(r)});
+    }
+  }
+  return positions;
+}
+
+std::vector<Vec2> chain(std::size_t n, double spacing, Vec2 origin) {
+  std::vector<Vec2> positions;
+  positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back({origin.x + spacing * static_cast<double>(i), origin.y});
+  }
+  return positions;
+}
+
+}  // namespace placement
+
+}  // namespace wrt::phy

@@ -1,0 +1,62 @@
+#include "sim/batch_means.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wrt::sim {
+
+BatchMeans::BatchMeans(std::size_t batches, double warmup_fraction)
+    : batches_(batches), warmup_fraction_(warmup_fraction) {
+  if (batches_ < 2) throw std::invalid_argument("need >= 2 batches");
+  if (warmup_fraction_ < 0.0 || warmup_fraction_ >= 1.0) {
+    throw std::invalid_argument("warmup fraction must be in [0, 1)");
+  }
+}
+
+BatchMeansResult BatchMeans::estimate() const {
+  BatchMeansResult result;
+  if (observations_.empty()) return result;
+
+  const auto warmup = static_cast<std::size_t>(
+      warmup_fraction_ * static_cast<double>(observations_.size()));
+  const std::size_t usable = observations_.size() - warmup;
+
+  double total = 0.0;
+  for (std::size_t i = warmup; i < observations_.size(); ++i) {
+    total += observations_[i];
+  }
+  result.mean = total / static_cast<double>(usable);
+  result.observations_used = usable;
+
+  const std::size_t batch_size = usable / batches_;
+  if (batch_size == 0) return result;  // plain mean only
+
+  std::vector<double> batch_means;
+  batch_means.reserve(batches_);
+  for (std::size_t b = 0; b < batches_; ++b) {
+    double sum = 0.0;
+    const std::size_t begin = warmup + b * batch_size;
+    for (std::size_t i = begin; i < begin + batch_size; ++i) {
+      sum += observations_[i];
+    }
+    batch_means.push_back(sum / static_cast<double>(batch_size));
+  }
+
+  double grand = 0.0;
+  for (const double m : batch_means) grand += m;
+  grand /= static_cast<double>(batch_means.size());
+  double sq = 0.0;
+  for (const double m : batch_means) sq += (m - grand) * (m - grand);
+  const double variance =
+      sq / static_cast<double>(batch_means.size() - 1);
+  // t-quantile approximated by 2.09 (t_{0.975, 19}) for the default 20
+  // batches; the normal 1.96 for larger counts.
+  const double t = batch_means.size() <= 20 ? 2.09 : 1.96;
+  result.ci95_half_width =
+      t * std::sqrt(variance / static_cast<double>(batch_means.size()));
+  result.batches = batch_means.size();
+  result.mean = grand;
+  return result;
+}
+
+}  // namespace wrt::sim

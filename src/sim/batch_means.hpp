@@ -1,0 +1,46 @@
+// Steady-state output analysis: warmup trimming + batch means.
+//
+// The experiment harnesses report steady-state quantities (mean rotation,
+// mean delay, throughput) from single long runs; the classic way to attach
+// a confidence interval without independent replications is the method of
+// batch means — drop the warmup prefix, split the remaining observations
+// into B contiguous batches, and treat batch averages as approximately
+// independent samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wrt::sim {
+
+struct BatchMeansResult {
+  double mean = 0.0;
+  double ci95_half_width = 0.0;
+  std::size_t batches = 0;
+  std::size_t observations_used = 0;
+};
+
+class BatchMeans {
+ public:
+  /// `warmup_fraction` of the observations is discarded from the front;
+  /// the rest is split into `batches` batches (>= 2).
+  explicit BatchMeans(std::size_t batches = 20, double warmup_fraction = 0.1);
+
+  void add(double observation) { observations_.push_back(observation); }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    return observations_.size();
+  }
+
+  /// Computes the estimate; requires enough observations for at least two
+  /// non-empty batches after warmup (otherwise batches = 0 is returned and
+  /// mean falls back to the plain average).
+  [[nodiscard]] BatchMeansResult estimate() const;
+
+ private:
+  std::size_t batches_;
+  double warmup_fraction_;
+  std::vector<double> observations_;
+};
+
+}  // namespace wrt::sim

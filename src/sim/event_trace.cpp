@@ -1,0 +1,89 @@
+#include "sim/event_trace.hpp"
+
+namespace wrt::sim {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSatLaunched:
+      return "sat-launched";
+    case EventKind::kSatLost:
+      return "sat-lost";
+    case EventKind::kLossDetected:
+      return "loss-detected";
+    case EventKind::kSatRecStarted:
+      return "sat-rec-started";
+    case EventKind::kCutOut:
+      return "cut-out";
+    case EventKind::kRecovered:
+      return "recovered";
+    case EventKind::kRebuildStarted:
+      return "rebuild-started";
+    case EventKind::kRebuildCompleted:
+      return "rebuild-completed";
+    case EventKind::kRapStarted:
+      return "rap-started";
+    case EventKind::kJoinCompleted:
+      return "join-completed";
+    case EventKind::kJoinRejected:
+      return "join-rejected";
+    case EventKind::kLeaveCompleted:
+      return "leave-completed";
+    case EventKind::kTokenLost:
+      return "token-lost";
+    case EventKind::kClaimStarted:
+      return "claim-started";
+    case EventKind::kClaimSucceeded:
+      return "claim-succeeded";
+    case EventKind::kTreeRebuilt:
+      return "tree-rebuilt";
+  }
+  return "unknown";
+}
+
+std::string ProtocolEvent::to_line() const {
+  std::string line =
+      "[" + std::to_string(ticks_to_slots(at)) + "] " + to_string(kind);
+  if (station != kInvalidNode) line += " station=" + std::to_string(station);
+  if (other != kInvalidNode) line += " other=" + std::to_string(other);
+  return line;
+}
+
+void EventTrace::record(EventKind kind, Tick at, NodeId station,
+                        NodeId other) {
+  events_.push_back({kind, at, station, other});
+  ++total_;
+  if (events_.size() > capacity_) events_.pop_front();
+}
+
+std::vector<ProtocolEvent> EventTrace::of_kind(EventKind kind) const {
+  std::vector<ProtocolEvent> result;
+  for (const auto& event : events_) {
+    if (event.kind == kind) result.push_back(event);
+  }
+  return result;
+}
+
+const ProtocolEvent* EventTrace::first_after(EventKind kind, Tick from) const {
+  for (const auto& event : events_) {
+    if (event.kind == kind && event.at >= from) return &event;
+  }
+  return nullptr;
+}
+
+bool EventTrace::ordered(EventKind a, EventKind b) const {
+  const ProtocolEvent* first_a = nullptr;
+  const ProtocolEvent* first_b = nullptr;
+  for (const auto& event : events_) {
+    if (first_a == nullptr && event.kind == a) first_a = &event;
+    if (first_b == nullptr && event.kind == b) first_b = &event;
+  }
+  if (first_a == nullptr || first_b == nullptr) return false;
+  return first_a->at <= first_b->at;
+}
+
+void EventTrace::clear() {
+  events_.clear();
+  total_ = 0;
+}
+
+}  // namespace wrt::sim

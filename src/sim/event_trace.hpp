@@ -1,0 +1,83 @@
+// Structured protocol event tracing.
+//
+// Counters (EngineStats) say how often things happened; the event trace
+// says in what order and when — which is what debugging a distributed
+// protocol actually needs, and what lets tests assert on causal sequences
+// ("detection happened before the cut-out, which happened before the next
+// full round").  A bounded ring buffer keeps memory constant on long runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wrt::sim {
+
+enum class EventKind : std::uint8_t {
+  kSatLaunched,
+  kSatLost,
+  kLossDetected,
+  kSatRecStarted,
+  kCutOut,
+  kRecovered,
+  kRebuildStarted,
+  kRebuildCompleted,
+  kRapStarted,
+  kJoinCompleted,
+  kJoinRejected,
+  kLeaveCompleted,
+  kTokenLost,        // TPT
+  kClaimStarted,     // TPT
+  kClaimSucceeded,   // TPT
+  kTreeRebuilt,      // TPT
+};
+
+[[nodiscard]] std::string to_string(EventKind kind);
+
+struct ProtocolEvent {
+  EventKind kind{};
+  Tick at = 0;
+  NodeId station = kInvalidNode;  ///< primary subject (detector, joiner, ...)
+  NodeId other = kInvalidNode;    ///< secondary subject (failed station, ...)
+
+  [[nodiscard]] std::string to_line() const;
+};
+
+class EventTrace {
+ public:
+  explicit EventTrace(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  void record(EventKind kind, Tick at, NodeId station = kInvalidNode,
+              NodeId other = kInvalidNode);
+
+  [[nodiscard]] const std::deque<ProtocolEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return total_;
+  }
+
+  /// Events of one kind, oldest first.
+  [[nodiscard]] std::vector<ProtocolEvent> of_kind(EventKind kind) const;
+
+  /// First event of `kind` at or after `from`; nullptr when absent.
+  [[nodiscard]] const ProtocolEvent* first_after(EventKind kind,
+                                                 Tick from) const;
+
+  /// True iff, in trace order, an event of `a` precedes one of `b`
+  /// (earliest occurrences).
+  [[nodiscard]] bool ordered(EventKind a, EventKind b) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<ProtocolEvent> events_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wrt::sim

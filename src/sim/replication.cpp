@@ -1,0 +1,95 @@
+#include "sim/replication.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace wrt::sim {
+
+double MetricSummary::ci95_half_width() const noexcept {
+  if (samples < 2) return 0.0;
+  return 1.96 * stddev / std::sqrt(static_cast<double>(samples));
+}
+
+std::vector<MetricSummary> run_replications(
+    std::uint32_t replications, std::uint64_t master_seed,
+    const std::function<ReplicationResult(std::uint64_t seed)>& body,
+    unsigned max_threads) {
+  if (replications == 0) return {};
+
+  // Derive well-separated per-replication seeds.
+  std::vector<std::uint64_t> seeds(replications);
+  std::uint64_t sm = master_seed;
+  for (auto& seed : seeds) seed = util::splitmix64(sm);
+
+  std::vector<ReplicationResult> results(replications);
+  unsigned threads = max_threads == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : max_threads;
+  threads = std::min<unsigned>(threads, replications);
+
+  if (threads <= 1) {
+    for (std::uint32_t i = 0; i < replications; ++i) results[i] = body(seeds[i]);
+  } else {
+    std::atomic<std::uint32_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const std::uint32_t i = next.fetch_add(1);
+          if (i >= replications) return;
+          results[i] = body(seeds[i]);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  // Aggregate by metric name, preserving first-seen order.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<double>> by_name;
+  for (const auto& result : results) {
+    for (const auto& [name, value] : result.metrics) {
+      auto [it, inserted] = by_name.try_emplace(name);
+      if (inserted) order.push_back(name);
+      it->second.push_back(value);
+    }
+  }
+
+  std::vector<MetricSummary> summaries;
+  summaries.reserve(order.size());
+  for (const auto& name : order) {
+    const auto& values = by_name[name];
+    MetricSummary summary;
+    summary.name = name;
+    summary.samples = values.size();
+    summary.min = *std::min_element(values.begin(), values.end());
+    summary.max = *std::max_element(values.begin(), values.end());
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    summary.mean = sum / static_cast<double>(values.size());
+    double sq = 0.0;
+    for (const double v : values) sq += (v - summary.mean) * (v - summary.mean);
+    summary.stddev = values.size() < 2
+                         ? 0.0
+                         : std::sqrt(sq / static_cast<double>(values.size() - 1));
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
+}
+
+const MetricSummary& find_metric(const std::vector<MetricSummary>& summaries,
+                                 const std::string& name) {
+  for (const auto& summary : summaries) {
+    if (summary.name == name) return summary;
+  }
+  throw std::out_of_range("metric not found: " + name);
+}
+
+}  // namespace wrt::sim

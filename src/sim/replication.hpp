@@ -1,0 +1,52 @@
+// Parallel independent-replication runner.
+//
+// Experiments report confidence intervals over R independent replications
+// (distinct seeds).  Each replication builds its own Simulation object, so
+// threads share no mutable state; this is the classic embarrassingly
+// parallel HPC pattern and scales linearly with cores.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wrt::sim {
+
+/// Result of one replication: arbitrary named scalar metrics.
+struct ReplicationResult {
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void add(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+};
+
+/// Aggregate of a metric across replications.
+struct MetricSummary {
+  std::string name;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t samples = 0;
+
+  /// Half-width of the ~95% normal confidence interval.
+  [[nodiscard]] double ci95_half_width() const noexcept;
+};
+
+/// Runs `body(seed)` for `replications` distinct seeds derived from
+/// `master_seed`, on up to `max_threads` worker threads (0 = hardware
+/// concurrency), and aggregates metrics by name.  `body` must be thread-safe
+/// with respect to itself given distinct seeds (i.e. touch no shared state).
+std::vector<MetricSummary> run_replications(
+    std::uint32_t replications, std::uint64_t master_seed,
+    const std::function<ReplicationResult(std::uint64_t seed)>& body,
+    unsigned max_threads = 0);
+
+/// Finds a metric by name; throws std::out_of_range if absent.
+const MetricSummary& find_metric(const std::vector<MetricSummary>& summaries,
+                                 const std::string& name);
+
+}  // namespace wrt::sim

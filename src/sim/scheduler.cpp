@@ -1,0 +1,55 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace wrt::sim {
+
+EventHandle Scheduler::schedule_at(Tick when, EventFn fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Scheduler::schedule_at: time in the past");
+  }
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{when, next_sequence_++, id, std::move(fn)});
+  return EventHandle{id};
+}
+
+void Scheduler::cancel(EventHandle handle) {
+  if (handle.id == 0) return;
+  cancelled_.push_back(handle.id);
+  ++cancelled_count_;
+}
+
+void Scheduler::execute_top() {
+  // Copy out then pop so an event may schedule new events freely.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  const auto it = std::find(cancelled_.begin(), cancelled_.end(), entry.id);
+  if (it != cancelled_.end()) {
+    cancelled_.erase(it);
+    --cancelled_count_;
+    return;
+  }
+  now_ = entry.when;
+  entry.fn();
+}
+
+std::uint64_t Scheduler::run_until(Tick horizon) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= horizon) {
+    execute_top();
+    ++executed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return executed;
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  const Tick tick = queue_.top().when;
+  while (!queue_.empty() && queue_.top().when == tick) execute_top();
+  return true;
+}
+
+}  // namespace wrt::sim

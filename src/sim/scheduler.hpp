@@ -1,0 +1,84 @@
+// Discrete-event scheduler.
+//
+// The MAC engines are slot-synchronous state machines, so the dominant event
+// is a recurring per-slot tick; traffic generators and failure injectors
+// schedule sparse events in between.  Events at the same tick run in
+// insertion order (stable), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wrt::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle used to cancel a pending event.
+struct EventHandle {
+  std::uint64_t id = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulation time.
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute tick `when` (must be >= now()).
+  EventHandle schedule_at(Tick when, EventFn fn);
+
+  /// Schedules `fn` after `delay` ticks.
+  EventHandle schedule_after(Tick delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event; cancelling an already-fired or unknown handle
+  /// is a no-op.
+  void cancel(EventHandle handle);
+
+  /// Runs until the queue empties or `horizon` is passed (events strictly
+  /// after `horizon` stay queued).  Returns the number of events executed.
+  std::uint64_t run_until(Tick horizon);
+
+  /// Executes exactly the events of the next occupied tick.  Returns false
+  /// if the queue is empty.
+  bool step();
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return queue_.size() - cancelled_count_;
+  }
+
+ private:
+  struct Entry {
+    Tick when = 0;
+    std::uint64_t sequence = 0;  // tie-break: stable FIFO within a tick
+    std::uint64_t id = 0;
+    EventFn fn;
+
+    // std::priority_queue is a max-heap; invert so earliest (when, sequence)
+    // is on top.
+    [[nodiscard]] bool operator<(const Entry& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return sequence > other.sequence;
+    }
+  };
+
+  void execute_top();
+
+  Tick now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Entry> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted insert not needed; small
+  std::size_t cancelled_count_ = 0;
+};
+
+}  // namespace wrt::sim

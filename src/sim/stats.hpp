@@ -1,0 +1,119 @@
+// Statistics collectors.
+//
+// The experiment harnesses report means, maxima, quantiles, and
+// time-weighted averages of protocol quantities (SAT rotation time, access
+// delay, queue length, throughput).  Collectors store exact sample moments
+// plus a bounded reservoir for quantiles, so memory stays O(1) per metric
+// over arbitrarily long runs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace wrt::sim {
+
+/// Scalar sample statistics: count / mean / variance (Welford) / min / max,
+/// plus a fixed-size uniform reservoir for quantile estimates.
+class SampleStats {
+ public:
+  explicit SampleStats(std::size_t reservoir_capacity = 4096,
+                       std::uint64_t seed = 0x5eed);
+
+  void add(double value);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return count_ == 0 ? 0.0 : mean_ * static_cast<double>(count_); }
+
+  /// Quantile in [0, 1] from the reservoir; exact when count <= capacity.
+  [[nodiscard]] double quantile(double q) const;
+
+  void reset();
+
+  /// Merges another collector (used when aggregating replications).  The
+  /// merged reservoir is a capacity-bounded subsample of both.
+  void merge(const SampleStats& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<double> reservoir_;
+  std::size_t reservoir_capacity_;
+  util::RngStream rng_;
+};
+
+/// Time-weighted average of a piecewise-constant signal (queue lengths,
+/// number of busy slots, ...).
+class TimeWeightedStats {
+ public:
+  /// Records that the signal had `value` from the last update until `now`.
+  void update(Tick now, double value);
+
+  [[nodiscard]] double time_average(Tick now);
+  [[nodiscard]] double current() const noexcept { return value_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  void reset(Tick now);
+
+ private:
+  Tick last_update_ = 0;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double max_ = 0.0;
+  Tick start_ = 0;
+};
+
+/// Monotonic counter with rate helper.
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) noexcept { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  /// Events per slot over [t0, t1].
+  [[nodiscard]] double rate_per_slot(Tick t0, Tick t1) const noexcept;
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow bins;
+/// used for delay distributions in the benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Quantile estimate by linear interpolation inside the located bin.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wrt::sim

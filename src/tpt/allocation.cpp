@@ -1,0 +1,104 @@
+#include "tpt/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+
+#include "util/math.hpp"
+
+namespace wrt::tpt {
+
+std::int64_t tpt_access_time_bound(std::int64_t ttrt_slots, std::int64_t h_e,
+                                   std::int64_t packets) {
+  if (h_e <= 0) return std::numeric_limits<std::int64_t>::max();
+  // ceil(C / H) full service visits plus the partial round in progress,
+  // each inter-visit gap at most 2 TTRT (timed-token worst case).
+  const std::int64_t visits = util::ceil_div(packets, h_e) + 1;
+  return visits * 2 * ttrt_slots;
+}
+
+util::Result<TptAllocation> allocate_tpt(analysis::AllocationScheme scheme,
+                                         const TptAllocationInput& input) {
+  if (input.n_stations <= 0) {
+    return util::Error::invalid_argument("need stations");
+  }
+  std::set<std::size_t> seen;
+  for (const auto& flow : input.flows) {
+    if (flow.station >= static_cast<std::size_t>(input.n_stations)) {
+      return util::Error::invalid_argument("flow station out of range");
+    }
+    if (!seen.insert(flow.station).second) {
+      return util::Error::invalid_argument("one flow per station");
+    }
+    if (flow.period_slots <= 0 || flow.packets_per_period <= 0) {
+      return util::Error::invalid_argument("flow needs positive P and C");
+    }
+  }
+
+  // Reuse the ring allocator for the H shares: identical weighting logic,
+  // k = 0 (TPT has no per-station async reservation).
+  analysis::AllocationInput ring_like;
+  ring_like.ring_latency_slots = 0;
+  ring_like.t_rap_slots = input.t_rap_slots;
+  ring_like.k_per_station = 0;
+  ring_like.total_l_budget = input.total_h_budget;
+  ring_like.flows = input.flows;
+  auto shares = analysis::allocate(
+      scheme, ring_like, static_cast<std::size_t>(input.n_stations));
+  if (!shares.ok()) return shares.error();
+
+  TptAllocation allocation;
+  allocation.params.t_proc_plus_prop_slots = input.t_proc_prop_slots;
+  allocation.params.t_rap_slots = input.t_rap_slots;
+  allocation.params.h_sync_slots.reserve(
+      static_cast<std::size_t>(input.n_stations));
+  for (const Quota& quota : shares.value().quotas) {
+    allocation.params.h_sync_slots.push_back(quota.l);
+  }
+
+  // TTRT: given or the smallest value covering one full loaded round
+  // (protocol constraint: sum H + walk + RAP <= TTRT).
+  const double walk = 2.0 * static_cast<double>(input.n_stations - 1) *
+                      input.t_proc_prop_slots;
+  const auto min_ttrt = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(allocation.params.h_sum()) + walk +
+                static_cast<double>(input.t_rap_slots)));
+  allocation.ttrt_slots =
+      input.ttrt_slots > 0 ? input.ttrt_slots : min_ttrt;
+  allocation.params.ttrt_slots = allocation.ttrt_slots;
+  if (allocation.ttrt_slots < min_ttrt) {
+    return util::Error::admission_rejected(
+        "TTRT " + std::to_string(allocation.ttrt_slots) +
+        " below the loaded round length " + std::to_string(min_ttrt));
+  }
+
+  // Feasibility: Eq (7) against the tightest deadline plus the per-flow
+  // visit-count test.
+  std::int64_t tightest = std::numeric_limits<std::int64_t>::max();
+  for (const auto& flow : input.flows) {
+    tightest = std::min(tightest, flow.deadline_slots);
+  }
+  if (!input.flows.empty() &&
+      !analysis::tpt_feasible(allocation.params, tightest)) {
+    return util::Error::admission_rejected(
+        "Eq (7) violated for the tightest deadline " +
+        std::to_string(tightest));
+  }
+  for (std::size_t idx = 0; idx < input.flows.size(); ++idx) {
+    const auto& flow = input.flows[idx];
+    const std::int64_t h_e = allocation.params.h_sync_slots[flow.station];
+    const std::int64_t wait = tpt_access_time_bound(
+        allocation.ttrt_slots, h_e, flow.packets_per_period);
+    if (wait > flow.deadline_slots) {
+      return util::Error::admission_rejected(
+          "flow " + std::to_string(idx) + ": worst-case wait " +
+          std::to_string(wait) + " exceeds deadline " +
+          std::to_string(flow.deadline_slots));
+    }
+  }
+  return allocation;
+}
+
+}  // namespace wrt::tpt

@@ -1,0 +1,57 @@
+// Synchronous bandwidth allocation for the timed-token baseline.
+//
+// TPT inherits the timed-token admission rules (Section 3.1.2): each
+// station reserves H_e,i slots per token visit, TTRT is negotiated, and a
+// flow set is schedulable when
+//
+//     sum_i H_e,i + 2 (N-1) (T_proc + T_prop) + T_rap <= D / 2,  D = min D_i
+//
+// together with the protocol constraint that a station's reservation
+// covers its per-period demand within the deadline: a batch of C_i packets
+// is served after at most ceil(C_i / H_e,i) + 1 token visits, each at most
+// 2 TTRT apart (the timed-token worst case [12]).
+//
+// The same allocation schemes as analysis::allocate are provided so the
+// E7/E12 comparisons hand both protocols identical flow sets and equally
+// smart allocators — the measured difference is then the protocols', not
+// the allocators'.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/allocation.hpp"
+#include "analysis/bounds.hpp"
+#include "util/result.hpp"
+
+namespace wrt::tpt {
+
+struct TptAllocationInput {
+  std::int64_t n_stations = 0;
+  double t_proc_prop_slots = 1.0;
+  std::int64_t t_rap_slots = 0;
+  std::int64_t ttrt_slots = 0;         ///< 0 = derive the smallest feasible
+  std::int64_t total_h_budget = 0;     ///< slots per round to distribute
+  std::vector<analysis::RtRequirement> flows;
+};
+
+struct TptAllocation {
+  analysis::TptParams params;
+  std::int64_t ttrt_slots = 0;
+};
+
+/// Distributes the H budget over the flows' stations under `scheme`, picks
+/// (or checks) TTRT, and verifies both the Eq (7) feasibility and each
+/// flow's visit-count deadline test.  Fails with kAdmissionRejected when
+/// no feasible allocation exists.
+[[nodiscard]] util::Result<TptAllocation> allocate_tpt(
+    analysis::AllocationScheme scheme, const TptAllocationInput& input);
+
+/// The per-flow timed-token deadline test used by allocate_tpt: worst-case
+/// wait of a C-packet batch at a station with quota H_e under the given
+/// TTRT.
+[[nodiscard]] std::int64_t tpt_access_time_bound(std::int64_t ttrt_slots,
+                                                 std::int64_t h_e,
+                                                 std::int64_t packets);
+
+}  // namespace wrt::tpt

@@ -1,0 +1,68 @@
+// Token-passing tree topology (Section 3.1, after Jianqiang et al. [11]).
+//
+// TPT organises the ad hoc network as a tree rooted at the initiator; the
+// token visits every station with a depth-first walk, so one full round
+// traverses every tree edge twice: 2 (N - 1) link traversals (Section 3.2.1,
+// Figure 4a).  This module builds BFS trees over the connectivity graph,
+// produces the Euler (DFS) token tour, and answers routing queries for
+// multi-hop forwarding along tree paths.
+#pragma once
+
+#include <vector>
+
+#include "phy/topology.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace wrt::tpt {
+
+class Tree {
+ public:
+  Tree() = default;
+
+  /// Builds a BFS tree over the alive subgraph from `root`.  Fails when the
+  /// alive subgraph is not connected.
+  [[nodiscard]] static util::Result<Tree> build(const phy::Topology& topology,
+                                                NodeId root);
+
+  [[nodiscard]] NodeId root() const noexcept { return root_; }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool contains(NodeId node) const;
+
+  [[nodiscard]] NodeId parent(NodeId node) const;
+  [[nodiscard]] const std::vector<NodeId>& children(NodeId node) const;
+  [[nodiscard]] const std::vector<NodeId>& members() const noexcept {
+    return members_;
+  }
+
+  /// Adds `node` as a child of `parent` (join procedure, Section 3.1.1).
+  void add_child(NodeId parent, NodeId node);
+
+  /// The depth-first token tour: the sequence of stations the token visits
+  /// in one round, starting and ending at the root.  Consecutive entries
+  /// are adjacent in the tree; the sequence has 2 (N - 1) + 1 entries, i.e.
+  /// 2 (N - 1) link traversals.
+  [[nodiscard]] std::vector<NodeId> euler_tour() const;
+
+  /// Tree path from a to b (inclusive endpoints) through the common
+  /// ancestor; used to forward data that is out of direct radio range.
+  [[nodiscard]] std::vector<NodeId> path(NodeId a, NodeId b) const;
+
+  /// Next hop from `from` toward `to` along the tree.
+  [[nodiscard]] NodeId next_hop(NodeId from, NodeId to) const;
+
+  /// True iff every tree edge is still up in `topology`.
+  [[nodiscard]] bool valid_over(const phy::Topology& topology) const;
+
+ private:
+  void tour_visit(NodeId node, std::vector<NodeId>& tour) const;
+  [[nodiscard]] std::vector<NodeId> path_to_root(NodeId node) const;
+
+  NodeId root_ = kInvalidNode;
+  std::vector<NodeId> members_;
+  // Indexed by NodeId (sparse; kInvalidNode parent for non-members & root).
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+};
+
+}  // namespace wrt::tpt

@@ -1,0 +1,129 @@
+#include "traffic/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wrt::traffic {
+
+Trace::Trace(std::vector<TraceEntry> entries) : entries_(std::move(entries)) {
+  assert(std::is_sorted(
+      entries_.begin(), entries_.end(),
+      [](const TraceEntry& a, const TraceEntry& b) { return a.at < b.at; }));
+}
+
+Trace Trace::record(TrafficSource& source, Tick horizon) {
+  std::vector<Packet> packets;
+  source.poll(horizon, packets);
+  std::vector<TraceEntry> entries;
+  entries.reserve(packets.size());
+  for (const Packet& packet : packets) {
+    if (!entries.empty() && entries.back().at == packet.created &&
+        entries.back().cls == packet.cls) {
+      ++entries.back().packets;
+    } else {
+      entries.push_back({packet.created, packet.cls, 1});
+    }
+  }
+  return Trace(std::move(entries));
+}
+
+Trace Trace::merge(const Trace& a, const Trace& b) {
+  std::vector<TraceEntry> merged;
+  merged.reserve(a.entries_.size() + b.entries_.size());
+  std::merge(a.entries_.begin(), a.entries_.end(), b.entries_.begin(),
+             b.entries_.end(), std::back_inserter(merged),
+             [](const TraceEntry& x, const TraceEntry& y) {
+               return x.at < y.at;
+             });
+  return Trace(std::move(merged));
+}
+
+std::uint64_t Trace::total_packets() const noexcept {
+  std::uint64_t total = 0;
+  for (const TraceEntry& entry : entries_) total += entry.packets;
+  return total;
+}
+
+double Trace::offered_load() const noexcept {
+  if (entries_.empty()) return 0.0;
+  const Tick span = entries_.back().at - entries_.front().at;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(total_packets()) / ticks_to_slots_real(span);
+}
+
+TraceSource::TraceSource(Trace trace, FlowId flow, NodeId src, NodeId dst,
+                         std::int64_t deadline_slots)
+    : trace_(std::move(trace)),
+      flow_(flow),
+      src_(src),
+      dst_(dst),
+      deadline_slots_(deadline_slots) {}
+
+void TraceSource::poll(Tick now, std::vector<Packet>& out) {
+  const auto& entries = trace_.entries();
+  while (cursor_ < entries.size() && entries[cursor_].at <= now) {
+    const TraceEntry& entry = entries[cursor_];
+    for (std::uint32_t i = 0; i < entry.packets; ++i) {
+      Packet packet;
+      packet.flow = flow_;
+      packet.cls = entry.cls;
+      packet.src = src_;
+      packet.dst = dst_;
+      packet.created = entry.at;
+      packet.sequence = sequence_++;
+      packet.deadline =
+          entry.cls == TrafficClass::kRealTime && deadline_slots_ > 0
+              ? entry.at + slots_to_ticks(deadline_slots_)
+              : kNeverTick;
+      out.push_back(packet);
+    }
+    ++cursor_;
+  }
+}
+
+Trace make_gop_trace(const GopParams& params, std::uint32_t frames,
+                     Tick start) {
+  std::vector<TraceEntry> entries;
+  entries.reserve(frames);
+  for (std::uint32_t frame = 0; frame < frames; ++frame) {
+    const Tick at =
+        start + slots_to_ticks(params.frame_period_slots) *
+                    static_cast<Tick>(frame);
+    const std::uint32_t in_gop = frame % params.gop_length;
+    std::uint32_t packets = params.b_frame_packets;
+    if (in_gop == 0) {
+      packets = params.i_frame_packets;
+    } else if (params.p_spacing > 0 && in_gop % params.p_spacing == 0) {
+      packets = params.p_frame_packets;
+    }
+    entries.push_back({at, TrafficClass::kRealTime, packets});
+  }
+  return Trace(std::move(entries));
+}
+
+Trace make_voice_trace(const VoiceParams& params, Tick horizon,
+                       std::uint64_t seed) {
+  util::RngStream rng(seed, 0x701CE);
+  std::vector<TraceEntry> entries;
+  Tick now = 0;
+  bool talking = true;
+  Tick phase_end = static_cast<Tick>(
+      rng.exponential(params.talkspurt_mean_slots)) * kTicksPerSlot;
+  while (now < horizon) {
+    if (talking) {
+      while (now < phase_end && now < horizon) {
+        entries.push_back({now, TrafficClass::kRealTime, 1});
+        now += slots_to_ticks(params.packet_period_slots);
+      }
+    } else {
+      now = std::min(phase_end, horizon);
+    }
+    talking = !talking;
+    const double mean = talking ? params.talkspurt_mean_slots
+                                : params.silence_mean_slots;
+    phase_end = now + static_cast<Tick>(rng.exponential(mean)) * kTicksPerSlot;
+  }
+  return Trace(std::move(entries));
+}
+
+}  // namespace wrt::traffic

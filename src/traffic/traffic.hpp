@@ -1,0 +1,133 @@
+// Traffic generation and accounting.
+//
+// The paper's applications fall into two MAC types (real-time with
+// deadlines, best-effort without — Section 2.2) refined into three Diffserv
+// classes (Section 2.3).  Flows are described by a FlowSpec; TrafficSource
+// turns a spec into a deterministic, seeded arrival process (CBR for
+// audio/video-like QoS streams, Poisson and on-off bursts for data); the
+// Sink records delivery delay, deadline misses, and throughput per flow and
+// per class.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace wrt::traffic {
+
+/// One MAC-layer packet (i.e. one slot payload).
+struct Packet {
+  FlowId flow = kInvalidFlow;
+  TrafficClass cls = TrafficClass::kBestEffort;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Tick created = 0;
+  Tick deadline = kNeverTick;  ///< absolute; kNeverTick for best-effort
+  std::uint64_t sequence = 0;
+};
+
+enum class ArrivalKind : std::uint8_t {
+  kCbr,      ///< one packet every `period_slots` slots (jitter-free)
+  kPoisson,  ///< exponential inter-arrivals with mean 1/`rate_per_slot`
+  kOnOff,    ///< bursty: exponential ON (CBR at rate) / OFF periods
+};
+
+struct FlowSpec {
+  FlowId id = kInvalidFlow;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  TrafficClass cls = TrafficClass::kBestEffort;
+  ArrivalKind kind = ArrivalKind::kCbr;
+
+  double period_slots = 10.0;     ///< kCbr: inter-arrival in slots
+  double rate_per_slot = 0.1;     ///< kPoisson / kOnOff-on: packets per slot
+  double on_mean_slots = 100.0;   ///< kOnOff: mean ON duration
+  double off_mean_slots = 100.0;  ///< kOnOff: mean OFF duration
+
+  /// Relative deadline in slots for real-time flows (kNever for BE).
+  std::int64_t deadline_slots = 0;
+
+  /// Slot offset of the first arrival.
+  std::int64_t start_slot = 0;
+
+  /// Mean offered load of this flow in packets/slot.
+  [[nodiscard]] double offered_load() const noexcept;
+};
+
+/// Seeded arrival process for one flow.
+class TrafficSource {
+ public:
+  TrafficSource(FlowSpec spec, std::uint64_t seed);
+
+  /// Appends to `out` every packet arriving in (last_poll, now]; sets
+  /// created/deadline from arrival time.
+  void poll(Tick now, std::vector<Packet>& out);
+
+  [[nodiscard]] const FlowSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint64_t generated() const noexcept { return sequence_; }
+
+ private:
+  [[nodiscard]] Tick draw_gap();
+
+  FlowSpec spec_;
+  util::RngStream rng_;
+  Tick next_arrival_;
+  std::uint64_t sequence_ = 0;
+  bool on_ = true;           // kOnOff phase
+  Tick phase_end_ = 0;       // kOnOff phase boundary
+};
+
+/// Always-backlogged source: keeps a station's queue non-empty.  Used for
+/// saturation/worst-case experiments where the analytical bounds assume
+/// every station always has traffic ready (Section 2.6).
+class SaturatedSource {
+ public:
+  SaturatedSource(FlowSpec spec) : spec_(std::move(spec)) {}
+
+  /// Produces up to `count` packets stamped at `now`.
+  [[nodiscard]] std::vector<Packet> take(Tick now, std::size_t count);
+
+  [[nodiscard]] const FlowSpec& spec() const noexcept { return spec_; }
+
+ private:
+  FlowSpec spec_;
+  std::uint64_t sequence_ = 0;
+};
+
+/// Delivery accounting, per class and per flow.
+class Sink {
+ public:
+  void record_delivery(const Packet& packet, Tick now);
+  void record_drop(const Packet& packet);
+
+  struct ClassStats {
+    sim::SampleStats delay_slots;  ///< creation -> delivery, in slots
+    std::uint64_t delivered = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  [[nodiscard]] const ClassStats& by_class(TrafficClass cls) const;
+  [[nodiscard]] std::uint64_t total_delivered() const noexcept;
+
+  /// Deadline-miss ratio among delivered+dropped real-time packets.
+  [[nodiscard]] double rt_miss_ratio() const noexcept;
+
+  /// Mean delivered throughput in packets/slot over [t0, t1].
+  [[nodiscard]] double throughput(Tick t0, Tick t1) const noexcept;
+
+  /// Per-flow delay stats (present only for flows with deliveries).
+  [[nodiscard]] const std::map<FlowId, sim::SampleStats>& per_flow() const {
+    return per_flow_delay_;
+  }
+
+ private:
+  ClassStats classes_[3];
+  std::map<FlowId, sim::SampleStats> per_flow_delay_;
+};
+
+}  // namespace wrt::traffic

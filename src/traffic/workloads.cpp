@@ -1,0 +1,102 @@
+#include "traffic/workloads.hpp"
+
+namespace wrt::traffic {
+
+double Workload::offered_load() const {
+  double total = 0.0;
+  for (const FlowSpec& spec : flows) total += spec.offered_load();
+  for (const BoundTrace& bound : traces) total += bound.trace.offered_load();
+  return total;
+}
+
+Workload conference(std::size_t n_stations, std::int64_t rt_deadline_slots,
+                    Tick horizon, std::uint64_t seed) {
+  Workload workload;
+  FlowId next_flow = 1;
+  for (std::size_t s = 0; s < n_stations; ++s) {
+    const auto src = static_cast<NodeId>(s);
+    const auto opposite =
+        static_cast<NodeId>((s + n_stations / 2) % n_stations);
+    const auto neighbour = static_cast<NodeId>((s + 1) % n_stations);
+
+    VoiceParams voice;
+    workload.traces.push_back({make_voice_trace(voice, horizon, seed + s),
+                               next_flow++, src, opposite,
+                               rt_deadline_slots});
+
+    FlowSpec browse;
+    browse.id = next_flow++;
+    browse.src = src;
+    browse.dst = neighbour;
+    browse.cls = TrafficClass::kBestEffort;
+    browse.kind = ArrivalKind::kOnOff;
+    browse.rate_per_slot = 0.15;
+    browse.on_mean_slots = 100.0;
+    browse.off_mean_slots = 500.0;
+    workload.flows.push_back(browse);
+  }
+  return workload;
+}
+
+Workload lounge(std::size_t n_stations, std::size_t n_video,
+                std::int64_t rt_deadline_slots, std::uint64_t seed) {
+  Workload workload;
+  FlowId next_flow = 1;
+  for (std::size_t s = 0; s < n_stations; ++s) {
+    const auto src = static_cast<NodeId>(s);
+    const auto dst = static_cast<NodeId>((s + n_stations / 2) % n_stations);
+    if (s < n_video) {
+      GopParams gop;  // defaults: ~30 fps, GOP 12
+      workload.traces.push_back({make_gop_trace(gop, 3000), next_flow++, src,
+                                 dst, rt_deadline_slots});
+    } else {
+      FlowSpec web;
+      web.id = next_flow++;
+      web.src = src;
+      web.dst = dst;
+      web.cls = s % 3 == 0 ? TrafficClass::kAssured
+                           : TrafficClass::kBestEffort;
+      web.kind = ArrivalKind::kOnOff;
+      web.rate_per_slot = 0.3;
+      web.on_mean_slots = 60.0;
+      web.off_mean_slots = 400.0 + static_cast<double>((seed + s) % 200);
+      workload.flows.push_back(web);
+    }
+  }
+  return workload;
+}
+
+Workload sensor_floor(std::size_t n_stations,
+                      std::int64_t report_period_slots,
+                      std::int64_t rt_deadline_slots) {
+  Workload workload;
+  FlowId next_flow = 1;
+  const auto sink = static_cast<NodeId>(0);
+  for (std::size_t s = 1; s < n_stations; ++s) {
+    FlowSpec report;
+    report.id = next_flow++;
+    report.src = static_cast<NodeId>(s);
+    report.dst = sink;
+    report.cls = TrafficClass::kRealTime;
+    report.kind = ArrivalKind::kCbr;
+    report.period_slots = static_cast<double>(report_period_slots);
+    report.deadline_slots = rt_deadline_slots;
+    // Stagger phases so reports do not all collide on one slot.
+    report.start_slot = static_cast<std::int64_t>(s) *
+                        (report_period_slots /
+                         static_cast<std::int64_t>(n_stations));
+    workload.flows.push_back(report);
+
+    FlowSpec log_upload;
+    log_upload.id = next_flow++;
+    log_upload.src = static_cast<NodeId>(s);
+    log_upload.dst = sink;
+    log_upload.cls = TrafficClass::kBestEffort;
+    log_upload.kind = ArrivalKind::kPoisson;
+    log_upload.rate_per_slot = 0.01;
+    workload.flows.push_back(log_upload);
+  }
+  return workload;
+}
+
+}  // namespace wrt::traffic

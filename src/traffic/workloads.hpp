@@ -1,0 +1,51 @@
+// Ready-made workload mixes for the scenarios the paper motivates
+// (Section 1: "from university campus to airport lounge, from conference
+// site to coffee store").  Each builder returns the flow specs and traces
+// for one station population; experiments attach them to either MAC engine
+// so comparisons always run the same offered load.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/trace.hpp"
+#include "traffic/traffic.hpp"
+
+namespace wrt::traffic {
+
+/// A complete station workload: stochastic flows plus replayable traces.
+struct Workload {
+  std::vector<FlowSpec> flows;
+  struct BoundTrace {
+    Trace trace;
+    FlowId flow;
+    NodeId src;
+    NodeId dst;
+    std::int64_t deadline_slots;
+  };
+  std::vector<BoundTrace> traces;
+
+  /// Mean offered load of everything, packets/slot.
+  [[nodiscard]] double offered_load() const;
+};
+
+/// Conference site: every attendee runs a voice spurt trace to the
+/// opposite station and light bursty browsing to a neighbour.
+[[nodiscard]] Workload conference(std::size_t n_stations,
+                                  std::int64_t rt_deadline_slots,
+                                  Tick horizon, std::uint64_t seed);
+
+/// Airport lounge: a few video (GOP) watchers, many bursty web users.
+[[nodiscard]] Workload lounge(std::size_t n_stations,
+                              std::size_t n_video,
+                              std::int64_t rt_deadline_slots,
+                              std::uint64_t seed);
+
+/// Sensor/industrial floor: periodic tiny RT reports from everyone plus a
+/// sink-directed best-effort trickle — the classic delay-bounded control
+/// traffic profile.
+[[nodiscard]] Workload sensor_floor(std::size_t n_stations,
+                                    std::int64_t report_period_slots,
+                                    std::int64_t rt_deadline_slots);
+
+}  // namespace wrt::traffic

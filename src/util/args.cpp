@@ -1,0 +1,85 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+namespace wrt::util {
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    token = token.substr(2);
+    const auto equals = token.find('=');
+    if (equals != std::string::npos) {
+      values_[token.substr(0, equals)] = token.substr(equals + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[i + 1];
+      ++i;
+    } else {
+      values_[token] = "";
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.contains(name);
+}
+
+std::int64_t Args::get_int(const std::string& name,
+                           std::int64_t fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Args::get_string(const std::string& name,
+                             std::string fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second;
+}
+
+std::vector<std::int64_t> Args::get_int_list(
+    const std::string& name, std::vector<std::int64_t> fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  std::vector<std::int64_t> result;
+  std::size_t start = 0;
+  const std::string& text = it->second;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string piece =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!piece.empty()) {
+      result.push_back(std::strtoll(piece.c_str(), nullptr, 10));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return result.empty() ? fallback : result;
+}
+
+std::vector<std::string> Args::unknown_flags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    if (!queried_.contains(name)) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace wrt::util

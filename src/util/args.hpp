@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for benches and examples.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` forms; every
+// experiment binary keeps its defaults (so `for b in bench/*; do $b; done`
+// reproduces the recorded tables) while letting a user re-run any sweep
+// with different sizes, seeds or horizons.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wrt::util {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  /// True when the flag appeared (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string fallback) const;
+
+  /// Comma-separated integer list, e.g. --sizes 4,8,16.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name, std::vector<std::int64_t> fallback) const;
+
+  /// Flags that were passed but never queried (typo detection).
+  [[nodiscard]] std::vector<std::string> unknown_flags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace wrt::util

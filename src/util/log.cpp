@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace wrt::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogSink> g_sink{nullptr};
+
+void default_sink(LogLevel level, const std::string& message) {
+  std::cerr << '[' << to_string(level) << "] " << message << '\n';
+}
+
+}  // namespace
+
+std::string to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void set_log_sink(LogSink sink) noexcept { g_sink.store(sink); }
+
+bool detail::enabled(LogLevel level) noexcept {
+  return level >= g_level.load(std::memory_order_relaxed);
+}
+
+void log(LogLevel level, const std::string& message) {
+  if (!detail::enabled(level)) return;
+  if (LogSink sink = g_sink.load()) {
+    sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+}  // namespace wrt::util

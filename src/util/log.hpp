@@ -1,0 +1,42 @@
+// Lightweight levelled logging.
+//
+// Protocol engines log topology events (joins, leaves, SAT loss/recovery) at
+// kInfo and per-slot detail at kTrace.  The sink is a free function pointer
+// so tests can capture output and benches can silence it without touching
+// global iostream state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wrt::util {
+
+enum class LogLevel : std::uint8_t {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] std::string to_string(LogLevel level);
+
+/// Sink callback: receives the level and the fully formatted message.
+using LogSink = void (*)(LogLevel, const std::string&);
+
+/// Sets the global minimum level (default kWarn: simulations are quiet).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Replaces the sink; nullptr restores the default (stderr) sink.
+void set_log_sink(LogSink sink) noexcept;
+
+/// Emits `message` if `level` >= the global minimum.
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+[[nodiscard]] bool enabled(LogLevel level) noexcept;
+}  // namespace detail
+
+}  // namespace wrt::util

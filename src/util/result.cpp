@@ -1,0 +1,27 @@
+#include "util/result.hpp"
+
+namespace wrt::util {
+
+std::string to_string(Error::Code code) {
+  switch (code) {
+    case Error::Code::kInvalidArgument:
+      return "invalid-argument";
+    case Error::Code::kAdmissionRejected:
+      return "admission-rejected";
+    case Error::Code::kNotReachable:
+      return "not-reachable";
+    case Error::Code::kNoRingPossible:
+      return "no-ring-possible";
+    case Error::Code::kNotFound:
+      return "not-found";
+    case Error::Code::kProtocolViolation:
+      return "protocol-violation";
+    case Error::Code::kCapacityExceeded:
+      return "capacity-exceeded";
+    case Error::Code::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+}  // namespace wrt::util

@@ -1,0 +1,118 @@
+// Minimal Result<T> error-handling vocabulary (std::expected is C++23; this
+// project targets C++20).  Protocol operations that can fail for expected,
+// recoverable reasons (admission rejected, join refused, no ring possible)
+// return Result<T> rather than throwing; exceptions are reserved for
+// programming errors.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace wrt::util {
+
+/// A failure description: machine-checkable code plus human message.
+struct Error {
+  enum class Code {
+    kInvalidArgument,
+    kAdmissionRejected,
+    kNotReachable,
+    kNoRingPossible,
+    kNotFound,
+    kProtocolViolation,
+    kCapacityExceeded,
+    kTimeout,
+  };
+
+  Code code = Code::kInvalidArgument;
+  std::string message;
+
+  [[nodiscard]] static Error invalid_argument(std::string msg) {
+    return {Code::kInvalidArgument, std::move(msg)};
+  }
+  [[nodiscard]] static Error admission_rejected(std::string msg) {
+    return {Code::kAdmissionRejected, std::move(msg)};
+  }
+  [[nodiscard]] static Error not_reachable(std::string msg) {
+    return {Code::kNotReachable, std::move(msg)};
+  }
+  [[nodiscard]] static Error no_ring_possible(std::string msg) {
+    return {Code::kNoRingPossible, std::move(msg)};
+  }
+  [[nodiscard]] static Error not_found(std::string msg) {
+    return {Code::kNotFound, std::move(msg)};
+  }
+  [[nodiscard]] static Error protocol_violation(std::string msg) {
+    return {Code::kProtocolViolation, std::move(msg)};
+  }
+  [[nodiscard]] static Error capacity_exceeded(std::string msg) {
+    return {Code::kCapacityExceeded, std::move(msg)};
+  }
+  [[nodiscard]] static Error timeout(std::string msg) {
+    return {Code::kTimeout, std::move(msg)};
+  }
+};
+
+[[nodiscard]] std::string to_string(Error::Code code);
+
+/// Result<T>: either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}             // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const Error& error() const& {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> specialisation-equivalent for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), ok_(false) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Status success() { return {}; }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok_);
+    return error_;
+  }
+
+ private:
+  Error error_{};
+  bool ok_ = true;
+};
+
+}  // namespace wrt::util

@@ -1,0 +1,17 @@
+#include "util/types.hpp"
+
+namespace wrt {
+
+std::string to_string(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kRealTime:
+      return "real-time";
+    case TrafficClass::kAssured:
+      return "assured";
+    case TrafficClass::kBestEffort:
+      return "best-effort";
+  }
+  return "unknown";
+}
+
+}  // namespace wrt

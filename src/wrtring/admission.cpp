@@ -1,0 +1,159 @@
+#include "wrtring/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace wrt::wrtring {
+
+AdmissionController::AdmissionController(Engine* engine,
+                                         analysis::AllocationScheme scheme,
+                                         std::int64_t l_budget,
+                                         std::uint32_t k_per_station)
+    : engine_(engine),
+      scheme_(scheme),
+      l_budget_(l_budget),
+      k_per_station_(k_per_station) {}
+
+util::Result<std::size_t> AdmissionController::station_index(
+    NodeId station) const {
+  const auto& ring = engine_->virtual_ring();
+  if (!ring.contains(station)) {
+    return util::Error::not_found("station not in ring");
+  }
+  return ring.position_of(station);
+}
+
+analysis::AllocationInput AdmissionController::build_input(
+    const SessionRequest* extra) const {
+  analysis::AllocationInput input;
+  const analysis::RingParams current = engine_->ring_params();
+  input.ring_latency_slots = current.ring_latency_slots;
+  input.t_rap_slots = current.t_rap_slots;
+  input.k_per_station = k_per_station_;
+  input.total_l_budget = l_budget_;
+
+  // Aggregate sessions per station into one conservative requirement:
+  // the combined rate at the tightest period and the tightest deadline.
+  struct Aggregate {
+    double rate = 0.0;  // packets per slot
+    std::int64_t min_period = std::numeric_limits<std::int64_t>::max();
+    std::int64_t min_deadline = std::numeric_limits<std::int64_t>::max();
+  };
+  std::map<NodeId, Aggregate> per_station;
+  const auto fold = [&per_station](const SessionRequest& session) {
+    auto& agg = per_station[session.station];
+    agg.rate += static_cast<double>(session.packets_per_period) /
+                static_cast<double>(session.period_slots);
+    agg.min_period = std::min(agg.min_period, session.period_slots);
+    agg.min_deadline = std::min(agg.min_deadline, session.deadline_slots);
+  };
+  for (const auto& [flow, session] : sessions_) fold(session);
+  if (extra != nullptr) fold(*extra);
+
+  for (const auto& [station, agg] : per_station) {
+    const auto index = station_index(station);
+    if (!index.ok()) continue;  // station left; on_station_left will purge
+    analysis::RtRequirement requirement;
+    requirement.station = index.value();
+    requirement.period_slots = agg.min_period;
+    requirement.packets_per_period = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::ceil(agg.rate * static_cast<double>(agg.min_period))));
+    requirement.deadline_slots = agg.min_deadline;
+    input.flows.push_back(requirement);
+  }
+  return input;
+}
+
+util::Result<analysis::RingParams> AdmissionController::try_allocate(
+    const SessionRequest* extra) {
+  const analysis::AllocationInput input = build_input(extra);
+  const std::size_t n = engine_->virtual_ring().size();
+  auto params = analysis::allocate(scheme_, input, n);
+  if (!params.ok()) return params.error();
+  if (const auto feasible =
+          analysis::check_feasibility(params.value(), input.flows);
+      !feasible.ok()) {
+    return feasible.error();
+  }
+  // Apply: the MAC now enforces exactly the quotas the analysis certified.
+  for (std::size_t p = 0; p < n; ++p) {
+    engine_->set_station_quota(engine_->virtual_ring().station_at(p),
+                               params.value().quotas[p]);
+  }
+  return params;
+}
+
+util::Result<Quota> AdmissionController::admit(const SessionRequest& request) {
+  if (request.flow == kInvalidFlow || sessions_.contains(request.flow)) {
+    return util::Error::invalid_argument("bad or duplicate flow id");
+  }
+  if (request.period_slots <= 0 || request.packets_per_period <= 0 ||
+      request.deadline_slots <= 0) {
+    return util::Error::invalid_argument("session needs positive P, C, D");
+  }
+  const auto index = station_index(request.station);
+  if (!index.ok()) return index.error();
+
+  auto params = try_allocate(&request);
+  if (!params.ok()) {
+    // Restore the allocation without the rejected request (quotas were not
+    // touched on failure, but rebalance keeps the invariant obvious).
+    return params.error();
+  }
+  sessions_[request.flow] = request;
+  return params.value().quotas[index.value()];
+}
+
+util::Status AdmissionController::release(FlowId flow) {
+  if (sessions_.erase(flow) == 0) {
+    return util::Error::not_found("unknown session");
+  }
+  return rebalance();
+}
+
+std::size_t AdmissionController::on_station_left(NodeId station) {
+  std::size_t dropped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.station == station) {
+      it = sessions_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  (void)rebalance();
+  return dropped;
+}
+
+util::Status AdmissionController::rebalance() {
+  if (sessions_.empty()) return util::Status::success();
+  const auto params = try_allocate(nullptr);
+  if (!params.ok()) return params.error();
+  return util::Status::success();
+}
+
+void AdmissionController::bind_membership_events() {
+  engine_->set_membership_callback([this](NodeId node, bool joined) {
+    if (joined) {
+      (void)rebalance();
+    } else {
+      (void)on_station_left(node);
+    }
+  });
+}
+
+util::Result<std::int64_t> AdmissionController::guaranteed_delay(
+    FlowId flow) const {
+  const auto it = sessions_.find(flow);
+  if (it == sessions_.end()) return util::Error::not_found("unknown session");
+  const auto index = station_index(it->second.station);
+  if (!index.ok()) return index.error();
+  const analysis::RingParams params = engine_->ring_params();
+  return analysis::access_time_bound(params, index.value(),
+                                     it->second.packets_per_period - 1);
+}
+
+}  // namespace wrt::wrtring

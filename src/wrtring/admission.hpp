@@ -1,0 +1,102 @@
+// Admission control for real-time sessions.
+//
+// Section 2.4.1: "After receiving the permission, the station specifies its
+// QoS traffic requirements and the network checks if the requirements can
+// be satisfied."  This module is that check, generalised to session
+// (dis)establishment at any time: it keeps the registry of admitted
+// real-time flows — (period P, packets-per-period C, deadline D) per
+// station — picks station quotas with one of the FDDI-style allocation
+// schemes (analysis::allocate), and accepts a new flow only if a feasible
+// allocation exists for the whole registry including the newcomer
+// (Theorem-3 test, analysis::check_feasibility).
+//
+// On acceptance the controller pushes the recomputed quotas into the
+// engine, so the MAC's behaviour always matches the analytical guarantees
+// it handed out.  The quota freed by a leaving or failed station is
+// re-assigned the same way ("the transmission quota assigned to station i
+// can be re-assigned to all the other station", Section 2.5).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "analysis/allocation.hpp"
+#include "util/result.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt::wrtring {
+
+struct SessionRequest {
+  FlowId flow = kInvalidFlow;
+  NodeId station = kInvalidNode;
+  std::int64_t period_slots = 0;        ///< P
+  std::int64_t packets_per_period = 1;  ///< C
+  std::int64_t deadline_slots = 0;      ///< D
+};
+
+class AdmissionController {
+ public:
+  /// `engine` must outlive the controller.  `l_budget` is the total
+  /// real-time quota the ring is willing to hand out per SAT round;
+  /// `k_per_station` is the fixed best-effort quota.
+  AdmissionController(Engine* engine, analysis::AllocationScheme scheme,
+                      std::int64_t l_budget, std::uint32_t k_per_station);
+
+  /// Tries to admit a session: recomputes the allocation over all admitted
+  /// flows plus the request and accepts iff the result is feasible.  On
+  /// success the engine's quotas are updated and the reserved quota is
+  /// returned.
+  [[nodiscard]] util::Result<Quota> admit(const SessionRequest& request);
+
+  /// Releases a session; the freed quota is redistributed on the next
+  /// admit/rebalance.
+  [[nodiscard]] util::Status release(FlowId flow);
+
+  /// Drops every session owned by a station that left the ring and
+  /// redistributes quotas among the survivors.  Returns the number of
+  /// sessions dropped.
+  std::size_t on_station_left(NodeId station);
+
+  /// Recomputes and applies the allocation for the current registry;
+  /// exposed for callers that changed the ring externally.
+  [[nodiscard]] util::Status rebalance();
+
+  /// Subscribes to the engine's membership notifications so departures
+  /// (cut-outs, leaves, rebuild exclusions) drop their sessions and joins
+  /// trigger a rebalance automatically.  The controller must outlive the
+  /// engine's use of the callback.
+  void bind_membership_events();
+
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return sessions_.size();
+  }
+  [[nodiscard]] bool has_session(FlowId flow) const {
+    return sessions_.contains(flow);
+  }
+
+  /// Worst-case access delay currently guaranteed to `flow` (Theorem 3
+  /// under the applied allocation); kNotFound if the flow is unknown.
+  [[nodiscard]] util::Result<std::int64_t> guaranteed_delay(FlowId flow) const;
+
+ private:
+  /// Builds the allocation input from the registry (aggregating flows that
+  /// share a station) plus an optional extra request.
+  [[nodiscard]] analysis::AllocationInput build_input(
+      const SessionRequest* extra) const;
+
+  /// Station index in ring order for the analysis vectors.
+  [[nodiscard]] util::Result<std::size_t> station_index(NodeId station) const;
+
+  /// Runs the scheme and feasibility test; on success applies quotas to the
+  /// engine and returns the per-station params.
+  [[nodiscard]] util::Result<analysis::RingParams> try_allocate(
+      const SessionRequest* extra);
+
+  Engine* engine_;
+  analysis::AllocationScheme scheme_;
+  std::int64_t l_budget_;
+  std::uint32_t k_per_station_;
+  std::map<FlowId, SessionRequest> sessions_;
+};
+
+}  // namespace wrt::wrtring

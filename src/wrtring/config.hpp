@@ -1,0 +1,100 @@
+// WRT-Ring protocol configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace wrt::wrtring {
+
+/// When stations open Random Access Periods (Section 2.4.1).
+enum class RapPolicy : std::uint8_t {
+  kDisabled,  ///< no RAP, T_rap = 0 (closed network; pure Section 2.6 bounds)
+  kRotating,  ///< every station RAPs when eligible (mutex + S_round fairness)
+};
+
+struct Config {
+  /// Default per-station quota (l real-time, k non-real-time packets per
+  /// SAT round, Section 2.2).  Overridden per station by `station_quotas`
+  /// when non-empty (index = ring-construction order).
+  Quota default_quota{1, 1};
+  std::vector<Quota> station_quotas;
+
+  /// When non-empty, the engine rings exactly these stations rather than
+  /// every alive node — used by MultiRingCoordinator to run several
+  /// independent rings over one topology (the Section-2.4.1 "may form
+  /// another ring" case).  Re-formation after failures stays within this
+  /// member set.
+  std::vector<NodeId> members;
+
+  /// Diffserv split of k (Section 2.3): k1 packets of the k quota are
+  /// reserved for Assured traffic, the rest (k2 = k - k1) for best-effort.
+  /// k1 = 0 disables the split (plain two-class WRT-Ring).
+  std::uint32_t k1_assured = 0;
+
+  /// Data-frame per-hop latency in slots (>= 1).  The SAT inherits this
+  /// unless `sat_hop_latency_slots` > 0.  Ring latency S = N * hop latency.
+  std::int64_t hop_latency_slots = 1;
+  std::int64_t sat_hop_latency_slots = 0;  ///< 0 = same as hop_latency_slots
+
+  /// RAP timing (Section 2.4.1): T_rap = T_ear + T_update.  T_ear must be
+  /// >= 3 slots for the NEXT_FREE / JOIN_REQ / JOIN_ACK exchange.
+  RapPolicy rap_policy = RapPolicy::kDisabled;
+  std::int64_t t_ear_slots = 4;
+  std::int64_t t_update_slots = 2;
+
+  /// Minimum SAT rounds a station waits between its RAPs; the paper
+  /// requires S_round(i) >= N; 0 means "track the current ring size".
+  std::int64_t s_round_min = 0;
+
+  /// SAT-loss timer (Section 2.5).  0 = derive automatically from the
+  /// Theorem 1 bound for the current ring parameters.
+  std::int64_t sat_timeout_slots = 0;
+
+  /// Modelled cost of a full ring re-formation after an unrecoverable SAT
+  /// loss: base + per_station * N slots of network downtime.
+  std::int64_t rebuild_base_slots = 8;
+  std::int64_t rebuild_per_station_slots = 2;
+
+  /// Per-station queue capacity per class (packets); arrivals beyond this
+  /// are dropped and recorded.
+  std::size_t queue_capacity = 4096;
+
+  /// When true, every data-slot transmission is resolved through the full
+  /// CDMA interference model (O(N^2) per slot; used by fidelity tests and
+  /// the Figure-1 bench).  When false, the distance-2 code-assignment
+  /// invariant is checked once and per-hop delivery is direct.
+  bool cdma_fidelity = false;
+
+  /// Channel imperfection injection: independent per-hop loss probability
+  /// for data frames and for the SAT control signal.  A lost SAT triggers
+  /// the full Section-2.5 machinery (detection, SAT_REC, cut-out), so this
+  /// models the "control signal can be frequently lost" wireless regime
+  /// the Section-3.3 reaction-time comparison worries about.
+  double frame_loss_prob = 0.0;
+  double sat_loss_prob = 0.0;
+
+  /// A healthy station cut out by a spurious SAT_REC (the paper blames the
+  /// detector's predecessor, which may be innocent after a transient loss)
+  /// immediately starts the Section-2.4.1 join procedure again when this
+  /// is set and a RAP policy is active.
+  bool auto_rejoin = false;
+
+  [[nodiscard]] std::int64_t effective_sat_hop_latency() const noexcept {
+    return sat_hop_latency_slots > 0 ? sat_hop_latency_slots
+                                     : hop_latency_slots;
+  }
+
+  [[nodiscard]] std::int64_t t_rap_slots() const noexcept {
+    return rap_policy == RapPolicy::kDisabled ? 0
+                                              : t_ear_slots + t_update_slots;
+  }
+
+  /// Rejects configurations the protocol cannot run correctly (checked by
+  /// Engine::init before anything else).
+  [[nodiscard]] util::Status validate() const;
+};
+
+}  // namespace wrt::wrtring

@@ -1,0 +1,922 @@
+#include "wrtring/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace wrt::wrtring {
+
+namespace {
+constexpr std::size_t kArrivalHistoryCap = 64;
+}  // namespace
+
+Engine::Engine(phy::Topology* topology, Config config, std::uint64_t seed)
+    : topology_(topology),
+      config_(std::move(config)),
+      seed_(seed),
+      loss_rng_(seed, 0x1055) {
+  assert(topology_ != nullptr);
+  assert(config_.hop_latency_slots >= 1);
+}
+
+util::Status Engine::init() {
+  assert(!initialised_);
+  if (const auto valid = config_.validate(); !valid.ok()) return valid;
+  auto ring_result =
+      config_.members.empty()
+          ? ring::build_ring(*topology_)
+          : ring::build_ring_over(*topology_, config_.members);
+  if (!ring_result.ok()) return ring_result.error();
+  ring_ = std::move(ring_result.value());
+
+  assign_codes();
+  if (!cdma::verify_two_hop_distinct(*topology_, codes_)) {
+    return util::Error::protocol_violation(
+        "CDMA code assignment violates the distance-2 condition");
+  }
+
+  for (std::size_t p = 0; p < ring_.size(); ++p) {
+    setup_station(ring_.station_at(p), quota_for_position(p));
+  }
+  links_.assign(ring_.size(), {});
+  transit_regs_.assign(ring_.size(), {});
+  rotation_anchor_ = ring_.station_at(0);
+
+  if (config_.cdma_fidelity) {
+    channel_ = std::make_unique<cdma::Channel<traffic::Packet>>(topology_);
+    for (std::size_t p = 0; p < ring_.size(); ++p) {
+      const NodeId node = ring_.station_at(p);
+      channel_->set_listen_codes(node, {codes_[node], kBroadcastCode});
+    }
+  }
+
+  initialised_ = true;
+  launch_sat(ring_.station_at(0));
+  return util::Status::success();
+}
+
+void Engine::assign_codes() {
+  codes_ = cdma::assign_greedy_two_hop(*topology_);
+}
+
+Quota Engine::quota_for_position(std::size_t position) const {
+  if (position < config_.station_quotas.size()) {
+    return config_.station_quotas[position];
+  }
+  return config_.default_quota;
+}
+
+void Engine::setup_station(NodeId node, Quota quota) {
+  stations_.emplace(node,
+                    Station(node, quota, config_.k1_assured,
+                            config_.queue_capacity));
+  PerStationControl control;
+  control.last_sat_arrival = now_;
+  control_[node] = std::move(control);
+}
+
+void Engine::remove_station_state(NodeId node) {
+  if (auto it = stations_.find(node); it != stations_.end()) {
+    it->second.clear_queues();
+    stations_.erase(it);
+  }
+  control_.erase(node);
+}
+
+CdmaCode Engine::allocate_code_for(NodeId node) const {
+  std::set<CdmaCode> used;
+  for (const NodeId other : cdma::two_hop_neighbors(*topology_, node)) {
+    if (other < codes_.size() && codes_[other] != kInvalidCode) {
+      used.insert(codes_[other]);
+    }
+  }
+  CdmaCode code = 1;
+  while (used.contains(code)) ++code;
+  return code;
+}
+
+const Station& Engine::station(NodeId node) const {
+  const auto it = stations_.find(node);
+  if (it == stations_.end()) {
+    throw std::out_of_range("Engine::station: node not in ring");
+  }
+  return it->second;
+}
+
+void Engine::set_station_quota(NodeId node, Quota quota) {
+  const auto it = stations_.find(node);
+  if (it == stations_.end()) {
+    throw std::out_of_range("Engine::set_station_quota: node not in ring");
+  }
+  it->second.set_quota(quota);
+}
+
+void Engine::set_station_split(NodeId node, std::uint32_t k1_assured) {
+  const auto it = stations_.find(node);
+  if (it == stations_.end()) {
+    throw std::out_of_range("Engine::set_station_split: node not in ring");
+  }
+  if (k1_assured > it->second.quota().k) {
+    throw std::invalid_argument(
+        "Engine::set_station_split: k1 exceeds the station's k quota");
+  }
+  it->second.set_k1_assured(k1_assured);
+}
+
+analysis::RingParams Engine::ring_params() const {
+  analysis::RingParams params;
+  params.ring_latency_slots = static_cast<std::int64_t>(ring_.size()) *
+                              config_.effective_sat_hop_latency();
+  params.t_rap_slots = config_.t_rap_slots();
+  params.quotas.reserve(ring_.size());
+  for (std::size_t p = 0; p < ring_.size(); ++p) {
+    params.quotas.push_back(station(ring_.station_at(p)).quota());
+  }
+  return params;
+}
+
+const std::deque<Tick>& Engine::sat_arrival_history(NodeId node) const {
+  static const std::deque<Tick> kEmpty;
+  const auto it = control_.find(node);
+  return it == control_.end() ? kEmpty : it->second.arrival_history;
+}
+
+bool Engine::admission_allows(Quota extra) const {
+  if (max_sat_time_goal_ <= 0) return true;
+  analysis::RingParams params = ring_params();
+  params.ring_latency_slots += config_.effective_sat_hop_latency();
+  params.quotas.push_back(extra);
+  return analysis::sat_time_bound(params) <= max_sat_time_goal_;
+}
+
+// ---------------------------------------------------------------------------
+// Traffic
+// ---------------------------------------------------------------------------
+
+void Engine::add_source(const traffic::FlowSpec& spec) {
+  sources_.push_back(
+      {traffic::TrafficSource(spec, seed_ ^ (0xABCD1234u + spec.id)),
+       spec.src});
+}
+
+void Engine::add_saturated_source(const traffic::FlowSpec& spec,
+                                  std::size_t backlog) {
+  saturated_.push_back({traffic::SaturatedSource(spec), spec.src, backlog});
+}
+
+void Engine::add_trace_source(traffic::Trace trace, FlowId flow, NodeId src,
+                              NodeId dst, std::int64_t deadline_slots) {
+  traces_.push_back(
+      {traffic::TraceSource(std::move(trace), flow, src, dst, deadline_slots),
+       src});
+}
+
+bool Engine::inject_packet(traffic::Packet packet) {
+  const auto it = stations_.find(packet.src);
+  if (it == stations_.end()) return false;
+  return it->second.enqueue(std::move(packet));
+}
+
+void Engine::poll_traffic() {
+  for (auto& bound : sources_) {
+    arrival_scratch_.clear();
+    bound.source.poll(now_, arrival_scratch_);
+    const auto it = stations_.find(bound.station);
+    for (auto& packet : arrival_scratch_) {
+      if (it == stations_.end() || !it->second.enqueue(std::move(packet))) {
+        stats_.sink.record_drop(packet);
+      }
+    }
+  }
+  for (auto& bound : traces_) {
+    arrival_scratch_.clear();
+    bound.source.poll(now_, arrival_scratch_);
+    const auto it = stations_.find(bound.station);
+    for (auto& packet : arrival_scratch_) {
+      if (it == stations_.end() || !it->second.enqueue(std::move(packet))) {
+        stats_.sink.record_drop(packet);
+      }
+    }
+  }
+  for (auto& bound : saturated_) {
+    const auto it = stations_.find(bound.station);
+    if (it == stations_.end()) continue;
+    const std::size_t depth =
+        it->second.queue_depth(bound.source.spec().cls);
+    if (depth < bound.backlog) {
+      for (auto& packet : bound.source.take(now_, bound.backlog - depth)) {
+        it->second.enqueue(std::move(packet));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+void Engine::step() {
+  assert(initialised_);
+
+  if (sat_state_ == SatState::kRebuilding) {
+    if (now_ >= rebuild_done_) {
+      finish_rebuild();
+    }
+  }
+
+  poll_traffic();
+  rap_step();
+  if (sat_state_ != SatState::kRebuilding) {
+    data_plane_step();
+    sat_plane_step();
+    check_sat_timers();
+  }
+
+  now_ += kTicksPerSlot;
+}
+
+void Engine::run_slots(std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) step();
+}
+
+bool Engine::data_allowed() const noexcept {
+  // Section 2.4.1: during the RAP "transmissions are not allowed and hence
+  // the network is idle" — no new injections (transit keeps draining).
+  return !in_rap() && sat_state_ != SatState::kRebuilding;
+}
+
+// ---------------------------------------------------------------------------
+// Data plane
+// ---------------------------------------------------------------------------
+
+void Engine::deliver(LinkFrame& frame, NodeId at) {
+  stats_.sink.record_delivery(frame.packet, now_);
+  (void)at;
+}
+
+void Engine::data_plane_step() {
+  const std::size_t R = ring_.size();
+  if (R == 0) return;
+  const Tick hop_ticks = slots_to_ticks(config_.hop_latency_slots);
+
+  if (config_.cdma_fidelity) channel_->begin_slot(now_);
+
+  // Phase 1: arrivals.  A frame sent last slot reaches the next station now;
+  // the destination absorbs it (destination release, enabling spatial
+  // reuse), everything else becomes this slot's transit load.
+  if (transit_regs_.size() != R) transit_regs_.resize(R);
+  for (std::size_t p = 0; p < R; ++p) {
+    const std::size_t upstream = (p + R - 1) % R;
+    auto& link = links_[upstream];
+    if (link.empty() || link.front().arrival > now_) continue;
+    LinkFrame frame = std::move(link.front());
+    link.pop_front();
+    const NodeId here = ring_.station_at(p);
+    if (!topology_->alive(here)) {
+      ++stats_.frames_lost_link;
+      continue;
+    }
+    if (frame.packet.dst == here) {
+      deliver(frame, here);
+      continue;
+    }
+    ++frame.hops;
+    if (frame.hops > R + 1) {
+      // Destination is no longer a ring member; purge the stale frame.
+      ++stats_.frames_dropped_stale;
+      stats_.sink.record_drop(frame.packet);
+      continue;
+    }
+    transit_regs_[p] = std::move(frame);
+    transit_regs_[p].busy = true;
+  }
+
+  // Phase 2: transmissions.  A slot carrying transit is forwarded in the
+  // same slot time (the slot structure rotates one position per slot); an
+  // empty slot may be filled by a local packet per the Send algorithm.
+  std::size_t busy_links_now = 0;
+  for (std::size_t p = 0; p < R; ++p) {
+    const NodeId sender = ring_.station_at(p);
+    const NodeId receiver = ring_.station_at(p + 1);
+    LinkFrame out;
+    if (transit_regs_[p].busy) {
+      out = std::move(transit_regs_[p]);
+      transit_regs_[p].busy = false;
+      ++stats_.transit_forwards;
+    } else if (data_allowed() && topology_->alive(sender)) {
+      auto it = stations_.find(sender);
+      if (it != stations_.end()) {
+        if (const auto cls = it->second.eligible_class()) {
+          traffic::Packet packet = it->second.take_for_transmit(*cls);
+          const double delay = ticks_to_slots_real(now_ - packet.created);
+          stats_.access_delay_slots.add(delay);
+          if (packet.cls == TrafficClass::kRealTime) {
+            stats_.rt_access_delay_slots.add(delay);
+          }
+          ++stats_.data_transmissions;
+          out.packet = std::move(packet);
+          out.entered_ring = now_;
+          out.hops = 0;
+          out.busy = true;
+        }
+      }
+    }
+    if (!out.busy) continue;
+
+    if (!topology_->reachable(sender, receiver)) {
+      ++stats_.frames_lost_link;
+      continue;
+    }
+    if (config_.frame_loss_prob > 0.0 &&
+        loss_rng_.bernoulli(config_.frame_loss_prob)) {
+      ++stats_.frames_lost_link;
+      continue;
+    }
+    if (config_.cdma_fidelity) {
+      // Fidelity mode also exercises the wire format: every hop's header
+      // is serialised and re-parsed exactly as a receiver would.
+      const auto decoded =
+          ring::decode_header(ring::encode_packet_header(out.packet));
+      if (!decoded.has_value()) ++stats_.header_decode_failures;
+      channel_->transmit(sender, codes_[receiver], out.packet);
+    }
+    out.arrival = now_ + hop_ticks;
+    links_[p].push_back(std::move(out));
+    ++busy_links_now;
+  }
+  stats_.busy_links.update(
+      now_, static_cast<double>(busy_links_now) / static_cast<double>(R));
+
+  if (config_.cdma_fidelity) {
+    stats_.cdma_collisions += channel_->end_slot();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SAT plane
+// ---------------------------------------------------------------------------
+
+void Engine::launch_sat(NodeId at) {
+  sat_ = SatSignal{};
+  sat_state_ = SatState::kHeld;
+  sat_location_ = at;
+  sat_lost_at_ = kNeverTick;
+  for (auto& [node, control] : control_) {
+    control.last_sat_arrival = now_;
+  }
+  trace_.record(sim::EventKind::kSatLaunched, now_, at);
+  sat_arrive(at);
+}
+
+void Engine::record_rotation(NodeId node, Tick arrival) {
+  auto& control = control_[node];
+  if (control.last_rotation_arrival != kNeverTick) {
+    const double rotation =
+        ticks_to_slots_real(arrival - control.last_rotation_arrival);
+    stats_.sat_rotation_slots.add(rotation);
+  }
+  control.last_rotation_arrival = arrival;
+  control.arrival_history.push_back(arrival);
+  if (control.arrival_history.size() > kArrivalHistoryCap) {
+    control.arrival_history.pop_front();
+  }
+  if (node == rotation_anchor_) ++stats_.sat_rounds;
+}
+
+void Engine::sat_arrive(NodeId at) {
+  auto control_it = control_.find(at);
+  if (control_it == control_.end() || !topology_->alive(at)) {
+    // Arrived at a station that just vanished: the signal is lost here.
+    sat_state_ = SatState::kLost;
+    if (sat_lost_at_ == kNeverTick) sat_lost_at_ = now_;
+    return;
+  }
+  auto& control = control_it->second;
+  control.last_sat_arrival = now_;
+  record_rotation(at, now_);
+
+  if (sat_.is_rec && at == sat_.rec_origin) {
+    // Section 2.5: the SAT_REC made it back — the ring is re-established;
+    // substitute it with a plain SAT.
+    if (sat_.graceful_leave) {
+      ++stats_.leaves_completed;
+      trace_.record(sim::EventKind::kLeaveCompleted, now_, at,
+                    sat_.rec_failed);
+    } else {
+      ++stats_.sat_recoveries;
+      if (sat_lost_at_ != kNeverTick) {
+        stats_.recovery_total_slots.add(
+            ticks_to_slots_real(now_ - sat_lost_at_));
+      }
+      trace_.record(sim::EventKind::kRecovered, now_, at, sat_.rec_failed);
+    }
+    sat_.is_rec = false;
+    sat_.rec_origin = kInvalidNode;
+    sat_.rec_failed = kInvalidNode;
+    sat_.graceful_leave = false;
+    sat_lost_at_ = kNeverTick;
+    rec_deadline_ = kNeverTick;
+  }
+
+  // RAP mutex: the owner clears the flag when the SAT completes the round.
+  if (sat_.rap_owner == at) sat_.rap_owner = kInvalidNode;
+
+  // Graceful leave: the successor of a leaving station converts the SAT
+  // into a SAT_REC (Section 2.4.2).  A pending leave becomes moot when a
+  // concurrent recovery already cut the leaver out.
+  if (leave_pending_ != kInvalidNode && !ring_.contains(leave_pending_)) {
+    leave_pending_ = kInvalidNode;
+  }
+  if (leave_pending_ != kInvalidNode && !sat_.is_rec &&
+      at == ring_.successor(leave_pending_)) {
+    sat_.is_rec = true;
+    sat_.graceful_leave = true;
+    sat_.rec_origin = at;
+    sat_.rec_failed = leave_pending_;
+    rec_deadline_ = now_ + slots_to_ticks(effective_sat_timeout(at));
+    leave_pending_ = kInvalidNode;
+  }
+
+  // RAP entry (Section 2.4.1): one station per round, guarded by the mutex.
+  if (!sat_.is_rec && sat_.rap_owner == kInvalidNode && !in_rap() &&
+      wants_rap(at)) {
+    begin_rap(at);
+    return;  // SAT held for the duration of the RAP.
+  }
+
+  // SAT algorithm (Section 2.2): forward when satisfied, else hold.
+  sat_location_ = at;
+  auto& station_state = stations_.at(at);
+  if (station_state.satisfied()) {
+    sat_release(at);
+  } else {
+    sat_state_ = SatState::kHeld;
+    sat_hold_started_ = now_;
+  }
+}
+
+void Engine::sat_release(NodeId from) {
+  if (sat_hold_started_ != kNeverTick) {
+    stats_.sat_hold_slots.add(ticks_to_slots_real(now_ - sat_hold_started_));
+    sat_hold_started_ = kNeverTick;
+  }
+  auto& station_state = stations_.at(from);
+  station_state.on_sat_release();
+  auto& control = control_[from];
+  control.last_sat_departure = now_;
+  ++control.rounds_since_rap;
+
+  NodeId target = ring_.successor(from);
+
+  if (sat_.is_rec && target == sat_.rec_failed) {
+    // This station plays the role of i-1: skip the failed station by
+    // addressing i+1 directly with code i+1 (Section 2.5).
+    const NodeId beyond = ring_.successor(target);
+    if (ring_.size() <= 3 || !topology_->reachable(from, beyond)) {
+      // "station i-1 could be too far to directly reach station i+1":
+      // the previous ring is no longer valid.
+      start_rebuild();
+      return;
+    }
+    const NodeId failed = target;
+    const Quota failed_quota = stations_.at(failed).quota();
+    ring_.remove(failed);
+    remove_station_state(failed);
+    drop_in_flight_frames();
+    target = beyond;
+    util::log(util::LogLevel::kInfo,
+              "WRT-Ring: cut out station " + std::to_string(failed));
+    trace_.record(sim::EventKind::kCutOut, now_, from, failed);
+    if (membership_callback_) membership_callback_(failed, false);
+    // A healthy station cut out by a spurious SAT_REC re-enters through the
+    // normal join procedure when configured to.
+    if (config_.auto_rejoin && topology_->alive(failed) &&
+        config_.rap_policy != RapPolicy::kDisabled) {
+      PendingJoin rejoin;
+      rejoin.quota = failed_quota;
+      rejoin.requested_at = now_;
+      pending_joins_[failed] = std::move(rejoin);
+    }
+  }
+
+  if (drop_sat_pending_) {
+    drop_sat_pending_ = false;
+    sat_state_ = SatState::kLost;
+    sat_lost_at_ = now_;
+    trace_.record(sim::EventKind::kSatLost, now_, from, target);
+    return;
+  }
+  if (!topology_->reachable(from, target) ||
+      (config_.sat_loss_prob > 0.0 &&
+       loss_rng_.bernoulli(config_.sat_loss_prob))) {
+    sat_state_ = SatState::kLost;
+    if (sat_lost_at_ == kNeverTick) sat_lost_at_ = now_;
+    trace_.record(sim::EventKind::kSatLost, now_, from, target);
+    return;
+  }
+  sat_state_ = SatState::kInTransit;
+  sat_location_ = target;
+  sat_arrival_tick_ =
+      now_ + slots_to_ticks(config_.effective_sat_hop_latency());
+  ++stats_.sat_hops;
+}
+
+void Engine::sat_plane_step() {
+  switch (sat_state_) {
+    case SatState::kInTransit:
+      if (now_ >= sat_arrival_tick_) sat_arrive(sat_location_);
+      break;
+    case SatState::kHeld: {
+      const NodeId holder = sat_location_;
+      if (in_rap() && holder == rap_ingress_) break;  // held for the RAP
+      const auto it = stations_.find(holder);
+      if (it == stations_.end() || !topology_->alive(holder)) {
+        sat_state_ = SatState::kLost;
+        if (sat_lost_at_ == kNeverTick) sat_lost_at_ = now_;
+        break;
+      }
+      if (it->second.satisfied()) sat_release(holder);
+      break;
+    }
+    case SatState::kLost:
+    case SatState::kRebuilding:
+      break;
+  }
+}
+
+std::int64_t Engine::effective_sat_timeout(NodeId) const {
+  if (config_.sat_timeout_slots > 0) return config_.sat_timeout_slots;
+  return analysis::sat_time_bound(ring_params());
+}
+
+void Engine::check_sat_timers() {
+  if (sat_state_ == SatState::kRebuilding) return;
+
+  // A pending SAT_REC that fails to return within SAT_TIME invalidates the
+  // ring (Section 2.5, last paragraph).
+  if (sat_.is_rec && rec_deadline_ != kNeverTick && now_ > rec_deadline_) {
+    start_rebuild();
+    return;
+  }
+  if (sat_.is_rec) return;  // recovery already in progress
+
+  // Earliest-expiry station detects the loss.  Stations run their timers
+  // independently; the first expiry wins and generates the SAT_REC.
+  NodeId detector = kInvalidNode;
+  Tick earliest = kNeverTick;
+  for (const auto& [node, control] : control_) {
+    if (!topology_->alive(node)) continue;
+    const Tick expiry = control.last_sat_arrival +
+                        slots_to_ticks(effective_sat_timeout(node));
+    if (now_ > expiry && expiry < earliest) {
+      earliest = expiry;
+      detector = node;
+    }
+  }
+  if (detector != kInvalidNode) start_recovery(detector);
+}
+
+void Engine::start_recovery(NodeId detector) {
+  ++stats_.sat_losses_detected;
+  trace_.record(sim::EventKind::kLossDetected, now_, detector,
+                ring_.predecessor(detector));
+  if (sat_lost_at_ != kNeverTick) {
+    stats_.sat_loss_detection_slots.add(
+        ticks_to_slots_real(now_ - sat_lost_at_));
+  }
+  util::log(util::LogLevel::kInfo,
+            "WRT-Ring: SAT loss detected by station " +
+                std::to_string(detector));
+  // Section 2.5: the detector generates SAT_REC naming its predecessor as
+  // the (supposedly) failed station.
+  sat_.is_rec = true;
+  sat_.graceful_leave = false;
+  sat_.rec_origin = detector;
+  sat_.rec_failed = ring_.predecessor(detector);
+  sat_.rap_owner = kInvalidNode;
+  rec_deadline_ = now_ + slots_to_ticks(effective_sat_timeout(detector));
+  control_[detector].last_sat_arrival = now_;
+  trace_.record(sim::EventKind::kSatRecStarted, now_, detector,
+                sat_.rec_failed);
+  sat_state_ = SatState::kHeld;
+  sat_location_ = detector;
+  // The detector itself gets a fresh round and forwards the SAT_REC.
+  sat_release(detector);
+}
+
+void Engine::drop_in_flight_frames() {
+  for (auto& link : links_) {
+    stats_.frames_lost_link += link.size();
+    link.clear();
+  }
+  links_.assign(ring_.size(), {});
+  for (auto& reg : transit_regs_) reg.busy = false;
+  transit_regs_.assign(ring_.size(), {});
+}
+
+void Engine::start_rebuild() {
+  ++stats_.ring_rebuilds;
+  trace_.record(sim::EventKind::kRebuildStarted, now_);
+  util::log(util::LogLevel::kInfo, "WRT-Ring: ring re-formation started");
+  drop_in_flight_frames();
+  sat_state_ = SatState::kRebuilding;
+  sat_.is_rec = false;
+  sat_.graceful_leave = false;
+  rec_deadline_ = kNeverTick;
+  std::int64_t alive = 0;
+  for (NodeId n = 0; n < topology_->node_count(); ++n) {
+    if (topology_->alive(n)) ++alive;
+  }
+  rebuild_done_ = now_ + slots_to_ticks(config_.rebuild_base_slots +
+                                        config_.rebuild_per_station_slots *
+                                            alive);
+}
+
+void Engine::finish_rebuild() {
+  // Re-formation recruits only stations that can hear the broadcast: the
+  // largest connected component (restricted to this engine's member set
+  // when one is configured).  Stations that wandered out of range stay
+  // out and may rejoin later through the RAP.
+  std::vector<NodeId> candidates = ring::largest_component(*topology_);
+  if (!config_.members.empty()) {
+    std::set<NodeId> allowed(config_.members.begin(), config_.members.end());
+    std::erase_if(candidates,
+                  [&](NodeId n) { return !allowed.contains(n); });
+  }
+  auto ring_result = ring::build_ring_over(*topology_, std::move(candidates));
+  if (!ring_result.ok()) {
+    // Try again after another rebuild period; the network stays down.
+    rebuild_done_ = now_ + slots_to_ticks(config_.rebuild_base_slots);
+    return;
+  }
+  const ring::VirtualRing new_ring = std::move(ring_result.value());
+
+  // Keep state for surviving members; create state for (re)joining ones.
+  std::set<NodeId> members(new_ring.order().begin(), new_ring.order().end());
+  for (auto it = stations_.begin(); it != stations_.end();) {
+    if (!members.contains(it->first)) {
+      if (membership_callback_) membership_callback_(it->first, false);
+      control_.erase(it->first);
+      it = stations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ring_ = new_ring;
+  for (std::size_t p = 0; p < ring_.size(); ++p) {
+    const NodeId node = ring_.station_at(p);
+    if (!stations_.contains(node)) {
+      setup_station(node, config_.default_quota);
+      if (membership_callback_) membership_callback_(node, true);
+    }
+  }
+  assign_codes();
+  links_.assign(ring_.size(), {});
+  transit_regs_.assign(ring_.size(), {});
+  rotation_anchor_ = ring_.station_at(0);
+  // The re-formation may have recruited stations that were waiting to
+  // rejoin; their pending requests are now moot.
+  for (auto it = pending_joins_.begin(); it != pending_joins_.end();) {
+    it = ring_.contains(it->first) ? pending_joins_.erase(it) : ++it;
+  }
+  // Rotation history across a rebuild would mix two different rings.
+  for (auto& [node, control] : control_) {
+    control.last_rotation_arrival = kNeverTick;
+    control.arrival_history.clear();
+  }
+  if (sat_lost_at_ != kNeverTick) {
+    stats_.recovery_total_slots.add(ticks_to_slots_real(now_ - sat_lost_at_));
+  }
+  util::log(util::LogLevel::kInfo, "WRT-Ring: ring re-formed, size " +
+                                       std::to_string(ring_.size()));
+  trace_.record(sim::EventKind::kRebuildCompleted, now_);
+  launch_sat(ring_.station_at(0));
+}
+
+util::Status Engine::check_invariants() const {
+  const std::size_t R = ring_.size();
+  if (stations_.size() != R) {
+    return util::Error::protocol_violation(
+        "station map size does not match ring size");
+  }
+  if (links_.size() != R || transit_regs_.size() != R) {
+    return util::Error::protocol_violation("link structures out of sync");
+  }
+  for (std::size_t p = 0; p < R; ++p) {
+    const NodeId node = ring_.station_at(p);
+    const auto it = stations_.find(node);
+    if (it == stations_.end()) {
+      return util::Error::protocol_violation(
+          "ring member " + std::to_string(node) + " has no station state");
+    }
+    const Station& st = it->second;
+    if (st.rt_pck() > st.quota().l || st.nrt_pck() > st.quota().k) {
+      return util::Error::protocol_violation(
+          "quota counters exceed quotas at station " + std::to_string(node));
+    }
+    if (st.k1_assured() > st.quota().k) {
+      return util::Error::protocol_violation(
+          "k1 split exceeds k at station " + std::to_string(node));
+    }
+    // Per-link pipeline depth is bounded by the hop latency.
+    if (links_[p].size() >
+        static_cast<std::size_t>(config_.hop_latency_slots)) {
+      return util::Error::protocol_violation("link pipeline overfull");
+    }
+  }
+  switch (sat_state_) {
+    case SatState::kHeld:
+      if (!ring_.contains(sat_location_)) {
+        return util::Error::protocol_violation(
+            "SAT held at a station not in the ring");
+      }
+      break;
+    case SatState::kInTransit:
+      if (!ring_.contains(sat_location_)) {
+        return util::Error::protocol_violation(
+            "SAT in transit toward a station not in the ring");
+      }
+      if (sat_arrival_tick_ < now_) {
+        return util::Error::protocol_violation("SAT arrival in the past");
+      }
+      break;
+    case SatState::kLost:
+    case SatState::kRebuilding:
+      break;
+  }
+  if (stats_.sink.total_delivered() > stats_.data_transmissions) {
+    return util::Error::protocol_violation(
+        "more deliveries than transmissions");
+  }
+  return util::Status::success();
+}
+
+// ---------------------------------------------------------------------------
+// RAP & join (Section 2.4.1)
+// ---------------------------------------------------------------------------
+
+bool Engine::wants_rap(NodeId node) const {
+  if (config_.rap_policy != RapPolicy::kRotating) return false;
+  const auto it = control_.find(node);
+  if (it == control_.end()) return false;
+  const std::int64_t min_rounds =
+      config_.s_round_min > 0 ? config_.s_round_min
+                              : static_cast<std::int64_t>(ring_.size());
+  return it->second.rounds_since_rap >= min_rounds;
+}
+
+void Engine::request_join(NodeId node, Quota quota) {
+  // A ring re-formation may have recruited the requester already (it is an
+  // alive, reachable station); joining twice is a no-op.
+  if (ring_.contains(node)) return;
+  PendingJoin join;
+  join.quota = quota;
+  join.requested_at = now_;
+  pending_joins_[node] = std::move(join);
+}
+
+util::Status Engine::request_leave(NodeId node) {
+  if (!ring_.contains(node)) {
+    return util::Error::not_found("station not in ring");
+  }
+  if (ring_.size() <= 3) {
+    return util::Error::no_ring_possible(
+        "leaving would drop the ring below 3 stations");
+  }
+  if (leave_pending_ != kInvalidNode) {
+    return util::Error::protocol_violation("another leave is in progress");
+  }
+  leave_pending_ = node;
+  return util::Status::success();
+}
+
+void Engine::kill_station(NodeId node) {
+  topology_->set_alive(node, false);
+  if (sat_location_ == node &&
+      (sat_state_ == SatState::kHeld || sat_state_ == SatState::kInTransit)) {
+    sat_state_ = SatState::kLost;
+    sat_lost_at_ = now_;
+  }
+}
+
+void Engine::begin_rap(NodeId ingress) {
+  ++stats_.raps_started;
+  trace_.record(sim::EventKind::kRapStarted, now_, ingress);
+  rap_ingress_ = ingress;
+  rap_ear_end_ = now_ + slots_to_ticks(config_.t_ear_slots);
+  rap_end_ = now_ + slots_to_ticks(config_.t_rap_slots());
+  rap_accepted_joiner_ = kInvalidNode;
+  sat_.rap_owner = ingress;
+  sat_state_ = SatState::kHeld;
+  sat_location_ = ingress;
+  control_[ingress].rounds_since_rap = 0;
+
+  // Slot 0 of the earing phase: the ingress broadcasts NEXT_FREE with its
+  // own address/code and its successor's (Section 2.4.1).
+  const NodeId announced_next = ring_.successor(ingress);
+  std::vector<NodeId> repliers;
+  for (auto it = pending_joins_.begin(); it != pending_joins_.end();) {
+    // A pending joiner that re-entered through a ring re-formation no
+    // longer needs the handshake.
+    if (ring_.contains(it->first)) {
+      it = pending_joins_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [joiner, join] : pending_joins_) {
+    if (!topology_->alive(joiner) ||
+        !topology_->reachable(ingress, joiner)) {
+      continue;
+    }
+    // "When the station receives another NEXT_FREE message from the same
+    // station, all the other stations have already entered their RAP."
+    if (join.heard.contains(ingress)) join.table_complete = true;
+    join.heard[ingress] = announced_next;
+
+    if (join.table_complete && join.chosen_ingress == kInvalidNode) {
+      for (const auto& [sender, next] : join.heard) {
+        if (topology_->reachable(joiner, sender) &&
+            topology_->reachable(joiner, next)) {
+          join.chosen_ingress = sender;
+          break;
+        }
+      }
+    }
+    if (join.chosen_ingress == ingress) repliers.push_back(joiner);
+  }
+
+  // Earing phase, slot 1: eligible joiners answer on code(ingress).  Two
+  // simultaneous replies spread with the same code collide (Figure 1's
+  // converse) and neither is decoded; both wait for a later NEXT_FREE.
+  if (repliers.size() > 1) {
+    ++stats_.cdma_collisions;
+    return;
+  }
+  if (repliers.empty()) return;
+
+  const NodeId joiner = repliers.front();
+  auto& join = pending_joins_.at(joiner);
+  // Slot 2: admission check + JOIN_ACK on code(ingress).
+  if (!admission_allows(join.quota)) {
+    ++stats_.joins_rejected;
+    trace_.record(sim::EventKind::kJoinRejected, now_, joiner, ingress);
+    pending_joins_.erase(joiner);
+    return;
+  }
+  rap_accepted_joiner_ = joiner;
+}
+
+void Engine::rap_step() {
+  if (rap_ingress_ == kInvalidNode) return;
+  if (now_ < rap_end_) return;
+  finish_rap();
+}
+
+void Engine::finish_rap() {
+  const NodeId ingress = rap_ingress_;
+  rap_ingress_ = kInvalidNode;
+  if (rap_accepted_joiner_ != kInvalidNode) {
+    complete_join(rap_accepted_joiner_, ingress);
+    rap_accepted_joiner_ = kInvalidNode;
+  }
+  // The RAP over, the ingress resumes the normal SAT algorithm.
+  if (sat_state_ == SatState::kHeld && sat_location_ == ingress) {
+    const auto it = stations_.find(ingress);
+    if (it != stations_.end() && it->second.satisfied()) {
+      sat_release(ingress);
+    }
+  }
+}
+
+void Engine::complete_join(NodeId joiner, NodeId ingress) {
+  const auto join_it = pending_joins_.find(joiner);
+  if (join_it == pending_joins_.end()) return;
+  const PendingJoin join = join_it->second;
+  pending_joins_.erase(join_it);
+
+  // Update phase: insert between the ingress and its successor, assign a
+  // fresh distance-2-safe code, and initialise MAC state.
+  drop_in_flight_frames();
+  ring_.insert_after(ingress, joiner);
+  if (codes_.size() <= joiner) codes_.resize(joiner + 1, kInvalidCode);
+  codes_[joiner] = allocate_code_for(joiner);
+  setup_station(joiner, join.quota);
+  links_.assign(ring_.size(), {});
+  transit_regs_.assign(ring_.size(), {});
+  if (channel_) {
+    channel_->set_listen_codes(joiner, {codes_[joiner], kBroadcastCode});
+  }
+  ++stats_.joins_completed;
+  stats_.join_latency_slots.add(ticks_to_slots_real(now_ - join.requested_at));
+  util::log(util::LogLevel::kInfo,
+            "WRT-Ring: station " + std::to_string(joiner) +
+                " joined after ingress " + std::to_string(ingress));
+  trace_.record(sim::EventKind::kJoinCompleted, now_, joiner, ingress);
+  if (membership_callback_) membership_callback_(joiner, true);
+}
+
+}  // namespace wrt::wrtring

@@ -1,0 +1,360 @@
+// WRT-Ring protocol engine.
+//
+// A slot-synchronous simulation of the full protocol of Section 2:
+//
+//  * Data plane — a slotted virtual ring with destination release.  Each
+//    slot, every station forwards the frame in transit on its incoming link
+//    or, if that link slot is empty, injects a local packet according to the
+//    Send algorithm (Section 2.2).  Per-hop transmissions are CDMA-coded to
+//    the downstream neighbour, so all N links are active concurrently —
+//    Figure 1's spatial reuse.
+//  * Control plane — the SAT signal circulates with the traffic direction,
+//    held at not-satisfied stations (SAT algorithm), carrying the RAP mutex
+//    flag (Section 2.4.1).
+//  * Topology changes — RAP-based join (NEXT_FREE / JOIN_REQ / JOIN_ACK),
+//    graceful leave, SAT-loss detection via per-station SAT_TIMER, SAT_REC
+//    cut-out recovery, and full ring re-formation as last resort
+//    (Sections 2.4 and 2.5).
+//
+// The engine steps in MAC slots; one Engine instance is single-threaded and
+// owns all protocol state, so parallel replications each build their own.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cdma/channel.hpp"
+#include "cdma/code_assignment.hpp"
+#include "analysis/bounds.hpp"
+#include "phy/topology.hpp"
+#include "ring/frame.hpp"
+#include "ring/virtual_ring.hpp"
+#include "sim/event_trace.hpp"
+#include "sim/stats.hpp"
+#include "traffic/trace.hpp"
+#include "traffic/traffic.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "wrtring/config.hpp"
+#include "wrtring/station.hpp"
+
+namespace wrt::wrtring {
+
+/// Aggregate protocol statistics exposed to harnesses.
+struct EngineStats {
+  sim::SampleStats sat_rotation_slots;   ///< per-arrival rotation samples
+  sim::SampleStats sat_hold_slots;       ///< per-seizure SAT hold durations
+  sim::SampleStats access_delay_slots;   ///< packet queue -> first tx
+  sim::SampleStats rt_access_delay_slots;
+  traffic::Sink sink;                    ///< delivery accounting
+  std::uint64_t sat_hops = 0;            ///< SAT link traversals
+  std::uint64_t sat_rounds = 0;          ///< completed rotations (station 0)
+  std::uint64_t data_transmissions = 0;  ///< local injections
+  std::uint64_t transit_forwards = 0;
+  std::uint64_t frames_lost_link = 0;    ///< frames dropped on a broken hop
+  std::uint64_t frames_dropped_stale = 0;///< destination left the ring
+  std::uint64_t sat_losses_detected = 0;
+  std::uint64_t sat_recoveries = 0;      ///< successful SAT_REC cut-outs
+  std::uint64_t ring_rebuilds = 0;
+  std::uint64_t raps_started = 0;
+  std::uint64_t joins_completed = 0;
+  std::uint64_t joins_rejected = 0;
+  std::uint64_t leaves_completed = 0;
+  sim::SampleStats sat_loss_detection_slots;  ///< actual loss -> detection
+  sim::SampleStats recovery_total_slots;      ///< actual loss -> SAT restored
+  sim::SampleStats join_latency_slots;        ///< request -> in ring
+  std::uint64_t cdma_collisions = 0;
+  /// Fidelity mode: headers that failed the encode/decode round trip
+  /// (must stay 0; a CRC/codec bug would show here).
+  std::uint64_t header_decode_failures = 0;
+  /// Time-weighted fraction of ring links carrying a frame (spatial-reuse
+  /// utilisation, 0..1); sample with ring_utilization().
+  sim::TimeWeightedStats busy_links;
+};
+
+/// Where the SAT (or SAT_REC) currently is.
+enum class SatState : std::uint8_t {
+  kInTransit,  ///< travelling a link; arrives at `arrival_tick`
+  kHeld,       ///< seized by a not-satisfied station (or a station in RAP)
+  kLost,       ///< dropped (injected fault or broken link); timers running
+  kRebuilding, ///< ring re-formation downtime in progress
+};
+
+class Engine final {
+ public:
+  /// `topology` must outlive the engine; the engine mutates liveness when
+  /// stations are killed and reads reachability every slot.
+  Engine(phy::Topology* topology, Config config, std::uint64_t seed);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Builds the virtual ring, assigns CDMA codes, initialises stations and
+  /// launches the SAT.  Must be called exactly once before step().
+  [[nodiscard]] util::Status init();
+
+  // -- traffic ------------------------------------------------------------
+
+  /// Attaches a stochastic source; packets arrive at spec.src's queues.
+  void add_source(const traffic::FlowSpec& spec);
+
+  /// Attaches an always-backlogged source at spec.src (keeps the class
+  /// queue topped up to `backlog` packets every slot).
+  void add_saturated_source(const traffic::FlowSpec& spec,
+                            std::size_t backlog = 4);
+
+  /// Replays a recorded/synthetic trace (video GOPs, voice spurts, ...) as
+  /// one flow from `src` to `dst`.
+  void add_trace_source(traffic::Trace trace, FlowId flow, NodeId src,
+                        NodeId dst, std::int64_t deadline_slots = 0);
+
+  /// Direct injection for tests; returns false if the queue is full or the
+  /// station is not in the ring.
+  bool inject_packet(traffic::Packet packet);
+
+  // -- execution ----------------------------------------------------------
+
+  /// Advances one MAC slot.
+  void step();
+
+  /// Advances `n` slots.
+  void run_slots(std::int64_t n);
+
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+  [[nodiscard]] std::int64_t now_slots() const noexcept {
+    return ticks_to_slots(now_);
+  }
+
+  // -- topology change & fault injection -----------------------------------
+
+  /// Registers `node` (already placed in the topology) as wanting to join;
+  /// it starts listening for NEXT_FREE broadcasts (Section 2.4.1).
+  void request_join(NodeId node, Quota quota);
+
+  /// Graceful leave (Section 2.4.2): the station announces its exit via its
+  /// successor, which runs the SAT_REC cut-out.
+  [[nodiscard]] util::Status request_leave(NodeId node);
+
+  /// Kills a station without notice (battery out): it stops forwarding
+  /// everything; detection happens via SAT_TIMER (Section 2.5).
+  void kill_station(NodeId node);
+
+  /// Drops the SAT the next time it crosses a link (transient control loss).
+  void drop_sat_once() noexcept { drop_sat_pending_ = true; }
+
+  // -- observers ------------------------------------------------------------
+
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ring::VirtualRing& virtual_ring() const noexcept {
+    return ring_;
+  }
+
+  /// Time-averaged fraction of ring links busy with a frame since start —
+  /// the spatial-reuse utilisation the capacity experiments report.
+  /// (Non-const: flushes the running time-weighted segment.)
+  [[nodiscard]] double ring_utilization() {
+    return stats_.busy_links.time_average(now_);
+  }
+  [[nodiscard]] SatState sat_state() const noexcept { return sat_state_; }
+  [[nodiscard]] bool in_rap() const noexcept { return rap_end_ > now_; }
+
+  /// Station accessor (by node id); throws when not in the ring.
+  [[nodiscard]] const Station& station(NodeId node) const;
+
+  /// Updates a station's quota at runtime (quota renegotiation after
+  /// admissions, releases, or a cut-out's quota being re-assigned,
+  /// Section 2.5).  The new quota takes effect at the next SAT release.
+  void set_station_quota(NodeId node, Quota quota);
+
+  /// Per-station Diffserv split (Section 2.3): reserves `k1` of the
+  /// station's k quota for Assured traffic.  Independent of the global
+  /// Config::k1_assured default and of every other station.
+  void set_station_split(NodeId node, std::uint32_t k1_assured);
+
+  /// Current analytical parameters (S, T_rap, quotas) matching this ring —
+  /// feed these to analysis::sat_time_bound & friends.
+  [[nodiscard]] analysis::RingParams ring_params() const;
+
+  /// Per-station SAT inter-arrival history (most recent last, bounded);
+  /// used by the Theorem-2 property tests.
+  [[nodiscard]] const std::deque<Tick>& sat_arrival_history(NodeId node) const;
+
+  /// Admission check used by the join handshake and the gateway: would the
+  /// ring extended by `extra` still satisfy every admitted deadline?
+  /// (Conservative: checks the Theorem-1 bound against `max_sat_time_goal_`.)
+  [[nodiscard]] bool admission_allows(Quota extra) const;
+
+  /// Sets the delay goal (slots) used by admission control; 0 disables
+  /// admission rejection.
+  void set_max_sat_time_goal(std::int64_t slots) noexcept {
+    max_sat_time_goal_ = slots;
+  }
+
+  /// Membership-change notification: invoked with (node, joined) after a
+  /// station enters the ring (join, rebuild recruit) or leaves it (cut-out,
+  /// graceful leave, rebuild exclusion).  Admission controllers subscribe
+  /// to keep session registries and quota allocations in sync with the
+  /// ring.  Pass nullptr to unsubscribe.
+  using MembershipCallback = std::function<void(NodeId, bool joined)>;
+  void set_membership_callback(MembershipCallback callback) {
+    membership_callback_ = std::move(callback);
+  }
+
+  [[nodiscard]] const cdma::CodeMap& codes() const noexcept { return codes_; }
+
+  /// Ordered protocol events (SAT losses, detections, cut-outs, joins, ...)
+  /// in a bounded ring buffer; see sim::EventTrace.
+  [[nodiscard]] const sim::EventTrace& event_trace() const noexcept {
+    return trace_;
+  }
+
+  /// Internal-consistency audit (counters within quotas, ring/link/station
+  /// structures aligned, SAT state coherent).  Returns the first violation
+  /// found; tests and the monkey harness call this between steps.
+  [[nodiscard]] util::Status check_invariants() const;
+
+ private:
+  struct LinkFrame {
+    traffic::Packet packet;
+    Tick entered_ring = 0;
+    Tick arrival = 0;
+    std::uint32_t hops = 0;
+    bool busy = false;
+  };
+
+  struct SatSignal {
+    bool is_rec = false;          ///< SAT_REC rather than plain SAT
+    bool graceful_leave = false;  ///< SAT_REC triggered by a voluntary leave
+    NodeId rec_origin = kInvalidNode;   ///< station that generated SAT_REC
+    NodeId rec_failed = kInvalidNode;   ///< station being cut out
+    NodeId rap_owner = kInvalidNode;    ///< RAP mutex flag (Section 2.4.1)
+  };
+
+  struct PendingJoin {
+    Quota quota{1, 1};
+    Tick requested_at = 0;
+    // NEXT_FREE table: ingress -> its announced successor (Section 2.4.1).
+    std::map<NodeId, NodeId> heard;
+    NodeId chosen_ingress = kInvalidNode;
+    bool table_complete = false;
+  };
+
+  struct PerStationControl {
+    Tick last_sat_arrival = kNeverTick;  ///< for SAT_TIMER
+    Tick last_sat_departure = kNeverTick;
+    Tick last_rotation_arrival = kNeverTick;  ///< for rotation statistics
+    std::int64_t rounds_since_rap = 0;
+    std::deque<Tick> arrival_history;
+  };
+
+  // --- slot phases ---
+  void poll_traffic();
+  void data_plane_step();
+  void sat_plane_step();
+  void rap_step();
+  void check_sat_timers();
+
+  // --- SAT handling ---
+  void sat_arrive(NodeId at);
+  void sat_release(NodeId from);
+  void launch_sat(NodeId at);
+  void start_recovery(NodeId detector);
+  void start_rebuild();
+  void finish_rebuild();
+
+  // --- RAP / join ---
+  [[nodiscard]] bool wants_rap(NodeId node) const;
+  void begin_rap(NodeId ingress);
+  void finish_rap();
+  void complete_join(NodeId joiner, NodeId ingress);
+
+  // --- helpers ---
+  void drop_in_flight_frames();
+  [[nodiscard]] std::int64_t effective_sat_timeout(NodeId node) const;
+  [[nodiscard]] Quota quota_for_position(std::size_t position) const;
+  void record_rotation(NodeId node, Tick arrival);
+  void setup_station(NodeId node, Quota quota);
+  void remove_station_state(NodeId node);
+  [[nodiscard]] CdmaCode allocate_code_for(NodeId node) const;
+  void assign_codes();
+  void deliver(LinkFrame& frame, NodeId at);
+  [[nodiscard]] bool data_allowed() const noexcept;
+
+  phy::Topology* topology_;
+  Config config_;
+  std::uint64_t seed_;
+  Tick now_ = 0;
+  bool initialised_ = false;
+
+  ring::VirtualRing ring_;
+  cdma::CodeMap codes_;
+  std::map<NodeId, Station> stations_;
+  std::map<NodeId, PerStationControl> control_;
+
+  // Data plane: links_[p] is the FIFO pipeline of frames in flight from the
+  // station at ring position p to position p+1; transit_regs_[p] holds the
+  // frame station p must forward next slot (transit has absolute priority
+  // over local injection, which is what makes slots "busy").
+  std::vector<std::deque<LinkFrame>> links_;
+  std::vector<LinkFrame> transit_regs_;
+
+  // SAT state.
+  SatState sat_state_ = SatState::kLost;
+  SatSignal sat_;
+  NodeId sat_location_ = kInvalidNode;  ///< held-at or transit-destination
+  Tick sat_arrival_tick_ = kNeverTick;
+  Tick sat_hold_started_ = kNeverTick;  ///< seizure instant (kHeld only)
+  Tick sat_lost_at_ = kNeverTick;       ///< ground-truth loss instant
+  Tick rebuild_done_ = kNeverTick;
+  Tick rec_deadline_ = kNeverTick;      ///< SAT_REC must return by this tick
+  NodeId leave_pending_ = kInvalidNode; ///< graceful leave in progress
+  NodeId rotation_anchor_ = kInvalidNode;  ///< station whose arrivals count rounds
+
+  // RAP state.
+  Tick rap_end_ = 0;
+  Tick rap_ear_end_ = 0;
+  NodeId rap_ingress_ = kInvalidNode;
+  NodeId rap_accepted_joiner_ = kInvalidNode;
+
+  // Joins.
+  std::map<NodeId, PendingJoin> pending_joins_;
+
+  // Traffic.
+  struct BoundSource {
+    traffic::TrafficSource source;
+    NodeId station;
+  };
+  struct BoundSaturated {
+    traffic::SaturatedSource source;
+    NodeId station;
+    std::size_t backlog;
+  };
+  struct BoundTrace {
+    traffic::TraceSource source;
+    NodeId station;
+  };
+  std::vector<BoundSource> sources_;
+  std::vector<BoundSaturated> saturated_;
+  std::vector<BoundTrace> traces_;
+  std::vector<traffic::Packet> arrival_scratch_;
+
+  // Fault injection.
+  bool drop_sat_pending_ = false;
+  util::RngStream loss_rng_;
+
+  // Admission.
+  std::int64_t max_sat_time_goal_ = 0;
+  MembershipCallback membership_callback_;
+
+  // CDMA fidelity channel (allocated only when config_.cdma_fidelity).
+  std::unique_ptr<cdma::Channel<traffic::Packet>> channel_;
+
+  EngineStats stats_;
+  sim::EventTrace trace_;
+};
+
+}  // namespace wrt::wrtring

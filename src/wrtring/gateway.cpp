@@ -1,0 +1,92 @@
+#include "wrtring/gateway.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+
+namespace wrt::wrtring {
+
+Gateway::Gateway(Engine* engine, diffserv::LanModel* lan,
+                 NodeId gateway_station)
+    : engine_(engine), lan_(lan), station_(gateway_station) {
+  assert(engine_ != nullptr);
+  assert(lan_ != nullptr);
+}
+
+std::uint32_t Gateway::quota_for_rate(double rate_per_slot) const {
+  const analysis::RingParams params = engine_->ring_params();
+  const auto round_slots =
+      static_cast<double>(analysis::expected_sat_time(params));
+  // Carrying rate R packets/slot through a round of T slots needs ceil(R*T)
+  // transmission authorizations per round.
+  return static_cast<std::uint32_t>(std::ceil(rate_per_slot * round_slots));
+}
+
+util::Result<Reservation> Gateway::reserve_lan_to_ring(FlowId flow,
+                                                       double rate_per_slot) {
+  if (rate_per_slot <= 0.0) {
+    return util::Error::invalid_argument("rate must be positive");
+  }
+  const std::uint32_t extra_l = quota_for_rate(rate_per_slot);
+  if (!engine_->admission_allows(Quota{extra_l, 0})) {
+    return util::Error::admission_rejected(
+        "ring cannot reserve " + std::to_string(extra_l) +
+        " extra real-time authorizations per SAT round");
+  }
+  // Apply the grant: G1's l quota grows so the MAC can actually carry the
+  // admitted stream ("the bandwidth is allocated", Section 2.3).
+  const Quota current = engine_->station(station_).quota();
+  engine_->set_station_quota(station_,
+                             Quota{current.l + extra_l, current.k});
+  Reservation reservation{flow, rate_per_slot, /*lan_to_ring=*/true,
+                          extra_l};
+  reservations_.push_back(reservation);
+  return reservation;
+}
+
+util::Status Gateway::release(FlowId flow) {
+  for (auto it = reservations_.begin(); it != reservations_.end(); ++it) {
+    if (it->flow != flow) continue;
+    if (it->lan_to_ring) {
+      const Quota current = engine_->station(station_).quota();
+      const std::uint32_t restored =
+          current.l >= it->granted_l ? current.l - it->granted_l : 0;
+      engine_->set_station_quota(station_, Quota{restored, current.k});
+    } else {
+      lan_->release_premium(it->rate_per_slot);
+    }
+    reservations_.erase(it);
+    return util::Status::success();
+  }
+  return util::Error::not_found("no reservation for that flow");
+}
+
+util::Result<Reservation> Gateway::reserve_ring_to_lan(FlowId flow,
+                                                       double rate_per_slot) {
+  if (rate_per_slot <= 0.0) {
+    return util::Error::invalid_argument("rate must be positive");
+  }
+  if (!lan_->can_reserve_premium(rate_per_slot)) {
+    return util::Error::admission_rejected(
+        "LAN Premium capacity exhausted");
+  }
+  lan_->reserve_premium(rate_per_slot);
+  Reservation reservation{flow, rate_per_slot, /*lan_to_ring=*/false, 0};
+  reservations_.push_back(reservation);
+  return reservation;
+}
+
+void Gateway::forward_to_lan(const traffic::Packet& packet, Tick now) {
+  lan_->inject(packet, now);
+}
+
+double Gateway::reserved_into_ring() const noexcept {
+  double total = 0.0;
+  for (const auto& reservation : reservations_) {
+    if (reservation.lan_to_ring) total += reservation.rate_per_slot;
+  }
+  return total;
+}
+
+}  // namespace wrt::wrtring

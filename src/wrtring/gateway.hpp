@@ -1,0 +1,77 @@
+// Gateway between the WRT-Ring ad hoc network and a Diffserv LAN
+// (Section 2.3, Figure 2).
+//
+// Station G1 belongs to the ring like any other station; what makes it a
+// gateway is the reservation bookkeeping: before a real-time stream crosses
+// the boundary, the requesting side asks G1 for bandwidth and G1 checks the
+// *other* network — the ring's Theorem-1 bound for LAN->ring streams, the
+// LAN's Premium capacity for ring->LAN streams.  Only if the check passes is
+// the reservation installed and the stream admitted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diffserv/diffserv.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt::wrtring {
+
+/// A real-time stream reservation crossing the gateway.
+struct Reservation {
+  FlowId flow = kInvalidFlow;
+  double rate_per_slot = 0.0;  ///< packets per slot
+  bool lan_to_ring = true;     ///< direction
+  std::uint32_t granted_l = 0; ///< extra l quota applied to G1 (ring-bound)
+};
+
+class Gateway {
+ public:
+  /// `engine` and `lan` must outlive the gateway.  `gateway_station` is G1's
+  /// node id in the ring.
+  Gateway(Engine* engine, diffserv::LanModel* lan, NodeId gateway_station);
+
+  /// LAN -> ring: "the LAN asks G1 for the needed bandwidth to transmit the
+  /// real-time stream towards the ad hoc network.  Station G1 is controlled
+  /// by WRT-Ring, hence the protocol checks whether it is able to reserve
+  /// the required bandwidth" (Section 2.3).  The rate is converted into the
+  /// extra l-quota G1 would need per SAT round and checked against the
+  /// ring's admission bound.
+  [[nodiscard]] util::Result<Reservation> reserve_lan_to_ring(
+      FlowId flow, double rate_per_slot);
+
+  /// Ring -> LAN: "G1 asks the Diffserv architecture if the necessary
+  /// bandwidth can be guaranteed inside the LAN."
+  [[nodiscard]] util::Result<Reservation> reserve_ring_to_lan(
+      FlowId flow, double rate_per_slot);
+
+  /// Tears a reservation down, returning its resources (G1's extra l quota
+  /// for LAN->ring streams; LAN Premium capacity for ring->LAN streams).
+  [[nodiscard]] util::Status release(FlowId flow);
+
+  /// Forwards a ring-delivered packet into the LAN (for ring->LAN flows).
+  void forward_to_lan(const traffic::Packet& packet, Tick now);
+
+  [[nodiscard]] const std::vector<Reservation>& reservations() const noexcept {
+    return reservations_;
+  }
+
+  /// Total reserved ring-bound Premium rate (packets/slot).
+  [[nodiscard]] double reserved_into_ring() const noexcept;
+
+  [[nodiscard]] NodeId station() const noexcept { return station_; }
+
+ private:
+  /// Extra l-quota per SAT round needed to carry `rate_per_slot` through
+  /// G1, using the expected rotation time (Prop 3) as the round length.
+  [[nodiscard]] std::uint32_t quota_for_rate(double rate_per_slot) const;
+
+  Engine* engine_;
+  diffserv::LanModel* lan_;
+  NodeId station_;
+  std::vector<Reservation> reservations_;
+};
+
+}  // namespace wrt::wrtring

@@ -1,0 +1,120 @@
+#include "wrtring/multiring.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ring/virtual_ring.hpp"
+#include "util/log.hpp"
+
+namespace wrt::wrtring {
+
+MultiRingCoordinator::MultiRingCoordinator(phy::Topology* topology,
+                                           Config config, std::uint64_t seed)
+    : topology_(topology), config_(std::move(config)), seed_(seed) {}
+
+void MultiRingCoordinator::form_rings_over(std::vector<NodeId> component) {
+  std::vector<NodeId> group = std::move(component);
+  std::vector<NodeId> peeled;
+  while (group.size() >= 3) {
+    if (ring::build_ring_over(*topology_, group).ok()) {
+      Config ring_config = config_;
+      ring_config.members = group;
+      auto engine = std::make_unique<Engine>(
+          topology_, std::move(ring_config),
+          seed_ + engines_.size() * 7919);
+      if (engine->init().ok()) {
+        memberships_.push_back(group);
+        engines_.push_back(std::move(engine));
+        if (!peeled.empty()) form_rings_over(std::move(peeled));
+        return;
+      }
+    }
+    // Peel the station with the fewest in-group neighbours — the usual
+    // Hamiltonicity blocker — and retry with the rest.
+    std::size_t worst_index = 0;
+    std::size_t worst_degree = ~std::size_t{0};
+    const std::set<NodeId> in_group(group.begin(), group.end());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      std::size_t degree = 0;
+      for (const NodeId neighbor : topology_->neighbors(group[i])) {
+        if (in_group.contains(neighbor)) ++degree;
+      }
+      if (degree < worst_degree) {
+        worst_degree = degree;
+        worst_index = i;
+      }
+    }
+    peeled.push_back(group[worst_index]);
+    group.erase(group.begin() + static_cast<std::ptrdiff_t>(worst_index));
+  }
+  unserved_.insert(unserved_.end(), group.begin(), group.end());
+  unserved_.insert(unserved_.end(), peeled.begin(), peeled.end());
+}
+
+util::Status MultiRingCoordinator::init() {
+  // Enumerate connected components of the alive graph.
+  std::vector<bool> seen(topology_->node_count(), false);
+  for (NodeId start = 0; start < topology_->node_count(); ++start) {
+    if (seen[start] || !topology_->alive(start)) continue;
+    std::vector<NodeId> component;
+    std::vector<NodeId> frontier{start};
+    seen[start] = true;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.back();
+      frontier.pop_back();
+      component.push_back(u);
+      for (const NodeId v : topology_->neighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          frontier.push_back(v);
+        }
+      }
+    }
+    std::sort(component.begin(), component.end());
+    form_rings_over(std::move(component));
+  }
+  std::sort(unserved_.begin(), unserved_.end());
+  util::log(util::LogLevel::kInfo,
+            "MultiRing: " + std::to_string(engines_.size()) + " ring(s), " +
+                std::to_string(unserved_.size()) + " unserved station(s)");
+  if (engines_.empty()) {
+    return util::Error::no_ring_possible("no component can host a ring");
+  }
+  return util::Status::success();
+}
+
+void MultiRingCoordinator::step() {
+  for (auto& engine : engines_) engine->step();
+}
+
+void MultiRingCoordinator::run_slots(std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) step();
+}
+
+Engine* MultiRingCoordinator::ring_of(NodeId node) {
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    if (engines_[i]->virtual_ring().contains(node)) return engines_[i].get();
+  }
+  return nullptr;
+}
+
+double MultiRingCoordinator::coverage() const {
+  std::size_t alive = 0;
+  for (NodeId n = 0; n < topology_->node_count(); ++n) {
+    if (topology_->alive(n)) ++alive;
+  }
+  if (alive == 0) return 0.0;
+  std::size_t served = 0;
+  for (const auto& engine : engines_) served += engine->virtual_ring().size();
+  return static_cast<double>(served) / static_cast<double>(alive);
+}
+
+std::uint64_t MultiRingCoordinator::total_delivered() const {
+  std::uint64_t total = 0;
+  for (const auto& engine : engines_) {
+    total += engine->stats().sink.total_delivered();
+  }
+  return total;
+}
+
+}  // namespace wrt::wrtring

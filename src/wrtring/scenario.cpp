@@ -1,0 +1,122 @@
+#include "wrtring/scenario.hpp"
+
+#include <algorithm>
+
+namespace wrt::wrtring {
+
+Scenario& Scenario::join_at(std::int64_t slot, NodeId node, Quota quota) {
+  actions_.push_back({slot, Action::Kind::kJoin, node, kInvalidNode, quota,
+                      "join request station " + std::to_string(node)});
+  return *this;
+}
+
+Scenario& Scenario::leave_at(std::int64_t slot, NodeId node) {
+  actions_.push_back({slot, Action::Kind::kLeave, node, kInvalidNode, {},
+                      "graceful leave station " + std::to_string(node)});
+  return *this;
+}
+
+Scenario& Scenario::kill_at(std::int64_t slot, NodeId node) {
+  actions_.push_back({slot, Action::Kind::kKill, node, kInvalidNode, {},
+                      "kill station " + std::to_string(node)});
+  return *this;
+}
+
+Scenario& Scenario::drop_sat_at(std::int64_t slot) {
+  actions_.push_back({slot, Action::Kind::kDropSat, kInvalidNode,
+                      kInvalidNode, {}, "drop SAT"});
+  return *this;
+}
+
+Scenario& Scenario::fail_link_at(std::int64_t slot, NodeId a, NodeId b) {
+  actions_.push_back({slot, Action::Kind::kFailLink, a, b, {},
+                      "fail link " + std::to_string(a) + "-" +
+                          std::to_string(b)});
+  return *this;
+}
+
+Scenario& Scenario::restore_link_at(std::int64_t slot, NodeId a, NodeId b) {
+  actions_.push_back({slot, Action::Kind::kRestoreLink, a, b, {},
+                      "restore link " + std::to_string(a) + "-" +
+                          std::to_string(b)});
+  return *this;
+}
+
+Scenario& Scenario::mark_at(std::int64_t slot, std::string label) {
+  actions_.push_back({slot, Action::Kind::kMark, kInvalidNode, kInvalidNode,
+                      {}, std::move(label)});
+  return *this;
+}
+
+std::vector<Scenario::LogEntry> Scenario::run(
+    Engine& engine, phy::Topology& topology, std::int64_t until_slot,
+    phy::MobilityModel* mobility, std::int64_t mobility_period_slots) {
+  std::stable_sort(actions_.begin(), actions_.end(),
+                   [](const Action& x, const Action& y) {
+                     return x.slot < y.slot;
+                   });
+
+  std::vector<LogEntry> log;
+  const auto record = [&](const std::string& what) {
+    log.push_back({engine.now_slots(), what, engine.virtual_ring().size(),
+                   engine.sat_state()});
+  };
+
+  std::size_t next_action = 0;
+  std::size_t last_ring_size = engine.virtual_ring().size();
+  std::int64_t last_mobility = engine.now_slots();
+
+  while (engine.now_slots() < until_slot) {
+    while (next_action < actions_.size() &&
+           actions_[next_action].slot <= engine.now_slots()) {
+      const Action& action = actions_[next_action];
+      switch (action.kind) {
+        case Action::Kind::kJoin:
+          engine.request_join(action.a, action.quota);
+          break;
+        case Action::Kind::kLeave: {
+          const auto status = engine.request_leave(action.a);
+          if (!status.ok()) {
+            record("leave refused: " + status.error().message);
+          }
+          break;
+        }
+        case Action::Kind::kKill:
+          engine.kill_station(action.a);
+          break;
+        case Action::Kind::kDropSat:
+          engine.drop_sat_once();
+          break;
+        case Action::Kind::kFailLink:
+          topology.fail_link(action.a, action.b);
+          break;
+        case Action::Kind::kRestoreLink:
+          topology.restore_link(action.a, action.b);
+          break;
+        case Action::Kind::kMark:
+          break;
+      }
+      record(action.label);
+      ++next_action;
+    }
+
+    if (mobility != nullptr &&
+        engine.now_slots() - last_mobility >= mobility_period_slots) {
+      mobility->step(topology, engine.now(),
+                     slots_to_ticks(engine.now_slots() - last_mobility));
+      last_mobility = engine.now_slots();
+    }
+
+    engine.step();
+
+    if (engine.virtual_ring().size() != last_ring_size) {
+      record(engine.virtual_ring().size() > last_ring_size
+                 ? "ring grew"
+                 : "ring shrank");
+      last_ring_size = engine.virtual_ring().size();
+    }
+  }
+  return log;
+}
+
+}  // namespace wrt::wrtring

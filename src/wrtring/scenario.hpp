@@ -1,0 +1,68 @@
+// Scenario scripting: deterministic timelines of topology events.
+//
+// Experiments and examples repeatedly need "run N slots, then a station
+// dies, then a joiner appears, then a link drops ...".  A Scenario is that
+// script: a sorted list of timed actions applied to an Engine (plus its
+// Topology and an optional mobility model) while the simulation advances,
+// with an event log recording what happened and when — so tests can assert
+// on the protocol's externally visible timeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "phy/mobility.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt::wrtring {
+
+class Scenario {
+ public:
+  Scenario& join_at(std::int64_t slot, NodeId node, Quota quota);
+  Scenario& leave_at(std::int64_t slot, NodeId node);
+  Scenario& kill_at(std::int64_t slot, NodeId node);
+  Scenario& drop_sat_at(std::int64_t slot);
+  Scenario& fail_link_at(std::int64_t slot, NodeId a, NodeId b);
+  Scenario& restore_link_at(std::int64_t slot, NodeId a, NodeId b);
+  /// Free-form marker copied into the log (phase labels).
+  Scenario& mark_at(std::int64_t slot, std::string label);
+
+  struct LogEntry {
+    std::int64_t slot = 0;
+    std::string what;
+    std::size_t ring_size = 0;
+    SatState sat_state = SatState::kLost;
+  };
+
+  /// Runs the engine to `until_slot`, applying actions as their time comes
+  /// and stepping `mobility` (when non-null) every `mobility_period_slots`.
+  /// Returns the event log (scripted actions plus automatic entries for
+  /// ring-size changes observed between steps).
+  std::vector<LogEntry> run(Engine& engine, phy::Topology& topology,
+                            std::int64_t until_slot,
+                            phy::MobilityModel* mobility = nullptr,
+                            std::int64_t mobility_period_slots = 100);
+
+ private:
+  struct Action {
+    enum class Kind {
+      kJoin,
+      kLeave,
+      kKill,
+      kDropSat,
+      kFailLink,
+      kRestoreLink,
+      kMark,
+    };
+    std::int64_t slot = 0;
+    Kind kind = Kind::kMark;
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    Quota quota{1, 1};
+    std::string label;
+  };
+
+  std::vector<Action> actions_;
+};
+
+}  // namespace wrt::wrtring

@@ -1,0 +1,101 @@
+// Per-station MAC state: the queues, the quota counters, and the two
+// protocol decisions of Section 2.2 — the Send algorithm and the SAT
+// algorithm's satisfied/not-satisfied predicate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "traffic/traffic.hpp"
+#include "util/types.hpp"
+
+namespace wrt::wrtring {
+
+/// Section 2.2, verbatim:
+///   Send 1. A station can send real-time packets only if RT_PCK < l  [sic:
+///           the text says "not greater than l" before increment, i.e. it
+///           may transmit while RT_PCK < l and stops at l].
+///   Send 2. Non-real-time only if NRT_PCK < k and (RT queue empty or
+///           RT_PCK == l).
+///   SAT  1. forward if satisfied (RT_PCK == l or RT queue empty);
+///   SAT  2. hold until satisfied; counters cleared on SAT release.
+class Station final {
+ public:
+  Station() = default;
+  Station(NodeId id, Quota quota, std::uint32_t k1_assured,
+          std::size_t queue_capacity);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] Quota quota() const noexcept { return quota_; }
+
+  /// Renegotiates the quota.  When it shrinks below what was already
+  /// transmitted this round, the counters are clamped to the new quota —
+  /// otherwise the satisfied-predicate (RT_PCK == l) could never fire and
+  /// the station would seize the SAT with no way to release it.
+  void set_quota(Quota quota) noexcept;
+
+  /// Per-station Diffserv split (Section 2.3: "any single station can
+  /// decide the number of classes of services to implement... without
+  /// affecting and without being affected by the behavior of the other
+  /// stations").  Precondition: k1 <= quota().k.
+  void set_k1_assured(std::uint32_t k1) noexcept;
+  [[nodiscard]] std::uint32_t k1_assured() const noexcept {
+    return k1_assured_;
+  }
+
+  /// Enqueues an arriving packet into its class queue; returns false (and
+  /// counts a drop) when the class queue is full.
+  bool enqueue(traffic::Packet packet);
+
+  /// Number of real-time packets currently queued (the `x` of Theorem 3).
+  [[nodiscard]] std::size_t rt_queue_depth() const noexcept {
+    return queues_[0].size();
+  }
+  [[nodiscard]] std::size_t queue_depth(TrafficClass cls) const noexcept {
+    return queues_[static_cast<std::size_t>(cls)].size();
+  }
+  [[nodiscard]] std::uint64_t queue_drops() const noexcept { return drops_; }
+
+  /// Send algorithm: picks the packet this station would transmit into an
+  /// empty slot right now, honouring quota counters, class priority
+  /// (real-time > assured > best-effort) and the Diffserv k1/k2 split.
+  /// Returns nullopt when nothing may be sent.  Does NOT pop the packet.
+  [[nodiscard]] std::optional<TrafficClass> eligible_class() const;
+
+  /// Pops and returns the head packet of `cls`, updating RT_PCK/NRT_PCK.
+  /// Precondition: eligible_class() returned `cls`.
+  traffic::Packet take_for_transmit(TrafficClass cls);
+
+  /// SAT algorithm predicate: satisfied iff RT_PCK == l or RT queue empty.
+  [[nodiscard]] bool satisfied() const noexcept;
+
+  /// Called when this station releases the SAT: clears RT_PCK and NRT_PCK
+  /// (new authorizations for the round that begins now).
+  void on_sat_release() noexcept;
+
+  [[nodiscard]] std::uint32_t rt_pck() const noexcept { return rt_pck_; }
+  [[nodiscard]] std::uint32_t nrt_pck() const noexcept { return nrt_pck_; }
+
+  /// Peeks the head packet of a class (for access-delay accounting).
+  [[nodiscard]] const traffic::Packet* peek(TrafficClass cls) const;
+
+  /// Drops every queued packet (station leaving the ring).
+  void clear_queues();
+
+ private:
+  NodeId id_ = kInvalidNode;
+  Quota quota_{1, 1};
+  std::uint32_t k1_assured_ = 0;
+  std::size_t queue_capacity_ = 4096;
+
+  // Index by TrafficClass value: 0 = RT, 1 = assured, 2 = BE.
+  std::deque<traffic::Packet> queues_[3];
+
+  std::uint32_t rt_pck_ = 0;        ///< RT packets sent since last SAT release
+  std::uint32_t nrt_pck_ = 0;       ///< non-RT packets sent since last release
+  std::uint32_t assured_sent_ = 0;  ///< portion of nrt_pck_ that was Assured
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace wrt::wrtring

@@ -1,0 +1,110 @@
+#include "analysis/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/topology.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt::analysis {
+namespace {
+
+RingParams uniform_params(std::size_t n, Quota quota) {
+  RingParams params;
+  params.ring_latency_slots = static_cast<std::int64_t>(n);
+  params.t_rap_slots = 0;
+  params.quotas.assign(n, quota);
+  return params;
+}
+
+TEST(DelayModel, CapacityIsQuotaOverFloorRound) {
+  const auto params = uniform_params(8, {2, 1});
+  const auto capacity = rt_capacity_per_slot(params, 0);
+  ASSERT_TRUE(capacity.ok());
+  // l / (S + T_rap) = 2 / 8 — matches the saturated throughput the E4
+  // bench measures (rotation pinned at the travel floor).
+  EXPECT_NEAR(capacity.value(), 2.0 / 8.0, 1e-12);
+}
+
+TEST(DelayModel, ZeroLoadBarelyWaits) {
+  const auto params = uniform_params(8, {2, 1});
+  const auto estimate = approx_rt_access_delay(params, 0, 0.0);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_TRUE(estimate.value().stable);
+  EXPECT_NEAR(estimate.value().mean_wait_slots, 0.0, 1e-9);
+}
+
+TEST(DelayModel, MonotoneInLoad) {
+  const auto params = uniform_params(8, {1, 1});
+  double previous = 0.0;
+  const auto capacity = rt_capacity_per_slot(params, 0).value();
+  for (double fraction = 0.1; fraction < 1.0; fraction += 0.1) {
+    const auto estimate =
+        approx_rt_access_delay(params, 0, fraction * capacity);
+    ASSERT_TRUE(estimate.ok());
+    ASSERT_TRUE(estimate.value().stable);
+    EXPECT_GT(estimate.value().mean_wait_slots, previous);
+    previous = estimate.value().mean_wait_slots;
+  }
+}
+
+TEST(DelayModel, DivergesAtCapacity) {
+  const auto params = uniform_params(8, {1, 1});
+  const double capacity = rt_capacity_per_slot(params, 0).value();
+  const auto at_90 = approx_rt_access_delay(params, 0, 0.9 * capacity);
+  const auto at_99 = approx_rt_access_delay(params, 0, 0.99 * capacity);
+  ASSERT_TRUE(at_90.ok());
+  ASSERT_TRUE(at_99.ok());
+  EXPECT_GT(at_99.value().mean_wait_slots,
+            3.0 * at_90.value().mean_wait_slots);
+  const auto over = approx_rt_access_delay(params, 0, 1.1 * capacity);
+  ASSERT_TRUE(over.ok());
+  EXPECT_FALSE(over.value().stable);
+  EXPECT_LT(over.value().mean_wait_slots, 0.0);
+}
+
+TEST(DelayModel, Validation) {
+  const auto params = uniform_params(4, {0, 1});
+  EXPECT_FALSE(approx_rt_access_delay(params, 0, 0.01).ok());
+  EXPECT_FALSE(approx_rt_access_delay(uniform_params(4, {1, 1}), 9, 0.01)
+                   .ok());
+  EXPECT_FALSE(
+      approx_rt_access_delay(uniform_params(4, {1, 1}), 0, -0.1).ok());
+}
+
+TEST(DelayModel, WithinEngineeringFactorOfSimulation) {
+  // Moderate load, single active flow: the approximation should land
+  // within a small factor of the measured mean access delay.
+  constexpr std::size_t kN = 8;
+  phy::Topology topology(phy::placement::circle(kN, 10.0),
+                         phy::RadioParams{18.0, 0.0});
+  wrtring::Config config;
+  config.default_quota = {1, 1};
+  wrtring::Engine engine(&topology, config, 5);
+  ASSERT_TRUE(engine.init().ok());
+  const auto params = engine.ring_params();
+  const double capacity = rt_capacity_per_slot(params, 0).value();
+  const double lambda = 0.5 * capacity;
+
+  traffic::FlowSpec spec;
+  spec.id = 1;
+  spec.src = engine.virtual_ring().station_at(0);
+  spec.dst = engine.virtual_ring().station_at(kN / 2);
+  spec.cls = TrafficClass::kRealTime;
+  spec.kind = traffic::ArrivalKind::kPoisson;
+  spec.rate_per_slot = lambda;
+  spec.deadline_slots = 1 << 20;
+  engine.add_source(spec);
+  engine.run_slots(40000);
+
+  const double measured = engine.stats().rt_access_delay_slots.mean();
+  const auto estimate = approx_rt_access_delay(params, 0, lambda);
+  ASSERT_TRUE(estimate.ok());
+  const double predicted = estimate.value().mean_wait_slots;
+  ASSERT_GT(measured, 0.0);
+  // Engineering estimate: right order of magnitude, both directions.
+  EXPECT_LT(predicted, 5.0 * measured + 5.0);
+  EXPECT_GT(predicted, measured / 5.0 - 5.0);
+}
+
+}  // namespace
+}  // namespace wrt::analysis

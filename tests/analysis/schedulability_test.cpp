@@ -1,0 +1,106 @@
+#include "analysis/schedulability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrt::analysis {
+namespace {
+
+AllocationInput demo_input() {
+  AllocationInput input;
+  input.ring_latency_slots = 8;
+  input.t_rap_slots = 0;
+  input.k_per_station = 1;
+  input.total_l_budget = 8;
+  input.flows = {
+      {0, 100, 1, 500},
+      {3, 150, 2, 700},
+      {5, 80, 1, 400},
+  };
+  return input;
+}
+
+TEST(Schedulability, FeasibleSetFullReport) {
+  const auto result = analyze_schedulability(
+      AllocationScheme::kEqualPartition, demo_input(), 8);
+  ASSERT_TRUE(result.ok());
+  const auto& report = result.value();
+  EXPECT_TRUE(report.feasible);
+  ASSERT_EQ(report.verdicts.size(), 3u);
+  for (const auto& verdict : report.verdicts) {
+    EXPECT_TRUE(verdict.feasible);
+    EXPECT_EQ(verdict.slack_slots,
+              verdict.deadline_slots - verdict.worst_case_wait_slots);
+    EXPECT_GE(verdict.slack_slots, 0);
+  }
+  EXPECT_GT(report.sat_time_bound_slots, 0);
+  EXPECT_NE(report.summary.find("schedulable"), std::string::npos);
+}
+
+TEST(Schedulability, VerdictsMatchTheorem3) {
+  const AllocationInput input = demo_input();
+  const auto result =
+      analyze_schedulability(AllocationScheme::kEqualPartition, input, 8);
+  ASSERT_TRUE(result.ok());
+  const auto& report = result.value();
+  for (std::size_t i = 0; i < report.verdicts.size(); ++i) {
+    const auto& flow = input.flows[i];
+    EXPECT_EQ(report.verdicts[i].worst_case_wait_slots,
+              access_time_bound(report.params, flow.station,
+                                flow.packets_per_period - 1));
+  }
+}
+
+TEST(Schedulability, InfeasibleFlowStillGetsVerdict) {
+  auto input = demo_input();
+  input.flows[1].deadline_slots = 10;  // impossible
+  const auto result = analyze_schedulability(
+      AllocationScheme::kEqualPartition, input, 8);
+  ASSERT_TRUE(result.ok());
+  const auto& report = result.value();
+  EXPECT_FALSE(report.feasible);
+  EXPECT_FALSE(report.verdicts[1].feasible);
+  EXPECT_TRUE(report.verdicts[0].feasible);  // others still evaluated
+  EXPECT_TRUE(report.verdicts[2].feasible);
+  EXPECT_EQ(report.bottleneck_flow, 1u);
+  EXPECT_NE(report.summary.find("NOT schedulable"), std::string::npos);
+}
+
+TEST(Schedulability, BottleneckIsMinimumSlack) {
+  auto input = demo_input();
+  input.flows[2].deadline_slots = 200;  // tightest but feasible
+  const auto result = analyze_schedulability(
+      AllocationScheme::kEqualPartition, input, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().feasible);
+  EXPECT_EQ(result.value().bottleneck_flow, 2u);
+}
+
+TEST(Schedulability, UtilisationSum) {
+  const auto result = analyze_schedulability(
+      AllocationScheme::kEqualPartition, demo_input(), 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().rt_utilisation,
+              1.0 / 100 + 2.0 / 150 + 1.0 / 80, 1e-9);
+}
+
+TEST(Schedulability, EmptyFlowsTriviallySchedulable) {
+  AllocationInput input;
+  input.ring_latency_slots = 8;
+  input.total_l_budget = 0;
+  const auto result = analyze_schedulability(
+      AllocationScheme::kEqualPartition, input, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().feasible);
+  EXPECT_NE(result.value().summary.find("trivially"), std::string::npos);
+}
+
+TEST(Schedulability, PropagatesAllocationFailure) {
+  auto input = demo_input();
+  input.flows.push_back({0, 100, 1, 500});  // duplicate station
+  EXPECT_FALSE(analyze_schedulability(AllocationScheme::kEqualPartition,
+                                      input, 8)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace wrt::analysis

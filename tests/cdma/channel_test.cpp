@@ -1,0 +1,154 @@
+#include "cdma/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cdma/code_assignment.hpp"
+
+namespace wrt::cdma {
+namespace {
+
+using StringChannel = Channel<std::string>;
+
+/// Four stations on a line: A(0) - B(1) - C(2) - D(3), spacing puts each
+/// station in range of its immediate neighbours only — Figure 1's layout.
+class Figure1Test : public ::testing::Test {
+ protected:
+  Figure1Test()
+      : topology_(phy::placement::chain(4, 10.0), phy::RadioParams{12.0, 0.0}),
+        channel_(&topology_) {
+    // Receive codes: node i listens on code i+1 plus broadcast.
+    for (NodeId n = 0; n < 4; ++n) {
+      channel_.set_listen_codes(
+          n, {static_cast<CdmaCode>(n + 1), kBroadcastCode});
+    }
+  }
+
+  phy::Topology topology_;
+  StringChannel channel_;
+};
+
+TEST_F(Figure1Test, ConcurrentTransmissionsWithDistinctCodesSucceed) {
+  // Paper, Figure 1: A->B and C->D transmit in the same slot; with CDMA both
+  // are decoded.
+  channel_.begin_slot(0);
+  channel_.transmit(0, 2, "A->B");  // B listens on code 2
+  channel_.transmit(2, 4, "C->D");  // D listens on code 4
+  EXPECT_EQ(channel_.end_slot(), 0u);
+  ASSERT_EQ(channel_.receptions(1).size(), 1u);
+  EXPECT_EQ(channel_.receptions(1)[0].payload, "A->B");
+  ASSERT_EQ(channel_.receptions(3).size(), 1u);
+  EXPECT_EQ(channel_.receptions(3)[0].payload, "C->D");
+}
+
+TEST_F(Figure1Test, SameCodeOverlapCollidesAtReceiver) {
+  // "If CDMA would not be used, a collision ... happens, causing station B
+  // to receive corrupted data": model no-CDMA as everyone using one code.
+  channel_.set_listen_codes(1, {7, kBroadcastCode});
+  channel_.begin_slot(0);
+  channel_.transmit(0, 7, "A->B");
+  channel_.transmit(2, 7, "C->?");  // C also reaches B
+  EXPECT_EQ(channel_.end_slot(), 1u);
+  EXPECT_TRUE(channel_.receptions(1).empty());
+  EXPECT_EQ(channel_.total_collisions(), 1u);
+}
+
+TEST_F(Figure1Test, OutOfRangeTransmissionNotHeard) {
+  channel_.begin_slot(0);
+  channel_.transmit(0, 4, "A->D");  // D is 30 m away, range 12 m
+  channel_.end_slot();
+  EXPECT_TRUE(channel_.receptions(3).empty());
+}
+
+TEST_F(Figure1Test, BroadcastHeardByAllInRange) {
+  channel_.begin_slot(0);
+  channel_.transmit(1, kBroadcastCode, "NEXT_FREE");
+  channel_.end_slot();
+  EXPECT_EQ(channel_.receptions(0).size(), 1u);  // A hears B
+  EXPECT_EQ(channel_.receptions(2).size(), 1u);  // C hears B
+  EXPECT_TRUE(channel_.receptions(3).empty());   // D out of range
+}
+
+TEST_F(Figure1Test, TwoBroadcastsCollide) {
+  channel_.begin_slot(0);
+  channel_.transmit(0, kBroadcastCode, "one");
+  channel_.transmit(2, kBroadcastCode, "two");
+  // B hears both on the common code: collision at B only.
+  EXPECT_EQ(channel_.end_slot(), 1u);
+  EXPECT_TRUE(channel_.receptions(1).empty());
+  // A hears nothing on broadcast from C (out of range) and its own frame is
+  // not received by itself.
+  EXPECT_TRUE(channel_.receptions(0).empty());
+}
+
+TEST_F(Figure1Test, SlotsAreIndependent) {
+  channel_.begin_slot(0);
+  channel_.transmit(0, 2, "first");
+  channel_.end_slot();
+  channel_.begin_slot(16);
+  channel_.end_slot();
+  EXPECT_TRUE(channel_.receptions(1).empty());
+}
+
+TEST_F(Figure1Test, DeadListenerHearsNothing) {
+  topology_.set_alive(1, false);
+  channel_.begin_slot(0);
+  channel_.transmit(0, 2, "A->B");
+  channel_.end_slot();
+  EXPECT_TRUE(channel_.receptions(1).empty());
+}
+
+TEST_F(Figure1Test, DeliveryCounterAccumulates) {
+  for (int slot = 0; slot < 5; ++slot) {
+    channel_.begin_slot(slot * 16);
+    channel_.transmit(0, 2, "x");
+    channel_.end_slot();
+  }
+  EXPECT_EQ(channel_.total_deliveries(), 5u);
+}
+
+TEST(CdmaChannelRing, ValidAssignmentYieldsNoCollisionsUnderFullLoad) {
+  // All stations of a ring transmit to their successor simultaneously for
+  // many slots; with a distance-2 colouring there must be zero collisions.
+  phy::Topology topology(phy::placement::circle(12, 10.0),
+                         phy::RadioParams{11.0, 0.0});
+  const CodeMap codes = assign_greedy_two_hop(topology);
+  ASSERT_TRUE(verify_two_hop_distinct(topology, codes));
+  Channel<int> channel(&topology);
+  for (NodeId n = 0; n < 12; ++n) {
+    channel.set_listen_codes(n, {codes[n], kBroadcastCode});
+  }
+  for (int slot = 0; slot < 100; ++slot) {
+    channel.begin_slot(slot * 16);
+    for (NodeId n = 0; n < 12; ++n) {
+      const NodeId succ = (n + 1) % 12;
+      channel.transmit(n, codes[succ], slot);
+    }
+    EXPECT_EQ(channel.end_slot(), 0u) << "slot " << slot;
+    for (NodeId n = 0; n < 12; ++n) {
+      EXPECT_EQ(channel.receptions(n).size(), 1u);
+    }
+  }
+  EXPECT_EQ(channel.total_collisions(), 0u);
+}
+
+TEST(CdmaChannelRing, BrokenAssignmentCollides) {
+  phy::Topology topology(phy::placement::circle(6, 10.0),
+                         phy::RadioParams{11.0, 0.0});
+  CodeMap codes = assign_greedy_two_hop(topology);
+  // Force stations 0 and 2 (2-hop neighbours) onto one code; both transmit
+  // toward station 1's code...
+  Channel<int> channel(&topology);
+  for (NodeId n = 0; n < 6; ++n) {
+    channel.set_listen_codes(n, {codes[n], kBroadcastCode});
+  }
+  channel.begin_slot(0);
+  channel.transmit(0, codes[1], 1);
+  channel.transmit(2, codes[1], 2);  // same code, both reach station 1
+  EXPECT_EQ(channel.end_slot(), 1u);
+  EXPECT_TRUE(channel.receptions(1).empty());
+}
+
+}  // namespace
+}  // namespace wrt::cdma

@@ -1,0 +1,97 @@
+// Conditioner conservation properties over random offered streams: every
+// packet is exactly one of {passed-as-is, demoted, dropped}; only Premium
+// drops, only Assured demotes; the long-run Premium accept rate tracks the
+// configured profile.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "diffserv/diffserv.hpp"
+#include "util/rng.hpp"
+
+namespace wrt::diffserv {
+namespace {
+
+class ConditionerSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ConditionerSweep, ConservationAndProfileTracking) {
+  const auto [offered_premium, offered_assured] = GetParam();
+  EdgePolicy policy;
+  policy.premium_rate = 0.05;
+  policy.premium_burst = 3.0;
+  policy.assured_rate = 0.08;
+  policy.assured_burst = 6.0;
+  EdgeConditioner edge(policy);
+  util::RngStream rng(42);
+
+  std::uint64_t premium_in = 0, premium_out = 0;
+  std::uint64_t assured_in = 0, assured_out = 0, assured_demoted = 0;
+  std::uint64_t be_in = 0, be_out = 0;
+  constexpr std::int64_t kSlots = 60000;
+  for (std::int64_t slot = 0; slot < kSlots; ++slot) {
+    const Tick now = slots_to_ticks(slot);
+    traffic::Packet packet;
+    packet.created = now;
+    if (rng.bernoulli(offered_premium)) {
+      packet.cls = TrafficClass::kRealTime;
+      ++premium_in;
+      if (const auto out = edge.condition(packet, now)) {
+        ASSERT_EQ(*out, TrafficClass::kRealTime);  // Premium never demotes
+        ++premium_out;
+      }
+    }
+    if (rng.bernoulli(offered_assured)) {
+      packet.cls = TrafficClass::kAssured;
+      ++assured_in;
+      const auto out = edge.condition(packet, now);
+      ASSERT_TRUE(out.has_value());  // Assured never drops
+      if (*out == TrafficClass::kAssured) {
+        ++assured_out;
+      } else {
+        ASSERT_EQ(*out, TrafficClass::kBestEffort);
+        ++assured_demoted;
+      }
+    }
+    if (rng.bernoulli(0.1)) {
+      packet.cls = TrafficClass::kBestEffort;
+      ++be_in;
+      const auto out = edge.condition(packet, now);
+      ASSERT_TRUE(out.has_value());
+      ASSERT_EQ(*out, TrafficClass::kBestEffort);
+      ++be_out;
+    }
+  }
+
+  // Conservation.
+  EXPECT_EQ(premium_in, premium_out + edge.premium_drops());
+  EXPECT_EQ(assured_in, assured_out + assured_demoted);
+  EXPECT_EQ(assured_demoted, edge.assured_demotions());
+  EXPECT_EQ(be_in, be_out);
+
+  // Profile tracking: accepted rate ~= min(offered, configured profile).
+  const double accepted_premium_rate =
+      static_cast<double>(premium_out) / static_cast<double>(kSlots);
+  const double expected_premium =
+      std::min(offered_premium, policy.premium_rate);
+  EXPECT_NEAR(accepted_premium_rate, expected_premium,
+              0.15 * expected_premium + 0.002)
+      << "offered " << offered_premium;
+  const double accepted_assured_rate =
+      static_cast<double>(assured_out) / static_cast<double>(kSlots);
+  const double expected_assured =
+      std::min(offered_assured, policy.assured_rate);
+  EXPECT_NEAR(accepted_assured_rate, expected_assured,
+              0.15 * expected_assured + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Load, ConditionerSweep,
+    ::testing::Values(std::tuple{0.01, 0.02},   // both in profile
+                      std::tuple{0.05, 0.08},   // exactly at profile
+                      std::tuple{0.15, 0.04},   // premium over, assured under
+                      std::tuple{0.03, 0.25},   // assured heavily over
+                      std::tuple{0.20, 0.20})); // both over
+
+}  // namespace
+}  // namespace wrt::diffserv

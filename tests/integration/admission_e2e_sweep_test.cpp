@@ -1,0 +1,75 @@
+// The contract that matters most, swept randomly: ANY session set the
+// admission controller accepts must then run on the MAC with zero
+// guaranteed-deadline misses.  Random (P, C, D) asks are generated per
+// seed; whatever gets admitted is driven as CBR traffic at full rate and
+// checked against the *controller's own* guarantee (not the looser asked
+// deadline).
+#include <gtest/gtest.h>
+
+#include "tests/wrtring/test_helpers.hpp"
+#include "wrtring/admission.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt::wrtring {
+namespace {
+
+class AdmissionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdmissionSweep, AdmittedSessionsNeverMissGuarantees) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::size_t kN = 10;
+  testing::Harness h(kN, Config{}, seed);
+  AdmissionController controller(
+      &h.engine, analysis::AllocationScheme::kNormalizedProportional,
+      /*l_budget=*/10, /*k_per_station=*/1);
+
+  util::RngStream rng(seed, 0xADE2E);
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  for (FlowId flow = 1; flow <= 12; ++flow) {
+    SessionRequest request;
+    request.flow = flow;
+    request.station = h.engine.virtual_ring().station_at(
+        static_cast<std::size_t>(rng.uniform_int(std::uint64_t{kN})));
+    request.period_slots = rng.uniform_int(std::int64_t{40}, 400);
+    request.packets_per_period = rng.uniform_int(std::int64_t{1}, 3);
+    request.deadline_slots = rng.uniform_int(std::int64_t{100}, 1500);
+    const auto verdict = controller.admit(request);
+    if (!verdict.ok()) {
+      ++rejected;
+      continue;
+    }
+    ++admitted;
+    const auto guaranteed = controller.guaranteed_delay(flow);
+    ASSERT_TRUE(guaranteed.ok());
+
+    traffic::FlowSpec spec;
+    spec.id = flow;
+    spec.src = request.station;
+    spec.dst = h.engine.virtual_ring().successor(request.station);
+    spec.cls = TrafficClass::kRealTime;
+    spec.kind = traffic::ArrivalKind::kCbr;
+    spec.period_slots = static_cast<double>(request.period_slots) /
+                        static_cast<double>(request.packets_per_period);
+    // The deadline under test is the controller's certificate plus the
+    // delivery transit allowance (see EXPERIMENTS.md methodology).
+    spec.deadline_slots = guaranteed.value() +
+                          static_cast<std::int64_t>(kN) + 2;
+    h.engine.add_source(spec);
+  }
+  ASSERT_GT(admitted, 0u) << "sweep degenerated, seed " << seed;
+
+  h.engine.run_slots(30000);
+  const auto& rt = h.engine.stats().sink.by_class(TrafficClass::kRealTime);
+  ASSERT_GT(rt.delivered, 100u);
+  EXPECT_EQ(rt.deadline_misses, 0u)
+      << "seed " << seed << " admitted " << admitted << " rejected "
+      << rejected;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdmissionSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u));
+
+}  // namespace
+}  // namespace wrt::wrtring

@@ -1,0 +1,165 @@
+// Property tests: the Section 2.6 bounds hold in simulation across a
+// parameter sweep of ring sizes, quotas and adversarial traffic patterns.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/bounds.hpp"
+#include "tests/wrtring/test_helpers.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt::wrtring {
+namespace {
+
+using testing::Harness;
+
+/// (N, l, k, rap) sweep.  The RAP-enabled points exercise the +T_rap term
+/// every bound carries.
+class BoundSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {
+ protected:
+  static Config make_config(int l, int k, bool rap) {
+    Config config;
+    config.default_quota = {static_cast<std::uint32_t>(l),
+                            static_cast<std::uint32_t>(k)};
+    if (rap) {
+      config.rap_policy = RapPolicy::kRotating;
+      config.t_ear_slots = 4;
+      config.t_update_slots = 2;
+    }
+    return config;
+  }
+
+  /// Saturates every station with worst-case (farthest-destination) RT and
+  /// BE traffic.
+  static void saturate(Harness& h, std::size_t n) {
+    for (NodeId node = 0; node < n; ++node) {
+      h.engine.add_saturated_source(
+          testing::rt_flow(node, node, n), 2 * 8);
+      h.engine.add_saturated_source(
+          testing::be_flow(static_cast<FlowId>(node + n), node, n), 2 * 8);
+    }
+  }
+};
+
+TEST_P(BoundSweep, Theorem1RotationBound) {
+  const auto [n, l, k, rap] = GetParam();
+  Harness h(static_cast<std::size_t>(n), make_config(l, k, rap));
+  saturate(h, static_cast<std::size_t>(n));
+  h.engine.run_slots(6000);
+  const auto bound =
+      static_cast<double>(analysis::sat_time_bound(h.engine.ring_params()));
+  ASSERT_GT(h.engine.stats().sat_rotation_slots.count(), 10u);
+  // Strict inequality, Eq (1).
+  EXPECT_LT(h.engine.stats().sat_rotation_slots.max(), bound)
+      << "N=" << n << " l=" << l << " k=" << k;
+}
+
+TEST_P(BoundSweep, Proposition3MeanBound) {
+  const auto [n, l, k, rap] = GetParam();
+  Harness h(static_cast<std::size_t>(n), make_config(l, k, rap));
+  saturate(h, static_cast<std::size_t>(n));
+  h.engine.run_slots(6000);
+  const auto expected = static_cast<double>(
+      analysis::expected_sat_time(h.engine.ring_params()));
+  EXPECT_LE(h.engine.stats().sat_rotation_slots.mean(), expected + 1e-9)
+      << "N=" << n << " l=" << l << " k=" << k;
+}
+
+TEST_P(BoundSweep, Theorem2NVisitSpans) {
+  const auto [n, l, k, rap] = GetParam();
+  Harness h(static_cast<std::size_t>(n), make_config(l, k, rap));
+  saturate(h, static_cast<std::size_t>(n));
+  h.engine.run_slots(6000);
+  const analysis::RingParams params = h.engine.ring_params();
+  // For every station, every window of v+1 consecutive arrivals spans at
+  // most the Eq (3) bound for v rounds.
+  for (std::size_t p = 0; p < h.engine.virtual_ring().size(); ++p) {
+    const NodeId node = h.engine.virtual_ring().station_at(p);
+    const auto& history = h.engine.sat_arrival_history(node);
+    for (const std::size_t v : {1u, 2u, 5u, 10u}) {
+      if (history.size() <= v) continue;
+      const auto bound = slots_to_ticks(analysis::sat_time_n_rounds_bound(
+          params, static_cast<std::int64_t>(v)));
+      for (std::size_t i = 0; i + v < history.size(); ++i) {
+        ASSERT_LE(history[i + v] - history[i], bound)
+            << "station " << node << " window " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundSweep,
+    ::testing::Values(std::tuple{4, 1, 1, false}, std::tuple{4, 2, 2, false},
+                      std::tuple{8, 1, 1, false}, std::tuple{8, 1, 3, false},
+                      std::tuple{8, 3, 1, false}, std::tuple{12, 2, 2, false},
+                      std::tuple{16, 1, 1, false},
+                      std::tuple{16, 4, 2, false},
+                      // RAP on: every bound gains the +T_rap term.
+                      std::tuple{8, 1, 1, true}, std::tuple{8, 2, 2, true},
+                      std::tuple{16, 1, 1, true},
+                      std::tuple{12, 2, 1, true}));
+
+/// Theorem 3: tagged-packet access time with a known backlog x.
+class Theorem3Sweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Theorem3Sweep, TaggedPacketWaitBound) {
+  const auto [l, x] = GetParam();
+  constexpr std::size_t kN = 8;
+  Config config;
+  config.default_quota = {static_cast<std::uint32_t>(l), 1};
+  Harness h(kN, config);
+  // Adversarial background: all other stations saturated.
+  for (NodeId node = 1; node < kN; ++node) {
+    h.engine.add_saturated_source(testing::rt_flow(node, node, kN), 8);
+    h.engine.add_saturated_source(
+        testing::be_flow(static_cast<FlowId>(node + kN), node, kN), 8);
+  }
+  h.engine.run_slots(500);  // reach steady saturation
+
+  // Build the backlog of x RT packets at station0, then insert the tagged
+  // packet and measure the wait until its transmission (access delay).
+  const NodeId station0 = h.engine.virtual_ring().station_at(0);
+  const NodeId dst = h.engine.virtual_ring().station_at(kN / 2);
+  for (int i = 0; i < x; ++i) {
+    traffic::Packet p;
+    p.flow = 100;
+    p.cls = TrafficClass::kRealTime;
+    p.src = station0;
+    p.dst = dst;
+    p.created = h.engine.now();
+    ASSERT_TRUE(h.engine.inject_packet(p));
+  }
+  traffic::Packet tagged;
+  tagged.flow = 101;
+  tagged.cls = TrafficClass::kRealTime;
+  tagged.src = station0;
+  tagged.dst = dst;
+  tagged.created = h.engine.now();
+  ASSERT_TRUE(h.engine.inject_packet(tagged));
+
+  const analysis::RingParams params = h.engine.ring_params();
+  const std::int64_t bound = analysis::access_time_bound(params, 0, x);
+  h.engine.run_slots(bound + 100);
+
+  // The tagged packet must have been transmitted within the bound.  We
+  // observe its delivery time, which adds the ring transit (at most S
+  // slots) on top of the access wait, plus 2 slots of engine phase
+  // discretisation (injection and SAT handling are sub-phases of a slot).
+  const auto& per_flow = h.engine.stats().sink.per_flow();
+  ASSERT_TRUE(per_flow.contains(101)) << "tagged packet not delivered";
+  const double delivery_delay = per_flow.at(101).max();
+  const double transit_slack =
+      static_cast<double>(params.ring_latency_slots) + 2.0;
+  EXPECT_LE(delivery_delay, static_cast<double>(bound) + transit_slack)
+      << "l=" << l << " x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem3Sweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(0, 1, 3, 7, 15)));
+
+}  // namespace
+}  // namespace wrt::wrtring

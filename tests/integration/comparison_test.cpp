@@ -1,0 +1,205 @@
+// Section 3 comparison claims, verified in simulation: hops per round,
+// control-signal round trips, loss reaction, and capacity.
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "tests/wrtring/test_helpers.hpp"
+#include "tpt/engine.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt {
+namespace {
+
+phy::Topology room(std::size_t n) {
+  return phy::Topology(phy::placement::circle(n, 5.0),
+                       phy::RadioParams{100.0, 0.0});
+}
+
+class HopsPerRound : public ::testing::TestWithParam<int> {};
+
+TEST_P(HopsPerRound, MeasuredMatchesSection321) {
+  const auto n = static_cast<std::size_t>(GetParam());
+
+  phy::Topology ring_topology = room(n);
+  wrtring::Engine ring(&ring_topology, wrtring::Config{}, 1);
+  ASSERT_TRUE(ring.init().ok());
+  ring.run_slots(static_cast<std::int64_t>(n) * 200);
+
+  phy::Topology tree_topology = room(n);
+  tpt::TptEngine tpt_engine(&tree_topology, tpt::TptConfig{}, 1);
+  ASSERT_TRUE(tpt_engine.init().ok());
+  tpt_engine.run_slots(static_cast<std::int64_t>(n) * 200);
+
+  const double ring_hops =
+      static_cast<double>(ring.stats().sat_hops) /
+      static_cast<double>(ring.stats().sat_rounds);
+  const double tpt_hops =
+      static_cast<double>(tpt_engine.stats().token_hops) /
+      static_cast<double>(tpt_engine.stats().token_rounds);
+
+  EXPECT_NEAR(ring_hops,
+              static_cast<double>(analysis::wrt_hops_per_round(
+                  static_cast<std::int64_t>(n))),
+              1.0);
+  EXPECT_NEAR(tpt_hops,
+              static_cast<double>(analysis::tpt_hops_per_round(
+                  static_cast<std::int64_t>(n))),
+              1.5);
+  if (n > 2) {
+    EXPECT_GT(tpt_hops, ring_hops);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HopsPerRound,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST(RoundTripComparison, EmptyNetworkSatBeatsToken) {
+  // Section 3.3: same scenario, same control transfer time; the SAT round
+  // trip N * t_sig beats the token's 2 (N-1) * t_sig for all N > 2.
+  for (const std::size_t n : {6u, 12u, 24u}) {
+    phy::Topology ring_topology = room(n);
+    wrtring::Engine ring(&ring_topology, wrtring::Config{}, 1);
+    ASSERT_TRUE(ring.init().ok());
+    ring.run_slots(static_cast<std::int64_t>(n) * 40);
+
+    phy::Topology tree_topology = room(n);
+    tpt::TptEngine token(&tree_topology, tpt::TptConfig{}, 1);
+    ASSERT_TRUE(token.init().ok());
+    token.run_slots(static_cast<std::int64_t>(n) * 40);
+
+    const double sat_rotation = ring.stats().sat_rotation_slots.mean();
+    const double token_rotation =
+        token.stats().token_rotation_slots.mean();
+    EXPECT_GT(token_rotation, sat_rotation) << "n = " << n;
+    // And both match the closed forms.
+    EXPECT_NEAR(sat_rotation,
+                analysis::wrt_signal_round_trip(
+                    static_cast<std::int64_t>(n), 1.0, 0.0),
+                0.5);
+    EXPECT_NEAR(token_rotation,
+                analysis::tpt_signal_round_trip(
+                    static_cast<std::int64_t>(n), 1.0, 0.0),
+                1.5);
+  }
+}
+
+TEST(ReactionComparison, WrtDetectsLossFasterUnderEqualBandwidth) {
+  // Equal reserved bandwidth: sum H_e = sum (l + k).  TTRT must be at least
+  // the TPT round bound for feasibility; the SAT timer is the Theorem-1
+  // bound.  The paper's claim SAT_TIME < D = 2 TTRT then follows.
+  constexpr std::size_t kN = 10;
+  constexpr std::uint32_t kL = 1, kK = 1;
+
+  // --- WRT-Ring ---
+  phy::Topology ring_topology = room(kN);
+  wrtring::Config ring_config;
+  ring_config.default_quota = {kL, kK};
+  wrtring::Engine ring(&ring_topology, ring_config, 1);
+  ASSERT_TRUE(ring.init().ok());
+  ring.run_slots(200);
+  ring.drop_sat_once();
+  ring.run_slots(4 * analysis::sat_time_bound(ring.ring_params()));
+  ASSERT_EQ(ring.stats().sat_losses_detected, 1u);
+  const double ring_detection = ring.stats().sat_loss_detection_slots.max();
+
+  // --- TPT with the same reserved bandwidth ---
+  tpt::TptConfig tpt_config;
+  tpt_config.h_sync_default = kL + kK;
+  // TTRT >= sum H + walk time (feasibility); round up generously the same
+  // way a deployment would.
+  tpt_config.ttrt_slots =
+      static_cast<std::int64_t>(kN * (kL + kK) + 2 * (kN - 1));
+  phy::Topology tree_topology = room(kN);
+  tpt::TptEngine token(&tree_topology, tpt_config, 1);
+  ASSERT_TRUE(token.init().ok());
+  token.run_slots(200);
+  token.drop_token_once();
+  token.run_slots(6 * tpt_config.ttrt_slots);
+  ASSERT_EQ(token.stats().losses_detected, 1u);
+  const double tpt_detection = token.stats().loss_detection_slots.max();
+
+  // Analytical claim: SAT_TIME < D.
+  EXPECT_LT(analysis::sat_time_bound(ring.ring_params()),
+            analysis::tpt_reaction_bound(token.params()));
+  // Measured claim: WRT-Ring noticed sooner.
+  EXPECT_LT(ring_detection, tpt_detection);
+}
+
+TEST(RecoveryComparison, StationDeathCutOutVsRebuild) {
+  constexpr std::size_t kN = 10;
+  // WRT-Ring: 2-hop range ring so the cut-out works.
+  wrtring::testing::Harness ring(kN, wrtring::Config{});
+  ring.engine.run_slots(100);
+  ring.engine.kill_station(ring.engine.virtual_ring().station_at(5));
+  ring.engine.run_slots(
+      6 * analysis::sat_time_bound(ring.engine.ring_params()));
+  EXPECT_EQ(ring.engine.stats().sat_recoveries, 1u);
+  EXPECT_EQ(ring.engine.stats().ring_rebuilds, 0u);
+
+  // TPT: any station death breaks the tree.
+  phy::Topology tree_topology = room(kN);
+  tpt::TptConfig tpt_config;
+  tpt_config.ttrt_slots = 40;
+  tpt::TptEngine token(&tree_topology, tpt_config, 1);
+  ASSERT_TRUE(token.init().ok());
+  token.run_slots(100);
+  token.kill_station(5);
+  token.run_slots(40 * tpt_config.ttrt_slots);
+  EXPECT_GE(token.stats().tree_rebuilds, 1u);
+
+  // WRT-Ring's recovery completed strictly faster than TPT's.
+  ASSERT_GT(ring.engine.stats().recovery_total_slots.count(), 0u);
+  ASSERT_GT(token.stats().recovery_total_slots.count(), 0u);
+  EXPECT_LT(ring.engine.stats().recovery_total_slots.max(),
+            token.stats().recovery_total_slots.max());
+}
+
+TEST(CapacityComparison, ConcurrentAccessBeatsTokenHolding) {
+  // The [13] claim the paper leans on: multiple simultaneous transmitters
+  // give RT-Ring-style protocols higher capacity than token passing.  With
+  // every station saturated toward its successor, WRT-Ring approaches one
+  // delivery per station per slot+quota gating, while TPT is limited to the
+  // single token holder.
+  constexpr std::size_t kN = 10;
+  wrtring::testing::Harness ring(kN, wrtring::Config{});
+  for (NodeId n = 0; n < kN; ++n) {
+    traffic::FlowSpec spec;
+    spec.id = n;
+    spec.src = n;
+    spec.dst = ring.engine.virtual_ring().successor(n);
+    spec.cls = TrafficClass::kRealTime;
+    spec.deadline_slots = 100000;
+    ring.engine.add_saturated_source(spec, 8);
+  }
+  ring.engine.run_slots(5000);
+  const double ring_throughput =
+      ring.engine.stats().sink.throughput(0, ring.engine.now());
+
+  phy::Topology tree_topology = room(kN);
+  tpt::TptConfig tpt_config;
+  tpt_config.ttrt_slots = 60;
+  tpt_config.h_sync_default = 2;
+  tpt::TptEngine token(&tree_topology, tpt_config, 1);
+  ASSERT_TRUE(token.init().ok());
+  for (NodeId n = 0; n < kN; ++n) {
+    traffic::FlowSpec spec;
+    spec.id = n;
+    spec.src = n;
+    spec.dst = static_cast<NodeId>((n + 1) % kN);
+    spec.cls = TrafficClass::kRealTime;
+    spec.deadline_slots = 100000;
+    token.add_saturated_source(spec, 8);
+  }
+  token.run_slots(5000);
+  const double tpt_throughput =
+      token.stats().sink.throughput(0, token.now());
+
+  ASSERT_GT(tpt_throughput, 0.0);
+  // The shared channel caps TPT at 1 packet/slot minus token-walk overhead;
+  // the ring's spatial reuse must deliver a clear multiple of that.
+  EXPECT_LT(tpt_throughput, 1.0);
+  EXPECT_GT(ring_throughput, 2.0 * tpt_throughput);
+}
+
+}  // namespace
+}  // namespace wrt

@@ -1,0 +1,123 @@
+// Causal-ordering assertions on the engines' protocol event traces: the
+// recovery and join machinery must unfold in the order the paper specifies.
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "tests/wrtring/test_helpers.hpp"
+#include "tpt/engine.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt {
+namespace {
+
+using sim::EventKind;
+using wrtring::testing::Harness;
+
+TEST(EventSequence, RecoveryUnfoldsInPaperOrder) {
+  Harness h(8, wrtring::Config{});
+  h.engine.run_slots(100);
+  h.engine.drop_sat_once();
+  h.engine.run_slots(4 * analysis::sat_time_bound(h.engine.ring_params()));
+  const auto& trace = h.engine.event_trace();
+  // launch -> lost -> detected -> SAT_REC -> cut-out -> recovered.
+  EXPECT_TRUE(trace.ordered(EventKind::kSatLaunched, EventKind::kSatLost));
+  EXPECT_TRUE(trace.ordered(EventKind::kSatLost, EventKind::kLossDetected));
+  EXPECT_TRUE(
+      trace.ordered(EventKind::kLossDetected, EventKind::kSatRecStarted));
+  EXPECT_TRUE(trace.ordered(EventKind::kSatRecStarted, EventKind::kCutOut));
+  EXPECT_TRUE(trace.ordered(EventKind::kCutOut, EventKind::kRecovered));
+  // The detector blamed its ring predecessor.
+  const auto detections = trace.of_kind(EventKind::kLossDetected);
+  ASSERT_EQ(detections.size(), 1u);
+  const auto cut_outs = trace.of_kind(EventKind::kCutOut);
+  ASSERT_EQ(cut_outs.size(), 1u);
+  EXPECT_EQ(detections[0].other, cut_outs[0].other);
+}
+
+TEST(EventSequence, DetectionLatencyVisibleInTrace) {
+  Harness h(10, wrtring::Config{});
+  h.engine.run_slots(100);
+  h.engine.drop_sat_once();
+  const auto bound = analysis::sat_time_bound(h.engine.ring_params());
+  h.engine.run_slots(4 * bound);
+  const auto& trace = h.engine.event_trace();
+  const auto lost = trace.of_kind(EventKind::kSatLost);
+  const auto detected = trace.of_kind(EventKind::kLossDetected);
+  ASSERT_EQ(lost.size(), 1u);
+  ASSERT_EQ(detected.size(), 1u);
+  const Tick latency = detected[0].at - lost[0].at;
+  EXPECT_GT(latency, 0);
+  EXPECT_LE(ticks_to_slots(latency), bound);
+}
+
+TEST(EventSequence, JoinEventsCarryIngress) {
+  wrtring::Config config;
+  config.rap_policy = wrtring::RapPolicy::kRotating;
+  Harness h(6, config);
+  const phy::Vec2 mid =
+      (h.topology.position(2) + h.topology.position(3)) * 0.5;
+  const NodeId joiner = h.topology.add_node(mid);
+  h.engine.request_join(joiner, {1, 1});
+  h.engine.run_slots(6 * 40 * 10);
+  const auto joins = h.engine.event_trace().of_kind(EventKind::kJoinCompleted);
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0].station, joiner);
+  // The recorded ingress really is the joiner's current ring predecessor.
+  EXPECT_EQ(h.engine.virtual_ring().predecessor(joiner), joins[0].other);
+  // RAPs preceded the join.
+  EXPECT_TRUE(h.engine.event_trace().ordered(EventKind::kRapStarted,
+                                             EventKind::kJoinCompleted));
+}
+
+TEST(EventSequence, RejectedJoinLeavesRejectionEvent) {
+  wrtring::Config config;
+  config.rap_policy = wrtring::RapPolicy::kRotating;
+  Harness h(6, config);
+  h.engine.set_max_sat_time_goal(
+      analysis::sat_time_bound(h.engine.ring_params()) + 2);
+  const phy::Vec2 mid =
+      (h.topology.position(0) + h.topology.position(1)) * 0.5;
+  const NodeId greedy = h.topology.add_node(mid);
+  h.engine.request_join(greedy, {40, 40});
+  h.engine.run_slots(6 * 40 * 10);
+  EXPECT_EQ(h.engine.event_trace().of_kind(EventKind::kJoinRejected).size(),
+            1u);
+  EXPECT_TRUE(
+      h.engine.event_trace().of_kind(EventKind::kJoinCompleted).empty());
+}
+
+TEST(EventSequence, TptClaimOrdering) {
+  phy::Topology room(phy::placement::circle(8, 5.0),
+                     phy::RadioParams{100.0, 0.0});
+  tpt::TptConfig config;
+  config.ttrt_slots = 32;
+  tpt::TptEngine engine(&room, config, 1);
+  ASSERT_TRUE(engine.init().ok());
+  engine.run_slots(200);
+  engine.drop_token_once();
+  engine.run_slots(10 * config.ttrt_slots);
+  const auto& trace = engine.event_trace();
+  EXPECT_TRUE(trace.ordered(EventKind::kTokenLost, EventKind::kClaimStarted));
+  EXPECT_TRUE(
+      trace.ordered(EventKind::kClaimStarted, EventKind::kClaimSucceeded));
+  EXPECT_TRUE(trace.of_kind(EventKind::kTreeRebuilt).empty());
+}
+
+TEST(EventSequence, TptDeathEndsInTreeRebuild) {
+  phy::Topology room(phy::placement::circle(8, 5.0),
+                     phy::RadioParams{100.0, 0.0});
+  tpt::TptConfig config;
+  config.ttrt_slots = 32;
+  tpt::TptEngine engine(&room, config, 1);
+  ASSERT_TRUE(engine.init().ok());
+  engine.run_slots(200);
+  engine.kill_station(4);
+  engine.run_slots(40 * config.ttrt_slots);
+  const auto& trace = engine.event_trace();
+  EXPECT_TRUE(
+      trace.ordered(EventKind::kClaimStarted, EventKind::kTreeRebuilt));
+  EXPECT_TRUE(trace.of_kind(EventKind::kClaimSucceeded).empty());
+}
+
+}  // namespace
+}  // namespace wrt

@@ -1,0 +1,77 @@
+#include "phy/link_quality.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrt::phy {
+namespace {
+
+TEST(PathLoss, GrowsLogDistance) {
+  const LinkBudget budget;
+  const double at_1m = path_loss_db(budget, 1.0);
+  EXPECT_DOUBLE_EQ(at_1m, budget.path_loss_d0_db);
+  // Decade of distance adds 10 n dB.
+  EXPECT_NEAR(path_loss_db(budget, 10.0) - at_1m,
+              10.0 * budget.path_loss_exponent, 1e-9);
+  EXPECT_NEAR(path_loss_db(budget, 100.0) - at_1m,
+              20.0 * budget.path_loss_exponent, 1e-9);
+}
+
+TEST(PathLoss, ClampsTinyDistances) {
+  const LinkBudget budget;
+  EXPECT_DOUBLE_EQ(path_loss_db(budget, 0.0), path_loss_db(budget, 0.1));
+}
+
+TEST(Snr, DecreasesWithDistance) {
+  const LinkBudget budget;
+  EXPECT_GT(snr_db(budget, 2.0), snr_db(budget, 20.0));
+  EXPECT_GT(snr_db(budget, 20.0), snr_db(budget, 60.0));
+}
+
+TEST(Ber, MonotoneInSnr) {
+  EXPECT_GT(bpsk_ber(0.0), bpsk_ber(5.0));
+  EXPECT_GT(bpsk_ber(5.0), bpsk_ber(10.0));
+  EXPECT_LT(bpsk_ber(12.0), 1e-8);   // clean channel
+  EXPECT_NEAR(bpsk_ber(-30.0), 0.5, 0.05);  // pure noise
+}
+
+TEST(Per, SteepKnee) {
+  const LinkBudget budget;
+  // Close links are essentially error-free, far links are dead, and the
+  // transition happens over a short distance band.
+  EXPECT_LT(frame_error_rate(budget, 5.0), 1e-6);
+  EXPECT_GT(frame_error_rate(budget, 200.0), 0.999);
+  const double d50 = distance_for_per(budget, 0.5);
+  const double d01 = distance_for_per(budget, 0.01);
+  EXPECT_GT(d50, d01);
+  // The 1%-to-50% band is narrower than the 1% distance itself.
+  EXPECT_LT(d50 - d01, d01);
+}
+
+TEST(Per, MoreBitsMoreErrors) {
+  LinkBudget small;
+  small.frame_bits = 128;
+  LinkBudget large;
+  large.frame_bits = 8192;
+  const double d = distance_for_per(small, 0.01);
+  EXPECT_GT(frame_error_rate(large, d), frame_error_rate(small, d));
+}
+
+TEST(Per, BoundedZeroOne) {
+  const LinkBudget budget;
+  for (const double d : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    const double per = frame_error_rate(budget, d);
+    EXPECT_GE(per, 0.0);
+    EXPECT_LE(per, 1.0);
+  }
+}
+
+TEST(DistanceForPer, InvertsPerCurve) {
+  const LinkBudget budget;
+  for (const double target : {0.001, 0.01, 0.1, 0.5}) {
+    const double d = distance_for_per(budget, target);
+    EXPECT_NEAR(frame_error_rate(budget, d), target, target * 0.5 + 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace wrt::phy

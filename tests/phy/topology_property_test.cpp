@@ -1,0 +1,77 @@
+// Random-placement property sweep over the connectivity substrate.
+#include <gtest/gtest.h>
+
+#include "phy/topology.hpp"
+
+namespace wrt::phy {
+namespace {
+
+class TopologyPropertySweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologyPropertySweep, StructuralInvariants) {
+  const std::uint64_t seed = GetParam();
+  const auto placement =
+      placement::random_connected(18, Rect{{0, 0}, {60, 60}}, 22.0, seed);
+  ASSERT_TRUE(placement.ok());
+  const Topology t(placement.value(), RadioParams{22.0, 0.0});
+
+  for (NodeId a = 0; a < t.node_count(); ++a) {
+    // Nobody reaches themselves.
+    EXPECT_FALSE(t.reachable(a, a));
+    for (NodeId b = 0; b < t.node_count(); ++b) {
+      // Symmetry.
+      EXPECT_EQ(t.reachable(a, b), t.reachable(b, a));
+      // Reachability agrees with geometry.
+      if (a != b) {
+        EXPECT_EQ(t.reachable(a, b),
+                  distance(t.position(a), t.position(b)) <= 22.0);
+      }
+    }
+    // Neighbour lists agree with reachable().
+    for (const NodeId n : t.neighbors(a)) {
+      EXPECT_TRUE(t.reachable(a, n));
+    }
+  }
+
+  // Hidden-pair definition: both reach the receiver, not each other.
+  for (NodeId r = 0; r < t.node_count(); ++r) {
+    const auto neighbors = t.neighbors(r);
+    for (const NodeId a : neighbors) {
+      for (const NodeId c : neighbors) {
+        if (a == c) continue;
+        EXPECT_EQ(t.hidden_pair(a, c, r), !t.reachable(a, c));
+      }
+    }
+  }
+
+  // random_connected's promise.
+  EXPECT_TRUE(t.connected());
+  EXPECT_TRUE(t.min_degree_at_least(2));
+}
+
+TEST_P(TopologyPropertySweep, KillingNodesNeverAddsEdges) {
+  const std::uint64_t seed = GetParam();
+  const auto placement =
+      placement::random_connected(14, Rect{{0, 0}, {50, 50}}, 20.0, seed);
+  ASSERT_TRUE(placement.ok());
+  Topology t(placement.value(), RadioParams{20.0, 0.0});
+  std::size_t edges_before = 0;
+  for (NodeId a = 0; a < t.node_count(); ++a) {
+    edges_before += t.neighbors(a).size();
+  }
+  t.set_alive(3, false);
+  t.set_alive(7, false);
+  std::size_t edges_after = 0;
+  for (NodeId a = 0; a < t.node_count(); ++a) {
+    edges_after += t.neighbors(a).size();
+  }
+  EXPECT_LT(edges_after, edges_before);
+  EXPECT_TRUE(t.neighbors(3).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyPropertySweep,
+                         ::testing::Values(2u, 3u, 7u, 9u, 13u, 21u));
+
+}  // namespace
+}  // namespace wrt::phy

@@ -1,0 +1,86 @@
+#include "sim/batch_means.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace wrt::sim {
+namespace {
+
+TEST(BatchMeans, EstimatesIidMean) {
+  BatchMeans bm(20, 0.1);
+  util::RngStream rng(1);
+  for (int i = 0; i < 20000; ++i) bm.add(rng.normal(10.0, 2.0));
+  const auto result = bm.estimate();
+  EXPECT_EQ(result.batches, 20u);
+  EXPECT_NEAR(result.mean, 10.0, 0.1);
+  EXPECT_GT(result.ci95_half_width, 0.0);
+  EXPECT_LT(result.ci95_half_width, 0.2);
+}
+
+TEST(BatchMeans, CiCoversTrueMeanUsually) {
+  int covered = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    BatchMeans bm(20, 0.0);
+    util::RngStream rng(seed);
+    for (int i = 0; i < 4000; ++i) bm.add(rng.exponential(5.0));
+    const auto result = bm.estimate();
+    if (std::abs(result.mean - 5.0) <= result.ci95_half_width) ++covered;
+  }
+  // Nominal 95%; allow slack for the small trial count.
+  EXPECT_GE(covered, 33);
+}
+
+TEST(BatchMeans, WarmupTrimsTransient) {
+  BatchMeans with_warmup(10, 0.5);
+  BatchMeans without(10, 0.0);
+  // First half biased high (a warmup transient), second half at 1.0.
+  for (int i = 0; i < 1000; ++i) {
+    const double v = i < 500 ? 100.0 : 1.0;
+    with_warmup.add(v);
+    without.add(v);
+  }
+  EXPECT_NEAR(with_warmup.estimate().mean, 1.0, 1e-9);
+  EXPECT_GT(without.estimate().mean, 40.0);
+}
+
+TEST(BatchMeans, TooFewObservationsFallsBack) {
+  BatchMeans bm(20, 0.0);
+  for (int i = 0; i < 10; ++i) bm.add(static_cast<double>(i));
+  const auto result = bm.estimate();
+  EXPECT_EQ(result.batches, 0u);
+  EXPECT_DOUBLE_EQ(result.mean, 4.5);
+  EXPECT_DOUBLE_EQ(result.ci95_half_width, 0.0);
+}
+
+TEST(BatchMeans, EmptyIsSafe) {
+  const BatchMeans bm;
+  const auto result = bm.estimate();
+  EXPECT_EQ(result.observations_used, 0u);
+  EXPECT_DOUBLE_EQ(result.mean, 0.0);
+}
+
+TEST(BatchMeans, ValidatesConstruction) {
+  EXPECT_THROW(BatchMeans(1, 0.1), std::invalid_argument);
+  EXPECT_THROW(BatchMeans(10, 1.0), std::invalid_argument);
+  EXPECT_THROW(BatchMeans(10, -0.2), std::invalid_argument);
+}
+
+TEST(BatchMeans, CorrelatedDataWidensCi) {
+  // A slowly drifting signal has correlated batches: the CI must be wider
+  // than for iid noise of the same marginal variance.
+  BatchMeans iid(20, 0.0);
+  BatchMeans correlated(20, 0.0);
+  util::RngStream rng(7);
+  double walk = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    iid.add(rng.normal(0.0, 1.0));
+    walk = 0.999 * walk + rng.normal(0.0, 1.0) * 0.045;  // AR(1)
+    correlated.add(walk * 20.0);
+  }
+  EXPECT_GT(correlated.estimate().ci95_half_width,
+            iid.estimate().ci95_half_width);
+}
+
+}  // namespace
+}  // namespace wrt::sim

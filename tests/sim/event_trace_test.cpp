@@ -1,0 +1,74 @@
+#include "sim/event_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrt::sim {
+namespace {
+
+TEST(EventTrace, RecordsAndFormats) {
+  EventTrace trace;
+  trace.record(EventKind::kCutOut, slots_to_ticks(50), 3, 4);
+  ASSERT_EQ(trace.size(), 1u);
+  const std::string line = trace.events().front().to_line();
+  EXPECT_NE(line.find("[50]"), std::string::npos);
+  EXPECT_NE(line.find("cut-out"), std::string::npos);
+  EXPECT_NE(line.find("station=3"), std::string::npos);
+  EXPECT_NE(line.find("other=4"), std::string::npos);
+}
+
+TEST(EventTrace, BoundedCapacity) {
+  EventTrace trace(4);
+  for (int i = 0; i < 10; ++i) {
+    trace.record(EventKind::kRapStarted, slots_to_ticks(i));
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.events().front().at, slots_to_ticks(6));  // oldest kept
+}
+
+TEST(EventTrace, OfKindFilters) {
+  EventTrace trace;
+  trace.record(EventKind::kSatLost, 1);
+  trace.record(EventKind::kLossDetected, 2);
+  trace.record(EventKind::kSatLost, 3);
+  EXPECT_EQ(trace.of_kind(EventKind::kSatLost).size(), 2u);
+  EXPECT_EQ(trace.of_kind(EventKind::kCutOut).size(), 0u);
+}
+
+TEST(EventTrace, FirstAfter) {
+  EventTrace trace;
+  trace.record(EventKind::kRecovered, slots_to_ticks(10));
+  trace.record(EventKind::kRecovered, slots_to_ticks(30));
+  const auto* hit = trace.first_after(EventKind::kRecovered,
+                                      slots_to_ticks(15));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->at, slots_to_ticks(30));
+  EXPECT_EQ(trace.first_after(EventKind::kRecovered, slots_to_ticks(31)),
+            nullptr);
+}
+
+TEST(EventTrace, OrderedPredicate) {
+  EventTrace trace;
+  trace.record(EventKind::kSatLost, 5);
+  trace.record(EventKind::kLossDetected, 9);
+  EXPECT_TRUE(trace.ordered(EventKind::kSatLost, EventKind::kLossDetected));
+  EXPECT_FALSE(trace.ordered(EventKind::kLossDetected, EventKind::kSatLost));
+  EXPECT_FALSE(trace.ordered(EventKind::kSatLost, EventKind::kCutOut));
+}
+
+TEST(EventTrace, ClearResets) {
+  EventTrace trace;
+  trace.record(EventKind::kJoinCompleted, 1);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+}
+
+TEST(EventTrace, AllKindsStringify) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kTreeRebuilt); ++k) {
+    EXPECT_NE(to_string(static_cast<EventKind>(k)), "unknown") << k;
+  }
+}
+
+}  // namespace
+}  // namespace wrt::sim

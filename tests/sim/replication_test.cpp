@@ -1,0 +1,99 @@
+#include "sim/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace wrt::sim {
+namespace {
+
+TEST(Replication, AggregatesAllRuns) {
+  const auto summaries = run_replications(
+      8, 42,
+      [](std::uint64_t seed) {
+        ReplicationResult r;
+        r.add("seed_mod", static_cast<double>(seed % 100));
+        r.add("constant", 5.0);
+        return r;
+      },
+      2);
+  ASSERT_EQ(summaries.size(), 2u);
+  const auto& constant = find_metric(summaries, "constant");
+  EXPECT_EQ(constant.samples, 8u);
+  EXPECT_DOUBLE_EQ(constant.mean, 5.0);
+  EXPECT_DOUBLE_EQ(constant.stddev, 0.0);
+}
+
+TEST(Replication, SeedsAreDistinct) {
+  std::set<std::uint64_t> seen;
+  std::mutex mutex;
+  run_replications(16, 7, [&](std::uint64_t seed) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(seed);
+    }
+    return ReplicationResult{};
+  });
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Replication, DeterministicAcrossThreadCounts) {
+  const auto body = [](std::uint64_t seed) {
+    util::RngStream rng(seed);
+    ReplicationResult r;
+    r.add("value", rng.uniform());
+    return r;
+  };
+  const auto serial = run_replications(12, 99, body, 1);
+  const auto parallel = run_replications(12, 99, body, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_DOUBLE_EQ(find_metric(serial, "value").mean,
+                   find_metric(parallel, "value").mean);
+  EXPECT_DOUBLE_EQ(find_metric(serial, "value").stddev,
+                   find_metric(parallel, "value").stddev);
+}
+
+TEST(Replication, ZeroReplications) {
+  EXPECT_TRUE(run_replications(0, 1, [](std::uint64_t) {
+                return ReplicationResult{};
+              }).empty());
+}
+
+TEST(Replication, Ci95HalfWidthShrinksWithSamples) {
+  MetricSummary small{"m", 10.0, 2.0, 0.0, 0.0, 4};
+  MetricSummary large{"m", 10.0, 2.0, 0.0, 0.0, 400};
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+  EXPECT_NEAR(large.ci95_half_width(), 1.96 * 2.0 / 20.0, 1e-9);
+}
+
+TEST(Replication, Ci95SingleSampleIsZero) {
+  MetricSummary one{"m", 10.0, 2.0, 0.0, 0.0, 1};
+  EXPECT_DOUBLE_EQ(one.ci95_half_width(), 0.0);
+}
+
+TEST(Replication, FindMetricThrowsOnMissing) {
+  const std::vector<MetricSummary> none;
+  EXPECT_THROW((void)find_metric(none, "nope"), std::out_of_range);
+}
+
+TEST(Replication, MinMaxTracked) {
+  const auto summaries = run_replications(
+      5, 3,
+      [](std::uint64_t seed) {
+        ReplicationResult r;
+        r.add("v", static_cast<double>(seed % 10));
+        return r;
+      },
+      1);
+  const auto& v = find_metric(summaries, "v");
+  EXPECT_LE(v.min, v.mean);
+  EXPECT_GE(v.max, v.mean);
+}
+
+}  // namespace
+}  // namespace wrt::sim

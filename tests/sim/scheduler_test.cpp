@@ -1,0 +1,109 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace wrt::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, SameTickFifoOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(5, [&] { order.push_back(1); });
+  s.schedule_at(5, [&] { order.push_back(2); });
+  s.schedule_at(5, [&] { order.push_back(3); });
+  s.run_until(5);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, NowAdvancesToEventTime) {
+  Scheduler s;
+  Tick seen = -1;
+  s.schedule_at(42, [&] { seen = s.now(); });
+  s.run_until(100);
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(s.now(), 100);  // horizon reached
+}
+
+TEST(Scheduler, HorizonLeavesLaterEventsQueued) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(10, [&] { ++fired; });
+  s.schedule_at(200, [&] { ++fired; });
+  EXPECT_EQ(s.run_until(100), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+  Scheduler s;
+  Tick seen = -1;
+  s.schedule_at(10, [&] {
+    s.schedule_after(5, [&] { seen = s.now(); });
+  });
+  s.run_until(100);
+  EXPECT_EQ(seen, 15);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  int fired = 0;
+  const EventHandle h = s.schedule_at(10, [&] { ++fired; });
+  s.cancel(h);
+  s.run_until(100);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, CancelUnknownHandleIsNoop) {
+  Scheduler s;
+  s.cancel(EventHandle{12345});
+  s.cancel(EventHandle{0});
+  EXPECT_EQ(s.run_until(10), 0u);
+}
+
+TEST(Scheduler, EventsMayScheduleEvents) {
+  Scheduler s;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    ++chain;
+    if (chain < 5) s.schedule_after(1, next);
+  };
+  s.schedule_at(0, next);
+  s.run_until(100);
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(Scheduler, SchedulingInPastThrows) {
+  Scheduler s;
+  s.schedule_at(50, [] {});
+  s.run_until(50);
+  EXPECT_THROW(s.schedule_at(10, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, StepExecutesOneTick) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(5, [&] { ++fired; });
+  s.schedule_at(5, [&] { ++fired; });
+  s.schedule_at(9, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(s.step());
+}
+
+}  // namespace
+}  // namespace wrt::sim

@@ -1,0 +1,170 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wrt::sim {
+namespace {
+
+TEST(SampleStats, MeanAndVariance) {
+  SampleStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // sample variance (n-1)
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleStats, EmptyIsSafe) {
+  const SampleStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleStats, SingleSample) {
+  SampleStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleStats, QuantileExactWhenSmall) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1.0);
+}
+
+TEST(SampleStats, QuantileReservoirApproximation) {
+  SampleStats s(512);
+  for (int i = 0; i < 100000; ++i) s.add(static_cast<double>(i % 1000));
+  EXPECT_NEAR(s.quantile(0.5), 500.0, 60.0);
+}
+
+TEST(SampleStats, QuantileRejectsBadQ) {
+  SampleStats s;
+  s.add(1.0);
+  EXPECT_THROW((void)s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(SampleStats, ResetClears) {
+  SampleStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleStats, MergeMatchesCombined) {
+  SampleStats a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double v = static_cast<double>(i * i % 37);
+    a.add(v);
+    combined.add(v);
+  }
+  for (int i = 0; i < 70; ++i) {
+    const double v = static_cast<double>((i * 13) % 41);
+    b.add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(SampleStats, MergeWithEmpty) {
+  SampleStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  SampleStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage) {
+  TimeWeightedStats tw;
+  tw.reset(0);
+  tw.update(0, 2.0);    // value 2 on [0, 10)
+  tw.update(10, 6.0);   // value 6 on [10, 20)
+  EXPECT_DOUBLE_EQ(tw.time_average(20), (2.0 * 10 + 6.0 * 10) / 20.0);
+}
+
+TEST(TimeWeighted, TracksMax) {
+  TimeWeightedStats tw;
+  tw.reset(0);
+  tw.update(0, 1.0);
+  tw.update(5, 9.0);
+  tw.update(6, 3.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 9.0);
+}
+
+TEST(TimeWeighted, ZeroElapsedReturnsCurrent) {
+  TimeWeightedStats tw;
+  tw.reset(100);
+  tw.update(100, 7.0);
+  EXPECT_DOUBLE_EQ(tw.time_average(100), 7.0);
+}
+
+TEST(Counter, IncrementAndRate) {
+  Counter c;
+  c.increment();
+  c.increment(9);
+  EXPECT_EQ(c.value(), 10u);
+  // 10 events over 5 slots.
+  EXPECT_DOUBLE_EQ(c.rate_per_slot(0, slots_to_ticks(5)), 2.0);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, RateZeroInterval) {
+  Counter c;
+  c.increment();
+  EXPECT_DOUBLE_EQ(c.rate_per_slot(5, 5), 0.0);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(10.0, 0.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BinLowerBounds) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(4), 8.0);
+  EXPECT_THROW((void)h.bin_lower(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace wrt::sim

@@ -1,0 +1,124 @@
+#include "tpt/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrt::tpt {
+namespace {
+
+TptAllocationInput base_input() {
+  TptAllocationInput input;
+  input.n_stations = 6;
+  input.t_proc_prop_slots = 1.0;
+  input.t_rap_slots = 0;
+  input.total_h_budget = 8;
+  input.flows = {
+      {0, 100, 2, 800},
+      {2, 200, 2, 900},
+      {4, 50, 1, 700},
+  };
+  return input;
+}
+
+TEST(TptAllocation, FeasibleSetAccepted) {
+  const auto result =
+      allocate_tpt(analysis::AllocationScheme::kEqualPartition, base_input());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().params.stations(), 6u);
+  EXPECT_EQ(result.value().params.h_sum(), 8);
+  EXPECT_GT(result.value().ttrt_slots, 0);
+}
+
+TEST(TptAllocation, DerivedTtrtCoversLoadedRound) {
+  const auto result =
+      allocate_tpt(analysis::AllocationScheme::kProportional, base_input());
+  ASSERT_TRUE(result.ok());
+  // TTRT >= sum H + 2 (N-1) t_sig + T_rap = 8 + 10.
+  EXPECT_GE(result.value().ttrt_slots, 18);
+}
+
+TEST(TptAllocation, ExplicitTtrtTooSmallRejected) {
+  auto input = base_input();
+  input.ttrt_slots = 10;
+  const auto result =
+      allocate_tpt(analysis::AllocationScheme::kEqualPartition, input);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, util::Error::Code::kAdmissionRejected);
+}
+
+TEST(TptAllocation, TightDeadlineRejectedViaEq7) {
+  auto input = base_input();
+  input.flows[0].deadline_slots = 30;  // < 2 * round bound
+  const auto result =
+      allocate_tpt(analysis::AllocationScheme::kEqualPartition, input);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TptAllocation, ValidatesInput) {
+  auto input = base_input();
+  input.flows.push_back({0, 100, 1, 500});  // duplicate station
+  EXPECT_FALSE(
+      allocate_tpt(analysis::AllocationScheme::kEqualPartition, input).ok());
+  input = base_input();
+  input.flows[0].station = 9;
+  EXPECT_FALSE(
+      allocate_tpt(analysis::AllocationScheme::kEqualPartition, input).ok());
+  input = base_input();
+  input.n_stations = 0;
+  EXPECT_FALSE(
+      allocate_tpt(analysis::AllocationScheme::kEqualPartition, input).ok());
+}
+
+TEST(TptAccessBound, VisitCounting) {
+  // H = 2, C = 5: ceil(5/2) + 1 = 4 visits of at most 2 TTRT each.
+  EXPECT_EQ(tpt_access_time_bound(50, 2, 5), 4 * 100);
+  // C <= H: 2 visits.
+  EXPECT_EQ(tpt_access_time_bound(50, 4, 3), 2 * 100);
+}
+
+TEST(TptAccessBound, ZeroQuotaIsInfeasible) {
+  EXPECT_EQ(tpt_access_time_bound(50, 0, 1),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(AdmissionComparison, WrtAdmitsTighterDeadlinesThanTpt) {
+  // The Section 3.3 conclusion as an admission experiment: identical flow
+  // sets and budgets, deadlines swept downward; WRT-Ring keeps admitting
+  // after TPT has to refuse.
+  const std::int64_t n = 8;
+  int wrt_only = 0;
+  for (std::int64_t deadline = 300; deadline >= 60; deadline -= 20) {
+    std::vector<analysis::RtRequirement> flows;
+    for (std::size_t s = 0; s < static_cast<std::size_t>(n); ++s) {
+      flows.push_back({s, 200, 1, deadline});
+    }
+    // WRT-Ring: S = N, budget 8, k = 0.
+    analysis::AllocationInput ring_input;
+    ring_input.ring_latency_slots = n;
+    ring_input.k_per_station = 0;
+    ring_input.total_l_budget = 8;
+    ring_input.flows = flows;
+    bool wrt_ok = false;
+    if (auto params = analysis::allocate(
+            analysis::AllocationScheme::kEqualPartition, ring_input,
+            static_cast<std::size_t>(n));
+        params.ok()) {
+      wrt_ok = analysis::check_feasibility(params.value(), flows).ok();
+    }
+    // TPT: same budget as H slots.
+    TptAllocationInput tpt_input;
+    tpt_input.n_stations = n;
+    tpt_input.total_h_budget = 8;
+    tpt_input.flows = flows;
+    const bool tpt_ok =
+        allocate_tpt(analysis::AllocationScheme::kEqualPartition, tpt_input)
+            .ok();
+
+    if (wrt_ok && !tpt_ok) ++wrt_only;
+    // TPT never admits a set WRT-Ring refuses.
+    EXPECT_FALSE(tpt_ok && !wrt_ok) << "deadline " << deadline;
+  }
+  EXPECT_GT(wrt_only, 0);
+}
+
+}  // namespace
+}  // namespace wrt::tpt

@@ -1,0 +1,63 @@
+// Timed-token property sweep: across (N, H_e, TTRT) configurations that
+// satisfy the protocol constraint, the measured rotation respects both the
+// walk-time floor and the 2·TTRT ceiling of the timed-token theorem [12].
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/bounds.hpp"
+#include "tpt/engine.hpp"
+
+namespace wrt::tpt {
+namespace {
+
+class TptRotationSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TptRotationSweep, RotationWithinTimedTokenEnvelope) {
+  const auto [n, h, ttrt_margin] = GetParam();
+  phy::Topology topology(
+      phy::placement::circle(static_cast<std::size_t>(n), 5.0),
+      phy::RadioParams{100.0, 0.0});
+  TptConfig config;
+  config.h_sync_default = h;
+  // TTRT = loaded round (sum H + walk) + margin: always feasible.
+  const std::int64_t walk = 2 * (n - 1);
+  config.ttrt_slots = n * h + walk + ttrt_margin;
+  TptEngine engine(&topology, config, 5);
+  ASSERT_TRUE(engine.init().ok());
+  for (NodeId node = 0; node < static_cast<NodeId>(n); ++node) {
+    traffic::FlowSpec rt;
+    rt.id = node;
+    rt.src = node;
+    rt.dst = static_cast<NodeId>((node + 1) % static_cast<NodeId>(n));
+    rt.cls = TrafficClass::kRealTime;
+    rt.deadline_slots = 1 << 20;
+    engine.add_saturated_source(rt, 8);
+    traffic::FlowSpec be = rt;
+    be.id = static_cast<FlowId>(node + static_cast<NodeId>(n));
+    be.cls = TrafficClass::kBestEffort;
+    engine.add_saturated_source(be, 8);
+  }
+  engine.run_slots(12000);
+  const auto& rotation = engine.stats().token_rotation_slots;
+  ASSERT_GT(rotation.count(), 20u);
+  // Floor: the token cannot beat its own walk time.
+  EXPECT_GE(rotation.min(), static_cast<double>(walk));
+  // Ceiling: the timed-token theorem.
+  EXPECT_LE(rotation.max(), 2.0 * static_cast<double>(config.ttrt_slots))
+      << "N=" << n << " H=" << h << " margin=" << ttrt_margin;
+  // The protocol actually used its budget: sync deliveries happened.
+  EXPECT_GT(engine.stats().sink.by_class(TrafficClass::kRealTime).delivered,
+            100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TptRotationSweep,
+    ::testing::Values(std::tuple{4, 1, 4}, std::tuple{4, 3, 10},
+                      std::tuple{8, 1, 4}, std::tuple{8, 2, 20},
+                      std::tuple{12, 1, 8}, std::tuple{16, 2, 16},
+                      std::tuple{24, 1, 30}));
+
+}  // namespace
+}  // namespace wrt::tpt

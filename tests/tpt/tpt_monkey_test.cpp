@@ -1,0 +1,99 @@
+// Monkey test for the TPT baseline: random valid operation sequences must
+// never crash, wedge, or break accounting — mirroring the WRT-Ring monkey.
+#include <gtest/gtest.h>
+
+#include "tpt/engine.hpp"
+
+namespace wrt::tpt {
+namespace {
+
+class TptMonkeyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TptMonkeyTest, RandomOperationSoup) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::size_t kN = 9;
+  phy::Topology topology(phy::placement::circle(kN, 5.0),
+                         phy::RadioParams{100.0, 0.0});
+  std::vector<NodeId> pool;
+  for (int i = 0; i < 3; ++i) {
+    pool.push_back(topology.add_node({1.0 * i, 1.0}));
+  }
+
+  TptConfig config;
+  config.ttrt_slots = 48;
+  config.rap_every_rounds = 4;
+  TptEngine engine(&topology, config, seed);
+  ASSERT_TRUE(engine.init().ok());
+  for (NodeId n = 0; n < kN; ++n) {
+    traffic::FlowSpec spec;
+    spec.id = n;
+    spec.src = n;
+    spec.dst = static_cast<NodeId>((n + 3) % kN);
+    spec.cls = n % 2 == 0 ? TrafficClass::kRealTime
+                          : TrafficClass::kBestEffort;
+    spec.kind = traffic::ArrivalKind::kPoisson;
+    spec.rate_per_slot = 0.01;
+    spec.deadline_slots = 1 << 20;
+    engine.add_source(spec);
+  }
+
+  util::RngStream rng(seed, 0x7011);
+  std::size_t next_pool = 0;
+  for (int op = 0; op < 300; ++op) {
+    switch (rng.uniform_int(std::uint64_t{6})) {
+      case 0:
+        if (next_pool < pool.size()) {
+          engine.request_join(pool[next_pool++]);
+        }
+        break;
+      case 1:
+        if (engine.tree().size() > 5) {
+          const auto& members = engine.tree().members();
+          engine.kill_station(members[static_cast<std::size_t>(
+              rng.uniform_int(static_cast<std::uint64_t>(members.size())))]);
+        }
+        break;
+      case 2:
+        engine.drop_token_once();
+        break;
+      case 3: {
+        traffic::Packet p;
+        p.flow = 999;
+        p.cls = TrafficClass::kRealTime;
+        const auto& members = engine.tree().members();
+        p.src = members[static_cast<std::size_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(members.size())))];
+        p.dst = members[static_cast<std::size_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(members.size())))];
+        p.created = engine.now();
+        (void)engine.inject_packet(p);
+        break;
+      }
+      default:
+        break;
+    }
+    engine.run_slots(static_cast<std::int64_t>(
+        rng.uniform_int(std::int64_t{1}, 150)));
+    if (op % 25 == 0) {
+      const auto audit = engine.check_invariants();
+      ASSERT_TRUE(audit.ok()) << "op " << op << " seed " << seed << ": "
+                              << audit.error().message;
+    }
+  }
+
+  // Settle: in a fully-connected room the tree is always rebuildable, so
+  // the token must be moving again.
+  engine.run_slots(50 * config.ttrt_slots);
+  EXPECT_TRUE(engine.token_state() == TokenState::kAtStation ||
+              engine.token_state() == TokenState::kInTransit ||
+              engine.token_state() == TokenState::kRap)
+      << "seed " << seed << " state "
+      << static_cast<int>(engine.token_state());
+  EXPECT_TRUE(engine.check_invariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TptMonkeyTest,
+                         ::testing::Values(3u, 13u, 23u, 53u));
+
+}  // namespace
+}  // namespace wrt::tpt

@@ -1,0 +1,141 @@
+#include "tpt/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace wrt::tpt {
+namespace {
+
+phy::Topology chain_topology(std::size_t n) {
+  return phy::Topology(phy::placement::chain(n, 10.0),
+                       phy::RadioParams{12.0, 0.0});
+}
+
+phy::Topology dense_topology(std::size_t n) {
+  return phy::Topology(phy::placement::circle(n, 5.0),
+                       phy::RadioParams{100.0, 0.0});
+}
+
+TEST(TreeBuild, CoversConnectedGraph) {
+  const phy::Topology t = chain_topology(6);
+  const auto result = Tree::build(t, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 6u);
+  EXPECT_EQ(result.value().root(), 0u);
+}
+
+TEST(TreeBuild, FailsOnPartition) {
+  phy::Topology t = chain_topology(6);
+  t.fail_link(2, 3);
+  EXPECT_FALSE(Tree::build(t, 0).ok());
+}
+
+TEST(TreeBuild, RejectsDeadRoot) {
+  phy::Topology t = chain_topology(4);
+  t.set_alive(0, false);
+  EXPECT_FALSE(Tree::build(t, 0).ok());
+  EXPECT_TRUE(Tree::build(t, 1).ok());
+}
+
+TEST(TreeBuild, ParentChildConsistency) {
+  const phy::Topology t = chain_topology(5);
+  const auto tree = Tree::build(t, 2);
+  ASSERT_TRUE(tree.ok());
+  for (const NodeId member : tree.value().members()) {
+    if (member == tree.value().root()) continue;
+    const NodeId parent = tree.value().parent(member);
+    const auto& siblings = tree.value().children(parent);
+    EXPECT_NE(std::find(siblings.begin(), siblings.end(), member),
+              siblings.end());
+  }
+}
+
+TEST(EulerTour, VisitsEveryEdgeTwice) {
+  // Section 3.2.1: 2 (N - 1) link traversals per round.
+  for (const std::size_t n : {3u, 5u, 9u, 17u}) {
+    const phy::Topology t = dense_topology(n);
+    const auto tree = Tree::build(t, 0);
+    ASSERT_TRUE(tree.ok());
+    const auto tour = tree.value().euler_tour();
+    EXPECT_EQ(tour.size(), 2 * (n - 1) + 1);
+    EXPECT_EQ(tour.front(), tree.value().root());
+    EXPECT_EQ(tour.back(), tree.value().root());
+  }
+}
+
+TEST(EulerTour, ConsecutiveEntriesAreTreeAdjacent) {
+  const phy::Topology t = chain_topology(7);
+  const auto tree = Tree::build(t, 3);
+  ASSERT_TRUE(tree.ok());
+  const auto tour = tree.value().euler_tour();
+  for (std::size_t i = 0; i + 1 < tour.size(); ++i) {
+    const NodeId a = tour[i];
+    const NodeId b = tour[i + 1];
+    EXPECT_TRUE(tree.value().parent(a) == b || tree.value().parent(b) == a)
+        << "tour step " << i;
+  }
+}
+
+TEST(EulerTour, EveryMemberAppears) {
+  const phy::Topology t = chain_topology(6);
+  const auto tree = Tree::build(t, 0);
+  ASSERT_TRUE(tree.ok());
+  const auto tour = tree.value().euler_tour();
+  std::map<NodeId, int> visits;
+  for (const NodeId n : tour) ++visits[n];
+  for (const NodeId member : tree.value().members()) {
+    EXPECT_GE(visits[member], 1) << "member " << member;
+  }
+}
+
+TEST(TreePath, ThroughCommonAncestor) {
+  // Chain rooted mid-way: 0 <- 1 <- 2 -> 3 -> 4.
+  const phy::Topology t = chain_topology(5);
+  const auto tree = Tree::build(t, 2);
+  ASSERT_TRUE(tree.ok());
+  const auto route = tree.value().path(0, 4);
+  EXPECT_EQ(route, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(TreePath, NextHop) {
+  const phy::Topology t = chain_topology(5);
+  const auto tree = Tree::build(t, 0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().next_hop(0, 4), 1u);
+  EXPECT_EQ(tree.value().next_hop(4, 0), 3u);
+  EXPECT_EQ(tree.value().next_hop(2, 3), 3u);
+}
+
+TEST(TreeMutation, AddChildExtendsTour) {
+  const phy::Topology t = dense_topology(4);
+  auto tree = Tree::build(t, 0);
+  ASSERT_TRUE(tree.ok());
+  tree.value().add_child(2, 9);
+  EXPECT_TRUE(tree.value().contains(9));
+  EXPECT_EQ(tree.value().parent(9), 2u);
+  EXPECT_EQ(tree.value().euler_tour().size(), 2 * (5 - 1) + 1);
+}
+
+TEST(TreeMutation, AddChildValidation) {
+  const phy::Topology t = dense_topology(4);
+  auto tree = Tree::build(t, 0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_THROW(tree.value().add_child(99, 5), std::invalid_argument);
+  EXPECT_THROW(tree.value().add_child(0, 1), std::invalid_argument);
+}
+
+TEST(TreeValidity, DetectsBrokenEdgeAndDeadNode) {
+  phy::Topology t = chain_topology(5);
+  auto tree = Tree::build(t, 0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree.value().valid_over(t));
+  t.fail_link(1, 2);
+  EXPECT_FALSE(tree.value().valid_over(t));
+  t.restore_link(1, 2);
+  t.set_alive(4, false);
+  EXPECT_FALSE(tree.value().valid_over(t));
+}
+
+}  // namespace
+}  // namespace wrt::tpt

@@ -1,0 +1,86 @@
+#include "traffic/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wrt::traffic {
+namespace {
+
+TEST(ConferenceWorkload, OneVoiceTracePerStation) {
+  const Workload workload = conference(8, 400, slots_to_ticks(20000), 1);
+  EXPECT_EQ(workload.traces.size(), 8u);
+  EXPECT_EQ(workload.flows.size(), 8u);  // one browse flow each
+  for (const auto& bound : workload.traces) {
+    EXPECT_EQ(bound.deadline_slots, 400);
+    EXPECT_NE(bound.src, bound.dst);
+  }
+}
+
+TEST(ConferenceWorkload, FlowIdsUnique) {
+  const Workload workload = conference(10, 400, slots_to_ticks(10000), 2);
+  std::set<FlowId> ids;
+  for (const auto& flow : workload.flows) ids.insert(flow.id);
+  for (const auto& bound : workload.traces) ids.insert(bound.flow);
+  EXPECT_EQ(ids.size(), workload.flows.size() + workload.traces.size());
+}
+
+TEST(ConferenceWorkload, DeterministicPerSeed) {
+  const Workload a = conference(6, 300, slots_to_ticks(10000), 9);
+  const Workload b = conference(6, 300, slots_to_ticks(10000), 9);
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  for (std::size_t i = 0; i < a.traces.size(); ++i) {
+    EXPECT_EQ(a.traces[i].trace.total_packets(),
+              b.traces[i].trace.total_packets());
+  }
+}
+
+TEST(LoungeWorkload, VideoCountHonoured) {
+  const Workload workload = lounge(12, 3, 600, 1);
+  EXPECT_EQ(workload.traces.size(), 3u);      // video watchers
+  EXPECT_EQ(workload.flows.size(), 12u - 3u); // web users
+  // Video traces are real-time GOP patterns.
+  for (const auto& bound : workload.traces) {
+    EXPECT_GT(bound.trace.total_packets(), 1000u);
+    EXPECT_EQ(bound.trace.entries().front().cls, TrafficClass::kRealTime);
+  }
+}
+
+TEST(LoungeWorkload, MixesAssuredAndBestEffort) {
+  const Workload workload = lounge(12, 0, 600, 1);
+  bool has_assured = false, has_be = false;
+  for (const auto& flow : workload.flows) {
+    has_assured |= flow.cls == TrafficClass::kAssured;
+    has_be |= flow.cls == TrafficClass::kBestEffort;
+  }
+  EXPECT_TRUE(has_assured);
+  EXPECT_TRUE(has_be);
+}
+
+TEST(SensorWorkload, AllReportsToSink) {
+  const Workload workload = sensor_floor(10, 140, 300);
+  EXPECT_TRUE(workload.traces.empty());
+  EXPECT_EQ(workload.flows.size(), 2u * 9u);  // report + log per non-sink
+  for (const auto& flow : workload.flows) {
+    EXPECT_EQ(flow.dst, 0u);
+    EXPECT_NE(flow.src, 0u);
+  }
+}
+
+TEST(SensorWorkload, ReportsAreStaggered) {
+  const Workload workload = sensor_floor(8, 160, 300);
+  std::set<std::int64_t> starts;
+  for (const auto& flow : workload.flows) {
+    if (flow.cls == TrafficClass::kRealTime) starts.insert(flow.start_slot);
+  }
+  EXPECT_GT(starts.size(), 3u);
+}
+
+TEST(Workload, OfferedLoadAggregates) {
+  const Workload workload = sensor_floor(10, 100, 300);
+  // 9 reports at 0.01 + 9 logs at 0.01 = 0.18.
+  EXPECT_NEAR(workload.offered_load(), 0.18, 0.02);
+}
+
+}  // namespace
+}  // namespace wrt::traffic

@@ -1,0 +1,21 @@
+// Compile-and-smoke test for the umbrella header: every public module is
+// reachable from one include and the basic flow works end to end.
+#include "src/wrt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndSmoke) {
+  wrt::phy::Topology topology(wrt::phy::placement::circle(6, 10.0),
+                              wrt::phy::RadioParams{14.0, 0.0});
+  wrt::wrtring::Engine engine(&topology, wrt::wrtring::Config{}, 1);
+  ASSERT_TRUE(engine.init().ok());
+  engine.run_slots(100);
+  EXPECT_GT(engine.stats().sat_rounds, 0u);
+  EXPECT_TRUE(engine.check_invariants().ok());
+  const auto bound = wrt::analysis::sat_time_bound(engine.ring_params());
+  EXPECT_GT(bound, 0);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrt::util {
+namespace {
+
+Args make_args(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()),
+              const_cast<char**>(argv.data()));
+}
+
+TEST(Args, SpaceSeparatedValue) {
+  const Args args = make_args({"--n", "16"});
+  EXPECT_TRUE(args.has("n"));
+  EXPECT_EQ(args.get_int("n", 0), 16);
+}
+
+TEST(Args, EqualsForm) {
+  const Args args = make_args({"--rate=0.25"});
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.25);
+}
+
+TEST(Args, BooleanFlag) {
+  const Args args = make_args({"--csv", "--n", "4"});
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_EQ(args.get_int("n", 0), 4);
+}
+
+TEST(Args, FallbacksWhenAbsent) {
+  const Args args = make_args({});
+  EXPECT_FALSE(args.has("n"));
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("s", "dflt"), "dflt");
+}
+
+TEST(Args, StringValue) {
+  const Args args = make_args({"--mode=fast"});
+  EXPECT_EQ(args.get_string("mode", ""), "fast");
+}
+
+TEST(Args, IntList) {
+  const Args args = make_args({"--sizes", "4,8,16"});
+  EXPECT_EQ(args.get_int_list("sizes", {}),
+            (std::vector<std::int64_t>{4, 8, 16}));
+}
+
+TEST(Args, IntListFallback) {
+  const Args args = make_args({});
+  EXPECT_EQ(args.get_int_list("sizes", {1, 2}),
+            (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Args, ConsecutiveFlags) {
+  const Args args = make_args({"--a", "--b", "2"});
+  EXPECT_TRUE(args.has("a"));
+  EXPECT_EQ(args.get_int("b", 0), 2);
+}
+
+TEST(Args, UnknownFlagDetection) {
+  const Args args = make_args({"--typo", "1", "--n", "2"});
+  (void)args.get_int("n", 0);
+  const auto unknown = args.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Args, NonFlagTokensIgnored) {
+  const Args args = make_args({"positional", "--n", "3"});
+  EXPECT_EQ(args.get_int("n", 0), 3);
+}
+
+}  // namespace
+}  // namespace wrt::util

@@ -1,0 +1,71 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace wrt::util {
+namespace {
+
+std::vector<std::pair<LogLevel, std::string>>& captured() {
+  static std::vector<std::pair<LogLevel, std::string>> storage;
+  return storage;
+}
+
+void capture_sink(LogLevel level, const std::string& message) {
+  captured().emplace_back(level, message);
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    captured().clear();
+    set_log_sink(&capture_sink);
+    set_log_level(LogLevel::kInfo);
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+};
+
+TEST_F(LogTest, RespectsMinimumLevel) {
+  log(LogLevel::kDebug, "hidden");
+  log(LogLevel::kInfo, "shown");
+  log(LogLevel::kError, "also shown");
+  ASSERT_EQ(captured().size(), 2u);
+  EXPECT_EQ(captured()[0].second, "shown");
+  EXPECT_EQ(captured()[1].first, LogLevel::kError);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  log(LogLevel::kError, "nope");
+  EXPECT_TRUE(captured().empty());
+}
+
+TEST_F(LogTest, LevelAccessorRoundTrips) {
+  set_log_level(LogLevel::kTrace);
+  EXPECT_EQ(log_level(), LogLevel::kTrace);
+}
+
+TEST_F(LogTest, SinkReplacementTakesEffect) {
+  set_log_sink(nullptr);  // default (stderr) sink; must not crash
+  log(LogLevel::kOff, "never");
+  set_log_sink(&capture_sink);
+  log(LogLevel::kWarn, "captured again");
+  ASSERT_EQ(captured().size(), 1u);
+}
+
+TEST(LogLevelNames, AllStringify) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "trace");
+  EXPECT_EQ(to_string(LogLevel::kDebug), "debug");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "info");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "warn");
+  EXPECT_EQ(to_string(LogLevel::kError), "error");
+  EXPECT_EQ(to_string(LogLevel::kOff), "off");
+}
+
+}  // namespace
+}  // namespace wrt::util

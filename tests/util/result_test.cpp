@@ -1,0 +1,75 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wrt::util {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Error::not_found("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kNotFound);
+  EXPECT_EQ(r.error().message, "missing");
+}
+
+TEST(Result, BoolConversion) {
+  Result<std::string> good(std::string("hi"));
+  Result<std::string> bad(Error::timeout("t"));
+  EXPECT_TRUE(static_cast<bool>(good));
+  EXPECT_FALSE(static_cast<bool>(bad));
+}
+
+TEST(Result, ValueOrFallback) {
+  Result<int> good(7);
+  Result<int> bad(Error::invalid_argument("x"));
+  EXPECT_EQ(good.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Status, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, ErrorStatus) {
+  Status s(Error::admission_rejected("full"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Error::Code::kAdmissionRejected);
+}
+
+TEST(Status, SuccessFactory) { EXPECT_TRUE(Status::success().ok()); }
+
+TEST(ErrorCode, AllCodesStringify) {
+  EXPECT_EQ(to_string(Error::Code::kInvalidArgument), "invalid-argument");
+  EXPECT_EQ(to_string(Error::Code::kAdmissionRejected), "admission-rejected");
+  EXPECT_EQ(to_string(Error::Code::kNotReachable), "not-reachable");
+  EXPECT_EQ(to_string(Error::Code::kNoRingPossible), "no-ring-possible");
+  EXPECT_EQ(to_string(Error::Code::kNotFound), "not-found");
+  EXPECT_EQ(to_string(Error::Code::kProtocolViolation), "protocol-violation");
+  EXPECT_EQ(to_string(Error::Code::kCapacityExceeded), "capacity-exceeded");
+  EXPECT_EQ(to_string(Error::Code::kTimeout), "timeout");
+}
+
+TEST(ErrorFactories, CarryMessages) {
+  EXPECT_EQ(Error::not_reachable("a").message, "a");
+  EXPECT_EQ(Error::no_ring_possible("b").message, "b");
+  EXPECT_EQ(Error::protocol_violation("c").message, "c");
+  EXPECT_EQ(Error::capacity_exceeded("d").message, "d");
+}
+
+}  // namespace
+}  // namespace wrt::util

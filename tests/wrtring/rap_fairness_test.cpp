@@ -1,0 +1,82 @@
+// Section 2.4.1 fairness: "To ensure the fairness, after acting as ingress
+// station, a node has to wait S_round(i) >= N SAT rounds in order to enter
+// the RAP period again" — and the RAP_mutex admits at most one RAP per SAT
+// round.  Verified from the protocol event trace.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "tests/wrtring/test_helpers.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt::wrtring {
+namespace {
+
+using sim::EventKind;
+using testing::Harness;
+
+Config rap_config() {
+  Config config;
+  config.rap_policy = RapPolicy::kRotating;
+  config.t_ear_slots = 3;
+  config.t_update_slots = 1;
+  return config;
+}
+
+TEST(RapFairness, EveryStationGetsIngressTurns) {
+  Harness h(6, rap_config());
+  h.engine.run_slots(6000);
+  std::map<NodeId, int> raps;
+  for (const auto& event : h.engine.event_trace().of_kind(
+           EventKind::kRapStarted)) {
+    ++raps[event.station];
+  }
+  EXPECT_EQ(raps.size(), 6u) << "every station must act as ingress";
+  int min_raps = 1 << 30, max_raps = 0;
+  for (const auto& [node, count] : raps) {
+    min_raps = std::min(min_raps, count);
+    max_raps = std::max(max_raps, count);
+  }
+  EXPECT_GE(min_raps, 1);
+  EXPECT_LE(max_raps - min_raps, 2) << "ingress duty must rotate evenly";
+}
+
+TEST(RapFairness, SRoundSpacingRespected) {
+  constexpr std::size_t kN = 8;
+  Harness h(kN, rap_config());
+  h.engine.run_slots(10000);
+  // Between two RAPs of the same station, every other station RAPs once:
+  // consecutive same-station RAPs are >= N-1 other RAP events apart.
+  const auto raps = h.engine.event_trace().of_kind(EventKind::kRapStarted);
+  ASSERT_GT(raps.size(), 2 * kN);
+  std::map<NodeId, std::size_t> last_index;
+  for (std::size_t i = 0; i < raps.size(); ++i) {
+    const NodeId station = raps[i].station;
+    if (const auto it = last_index.find(station);
+        it != last_index.end()) {
+      EXPECT_GE(i - it->second, kN - 1)
+          << "station " << station << " re-entered the RAP too soon";
+    }
+    last_index[station] = i;
+  }
+}
+
+TEST(RapFairness, AtMostOneRapPerRound) {
+  Harness h(8, rap_config());
+  h.engine.run_slots(6000);
+  const auto& stats = h.engine.stats();
+  EXPECT_LE(stats.raps_started, stats.sat_rounds + 1);
+  // And RAPs genuinely happen (the cost term T_rap is real).
+  EXPECT_GT(stats.raps_started, stats.sat_rounds / 3);
+}
+
+TEST(RapFairness, DisabledPolicyNeverRaps) {
+  Harness h(8, Config{});
+  h.engine.run_slots(4000);
+  EXPECT_EQ(h.engine.stats().raps_started, 0u);
+  EXPECT_TRUE(
+      h.engine.event_trace().of_kind(EventKind::kRapStarted).empty());
+}
+
+}  // namespace
+}  // namespace wrt::wrtring

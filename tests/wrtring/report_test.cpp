@@ -1,0 +1,82 @@
+#include "wrtring/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/bounds.hpp"
+#include "tests/wrtring/test_helpers.hpp"
+
+namespace wrt::wrtring {
+namespace {
+
+using testing::Harness;
+
+TEST(Report, GuaranteeRowsPerStation) {
+  Config config;
+  config.default_quota = {2, 1};
+  Harness h(6, config);
+  const util::Table table = guarantee_report(h.engine);
+  EXPECT_EQ(table.rows(), 6u);
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("Theorem-3"), std::string::npos);
+}
+
+TEST(Report, GuaranteeBoundsMatchAnalysis) {
+  Harness h(6, Config{});
+  const auto params = h.engine.ring_params();
+  const util::Table table = guarantee_report(h.engine);
+  std::ostringstream os;
+  table.print_csv(os);
+  // Spot-check: station at position 0's bound appears in the output.
+  const std::string expected =
+      std::to_string(analysis::access_time_bound(params, 0, 0));
+  EXPECT_NE(os.str().find(expected), std::string::npos);
+}
+
+TEST(Report, TrafficRowsOnlyForActiveClasses) {
+  Harness h(6, Config{});
+  traffic::Packet p;
+  p.flow = 1;
+  p.cls = TrafficClass::kRealTime;
+  p.src = h.engine.virtual_ring().station_at(0);
+  p.dst = h.engine.virtual_ring().station_at(1);
+  p.created = h.engine.now();
+  ASSERT_TRUE(h.engine.inject_packet(p));
+  h.engine.run_slots(50);
+  const util::Table table = traffic_report(h.engine);
+  EXPECT_EQ(table.rows(), 1u);  // only real-time saw traffic
+}
+
+TEST(Report, ResilienceCountsMatchStats) {
+  Harness h(8, Config{});
+  h.engine.run_slots(100);
+  h.engine.drop_sat_once();
+  h.engine.run_slots(4 * analysis::sat_time_bound(h.engine.ring_params()));
+  const util::Table table = resilience_report(h.engine);
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_NE(os.str().find("SAT losses detected,1"), std::string::npos);
+  EXPECT_NE(os.str().find("cut-out recoveries,1"), std::string::npos);
+}
+
+TEST(Report, TptVariantCompiles) {
+  phy::Topology room(phy::placement::circle(6, 5.0),
+                     phy::RadioParams{100.0, 0.0});
+  tpt::TptEngine engine(&room, tpt::TptConfig{}, 1);
+  ASSERT_TRUE(engine.init().ok());
+  traffic::Packet p;
+  p.flow = 1;
+  p.cls = TrafficClass::kBestEffort;
+  p.src = 0;
+  p.dst = 3;
+  p.created = engine.now();
+  ASSERT_TRUE(engine.inject_packet(p));
+  engine.run_slots(200);
+  const util::Table table = traffic_report(engine);
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace wrt::wrtring

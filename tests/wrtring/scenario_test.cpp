@@ -1,0 +1,122 @@
+#include "wrtring/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/wrtring/test_helpers.hpp"
+
+namespace wrt::wrtring {
+namespace {
+
+using testing::Harness;
+
+bool log_contains(const std::vector<Scenario::LogEntry>& log,
+                  const std::string& needle) {
+  return std::any_of(log.begin(), log.end(),
+                     [&](const Scenario::LogEntry& entry) {
+                       return entry.what.find(needle) != std::string::npos;
+                     });
+}
+
+TEST(Scenario, AppliesActionsAtScriptedSlots) {
+  Harness h(10, Config{});
+  Scenario scenario;
+  scenario.kill_at(200, h.engine.virtual_ring().station_at(4))
+      .mark_at(100, "checkpoint");
+  const auto log = scenario.run(h.engine, h.topology, 2000);
+  ASSERT_TRUE(log_contains(log, "kill station"));
+  ASSERT_TRUE(log_contains(log, "checkpoint"));
+  // The marker fired before the kill despite insertion order.
+  const auto mark = std::find_if(log.begin(), log.end(),
+                                 [](const auto& e) {
+                                   return e.what == "checkpoint";
+                                 });
+  const auto kill = std::find_if(log.begin(), log.end(), [](const auto& e) {
+    return e.what.find("kill") != std::string::npos;
+  });
+  ASSERT_NE(mark, log.end());
+  ASSERT_NE(kill, log.end());
+  EXPECT_LT(mark->slot, kill->slot);
+  // The automatic ring-size entry follows the recovery.
+  EXPECT_TRUE(log_contains(log, "ring shrank"));
+  EXPECT_EQ(h.engine.virtual_ring().size(), 9u);
+}
+
+TEST(Scenario, JoinScript) {
+  Config config;
+  config.rap_policy = RapPolicy::kRotating;
+  Harness h(6, config);
+  const phy::Vec2 mid =
+      (h.topology.position(0) + h.topology.position(1)) * 0.5;
+  const NodeId joiner = h.topology.add_node(mid);
+  Scenario scenario;
+  scenario.join_at(50, joiner, {1, 1});
+  const auto log = scenario.run(h.engine, h.topology, 12000);
+  EXPECT_TRUE(log_contains(log, "join request"));
+  EXPECT_TRUE(log_contains(log, "ring grew"));
+  EXPECT_TRUE(h.engine.virtual_ring().contains(joiner));
+}
+
+TEST(Scenario, LeaveRefusalIsLogged) {
+  Harness h(3, Config{});
+  Scenario scenario;
+  scenario.leave_at(10, h.engine.virtual_ring().station_at(0));
+  const auto log = scenario.run(h.engine, h.topology, 100);
+  EXPECT_TRUE(log_contains(log, "leave refused"));
+  EXPECT_EQ(h.engine.virtual_ring().size(), 3u);
+}
+
+TEST(Scenario, LinkFailureAndRestore) {
+  Harness h(8, Config{});
+  const NodeId a = h.engine.virtual_ring().station_at(1);
+  const NodeId b = h.engine.virtual_ring().station_at(2);
+  Scenario scenario;
+  scenario.fail_link_at(100, a, b).restore_link_at(150, a, b);
+  const auto log = scenario.run(h.engine, h.topology, 1500);
+  EXPECT_TRUE(log_contains(log, "fail link"));
+  EXPECT_TRUE(log_contains(log, "restore link"));
+  EXPECT_TRUE(h.topology.reachable(a, b));
+}
+
+TEST(Scenario, DropSatTimeline) {
+  Harness h(8, Config{});
+  Scenario scenario;
+  scenario.drop_sat_at(100);
+  const auto log = scenario.run(h.engine, h.topology, 2000);
+  EXPECT_TRUE(log_contains(log, "drop SAT"));
+  EXPECT_EQ(h.engine.stats().sat_losses_detected, 1u);
+}
+
+TEST(Scenario, LogCarriesRingStateSnapshots) {
+  Harness h(8, Config{});
+  Scenario scenario;
+  scenario.mark_at(10, "snap");
+  const auto log = scenario.run(h.engine, h.topology, 100);
+  const auto snap = std::find_if(log.begin(), log.end(), [](const auto& e) {
+    return e.what == "snap";
+  });
+  ASSERT_NE(snap, log.end());
+  EXPECT_EQ(snap->ring_size, 8u);
+}
+
+TEST(Scenario, MobilityHookRuns) {
+  Harness h(8, Config{}, 1, 3.0);
+  phy::WaypointParams params;
+  params.leash_radius = 0.3;
+  params.slot_seconds = 1e-3;
+  phy::BoundedRandomWaypoint mobility(phy::Rect{{-30, -30}, {30, 30}},
+                                      params, 3);
+  mobility.bind(h.topology);
+  const phy::Vec2 before = h.topology.position(0);
+  Scenario scenario;
+  (void)scenario.run(h.engine, h.topology, 20000, &mobility, 50);
+  // Tight leash: ring survives; position drifted at least a little.
+  EXPECT_EQ(h.engine.virtual_ring().size(), 8u);
+  const double moved = phy::distance(h.topology.position(0), before);
+  EXPECT_GT(moved, 0.0);
+  EXPECT_LE(moved, 0.3 + 1e-6);
+}
+
+}  // namespace
+}  // namespace wrt::wrtring

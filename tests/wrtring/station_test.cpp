@@ -1,0 +1,234 @@
+#include "wrtring/station.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrt::wrtring {
+namespace {
+
+traffic::Packet make_packet(TrafficClass cls) {
+  traffic::Packet p;
+  p.cls = cls;
+  p.src = 0;
+  p.dst = 1;
+  return p;
+}
+
+Station make_station(Quota quota, std::uint32_t k1 = 0) {
+  return Station(0, quota, k1, 16);
+}
+
+TEST(SendAlgorithm, RealTimeUpToQuota) {
+  Station s = make_station({2, 1});
+  for (int i = 0; i < 5; ++i) s.enqueue(make_packet(TrafficClass::kRealTime));
+  // Rule 1: RT while RT_PCK < l.
+  ASSERT_EQ(s.eligible_class(), TrafficClass::kRealTime);
+  s.take_for_transmit(TrafficClass::kRealTime);
+  ASSERT_EQ(s.eligible_class(), TrafficClass::kRealTime);
+  s.take_for_transmit(TrafficClass::kRealTime);
+  // Quota exhausted, only RT queued: nothing eligible.
+  EXPECT_EQ(s.eligible_class(), std::nullopt);
+  EXPECT_EQ(s.rt_pck(), 2u);
+}
+
+TEST(SendAlgorithm, NonRtGatedByRtQueue) {
+  Station s = make_station({2, 2});
+  s.enqueue(make_packet(TrafficClass::kRealTime));
+  s.enqueue(make_packet(TrafficClass::kBestEffort));
+  // Rule 2: BE only if RT queue empty or RT_PCK == l.  RT is pending and
+  // quota not exhausted -> RT first.
+  ASSERT_EQ(s.eligible_class(), TrafficClass::kRealTime);
+  s.take_for_transmit(TrafficClass::kRealTime);
+  // RT queue now empty -> BE allowed.
+  EXPECT_EQ(s.eligible_class(), TrafficClass::kBestEffort);
+}
+
+TEST(SendAlgorithm, NonRtAllowedWhenRtQuotaExhausted) {
+  Station s = make_station({1, 1});
+  s.enqueue(make_packet(TrafficClass::kRealTime));
+  s.enqueue(make_packet(TrafficClass::kRealTime));
+  s.enqueue(make_packet(TrafficClass::kBestEffort));
+  s.take_for_transmit(TrafficClass::kRealTime);
+  // RT backlog remains but RT_PCK == l: rule 2 admits non-RT.
+  EXPECT_EQ(s.eligible_class(), TrafficClass::kBestEffort);
+}
+
+TEST(SendAlgorithm, NonRtQuotaCaps) {
+  Station s = make_station({1, 2});
+  for (int i = 0; i < 4; ++i) s.enqueue(make_packet(TrafficClass::kBestEffort));
+  s.take_for_transmit(TrafficClass::kBestEffort);
+  s.take_for_transmit(TrafficClass::kBestEffort);
+  EXPECT_EQ(s.eligible_class(), std::nullopt);
+  EXPECT_EQ(s.nrt_pck(), 2u);
+}
+
+TEST(SendAlgorithm, AssuredBeforeBestEffort) {
+  Station s = make_station({1, 2});
+  s.enqueue(make_packet(TrafficClass::kBestEffort));
+  s.enqueue(make_packet(TrafficClass::kAssured));
+  EXPECT_EQ(s.eligible_class(), TrafficClass::kAssured);
+}
+
+TEST(SendAlgorithm, DiffservSplitReservesK1) {
+  // k = 3 split as k1 = 2 (assured) + k2 = 1 (BE).
+  Station s = make_station({0, 3}, 2);
+  for (int i = 0; i < 3; ++i) s.enqueue(make_packet(TrafficClass::kBestEffort));
+  // BE may use only k2 = 1 even though assured queue is empty.
+  ASSERT_EQ(s.eligible_class(), TrafficClass::kBestEffort);
+  s.take_for_transmit(TrafficClass::kBestEffort);
+  EXPECT_EQ(s.eligible_class(), std::nullopt);
+}
+
+TEST(SendAlgorithm, DiffservSplitCapsAssured) {
+  Station s = make_station({0, 3}, 2);
+  for (int i = 0; i < 3; ++i) s.enqueue(make_packet(TrafficClass::kAssured));
+  s.take_for_transmit(TrafficClass::kAssured);
+  ASSERT_EQ(s.eligible_class(), TrafficClass::kAssured);
+  s.take_for_transmit(TrafficClass::kAssured);
+  // k1 = 2 exhausted; assured cannot eat into k2.
+  EXPECT_EQ(s.eligible_class(), std::nullopt);
+}
+
+TEST(SendAlgorithm, SplitZeroMeansSharedK) {
+  Station s = make_station({0, 2}, 0);
+  s.enqueue(make_packet(TrafficClass::kAssured));
+  s.enqueue(make_packet(TrafficClass::kBestEffort));
+  s.take_for_transmit(TrafficClass::kAssured);
+  EXPECT_EQ(s.eligible_class(), TrafficClass::kBestEffort);
+}
+
+TEST(SatAlgorithm, SatisfiedWhenRtQueueEmpty) {
+  Station s = make_station({2, 1});
+  EXPECT_TRUE(s.satisfied());
+  s.enqueue(make_packet(TrafficClass::kBestEffort));
+  EXPECT_TRUE(s.satisfied());  // BE backlog does not hold the SAT
+}
+
+TEST(SatAlgorithm, NotSatisfiedWithRtBacklog) {
+  Station s = make_station({2, 1});
+  s.enqueue(make_packet(TrafficClass::kRealTime));
+  EXPECT_FALSE(s.satisfied());
+}
+
+TEST(SatAlgorithm, SatisfiedAfterQuotaTransmitted) {
+  Station s = make_station({1, 1});
+  s.enqueue(make_packet(TrafficClass::kRealTime));
+  s.enqueue(make_packet(TrafficClass::kRealTime));
+  s.take_for_transmit(TrafficClass::kRealTime);
+  // Backlog remains but RT_PCK == l -> satisfied.
+  EXPECT_TRUE(s.satisfied());
+}
+
+TEST(SatAlgorithm, ReleaseClearsCounters) {
+  Station s = make_station({1, 1});
+  s.enqueue(make_packet(TrafficClass::kRealTime));
+  s.enqueue(make_packet(TrafficClass::kBestEffort));
+  s.take_for_transmit(TrafficClass::kRealTime);
+  s.take_for_transmit(TrafficClass::kBestEffort);
+  EXPECT_EQ(s.rt_pck(), 1u);
+  EXPECT_EQ(s.nrt_pck(), 1u);
+  s.on_sat_release();
+  EXPECT_EQ(s.rt_pck(), 0u);
+  EXPECT_EQ(s.nrt_pck(), 0u);
+}
+
+TEST(StationQueues, CapacityDrops) {
+  Station s(0, {1, 1}, 0, 2);
+  EXPECT_TRUE(s.enqueue(make_packet(TrafficClass::kRealTime)));
+  EXPECT_TRUE(s.enqueue(make_packet(TrafficClass::kRealTime)));
+  EXPECT_FALSE(s.enqueue(make_packet(TrafficClass::kRealTime)));
+  EXPECT_EQ(s.queue_drops(), 1u);
+  // Other class queues are independent.
+  EXPECT_TRUE(s.enqueue(make_packet(TrafficClass::kBestEffort)));
+}
+
+TEST(StationQueues, DepthAndPeek) {
+  Station s = make_station({1, 1});
+  EXPECT_EQ(s.peek(TrafficClass::kRealTime), nullptr);
+  traffic::Packet p = make_packet(TrafficClass::kRealTime);
+  p.sequence = 77;
+  s.enqueue(p);
+  EXPECT_EQ(s.rt_queue_depth(), 1u);
+  ASSERT_NE(s.peek(TrafficClass::kRealTime), nullptr);
+  EXPECT_EQ(s.peek(TrafficClass::kRealTime)->sequence, 77u);
+}
+
+TEST(StationQueues, ClearQueues) {
+  Station s = make_station({1, 1});
+  s.enqueue(make_packet(TrafficClass::kRealTime));
+  s.enqueue(make_packet(TrafficClass::kBestEffort));
+  s.clear_queues();
+  EXPECT_EQ(s.queue_depth(TrafficClass::kRealTime), 0u);
+  EXPECT_EQ(s.queue_depth(TrafficClass::kBestEffort), 0u);
+}
+
+TEST(StationQueues, FifoWithinClass) {
+  Station s = make_station({3, 0});
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    traffic::Packet p = make_packet(TrafficClass::kRealTime);
+    p.sequence = i;
+    s.enqueue(p);
+  }
+  EXPECT_EQ(s.take_for_transmit(TrafficClass::kRealTime).sequence, 0u);
+  EXPECT_EQ(s.take_for_transmit(TrafficClass::kRealTime).sequence, 1u);
+  EXPECT_EQ(s.take_for_transmit(TrafficClass::kRealTime).sequence, 2u);
+}
+
+TEST(StationQueues, QuotaUpdate) {
+  Station s = make_station({1, 1});
+  s.set_quota({4, 2});
+  EXPECT_EQ(s.quota(), (Quota{4, 2}));
+}
+
+TEST(StationQueues, ShrinkingQuotaClampsCounters) {
+  // Regression (found by the invariant monkey): shrinking the quota below
+  // the round's already-transmitted count must not strand the station in a
+  // never-satisfied state where it would seize the SAT forever.
+  Station s = make_station({3, 2});
+  for (int i = 0; i < 5; ++i) s.enqueue(make_packet(TrafficClass::kRealTime));
+  s.enqueue(make_packet(TrafficClass::kBestEffort));
+  s.take_for_transmit(TrafficClass::kRealTime);
+  s.take_for_transmit(TrafficClass::kRealTime);
+  s.take_for_transmit(TrafficClass::kRealTime);  // RT_PCK = 3
+  s.set_quota({1, 2});
+  EXPECT_EQ(s.rt_pck(), 1u);
+  EXPECT_TRUE(s.satisfied());              // RT_PCK == l, backlog or not
+  EXPECT_EQ(s.eligible_class(), TrafficClass::kBestEffort);
+}
+
+TEST(StationQueues, ShrinkingKClampsSplit) {
+  Station s(0, {1, 4}, 3, 16);
+  s.set_quota({1, 2});
+  EXPECT_EQ(s.k1_assured(), 2u);
+}
+
+// Invariant sweep: a station can never authorize more than l + k packets
+// between SAT releases (Section 2.2: "a station cannot transmit more than
+// l + k packets" per round).
+class QuotaSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QuotaSweep, NeverExceedsLPlusK) {
+  const auto [l, k] = GetParam();
+  Station s = make_station({static_cast<std::uint32_t>(l),
+                            static_cast<std::uint32_t>(k)});
+  for (int i = 0; i < 3 * (l + k) + 4; ++i) {
+    s.enqueue(make_packet(i % 2 == 0 ? TrafficClass::kRealTime
+                                     : TrafficClass::kBestEffort));
+  }
+  int transmitted = 0;
+  while (const auto cls = s.eligible_class()) {
+    s.take_for_transmit(*cls);
+    ++transmitted;
+    ASSERT_LE(transmitted, l + k);
+  }
+  EXPECT_LE(transmitted, l + k);
+  // After a release, a fresh round begins.
+  s.on_sat_release();
+  EXPECT_NE(s.eligible_class(), std::nullopt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Quotas, QuotaSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5), ::testing::Values(0, 1, 4)));
+
+}  // namespace
+}  // namespace wrt::wrtring

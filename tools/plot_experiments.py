@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Plot the experiment benches' CSV output.
+
+Usage:
+    for b in build/bench/bench_*; do $b --csv > out/$(basename $b).csv; done
+    python3 tools/plot_experiments.py out/*.csv -o plots/
+
+Each bench emits one or more CSV tables separated by `# <title>` comment
+lines; this script splits them, guesses a sensible x-axis (the first
+numeric column) and plots every other numeric column as a series.  It is a
+convenience for eyeballing shapes, not a publication pipeline.
+"""
+
+import argparse
+import csv
+import pathlib
+import sys
+
+
+def split_tables(path):
+    """Yields (title, header, rows) per `# title`-delimited CSV block."""
+    title = path.stem
+    header = None
+    rows = []
+    with open(path, newline="") as handle:
+        for record in csv.reader(handle):
+            if not record:
+                continue
+            if record[0].startswith("#"):
+                if header and rows:
+                    yield title, header, rows
+                title = record[0].lstrip("# ").strip()
+                header, rows = None, []
+            elif header is None:
+                header = record
+            else:
+                rows.append(record)
+    if header and rows:
+        yield title, header, rows
+
+
+def numeric_columns(header, rows):
+    """Indices of columns where every row parses as a float."""
+    result = []
+    for idx in range(len(header)):
+        try:
+            for row in rows:
+                float(row[idx])
+        except (ValueError, IndexError):
+            continue
+        result.append(idx)
+    return result
+
+
+def plot_table(title, header, rows, out_dir):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    numeric = numeric_columns(header, rows)
+    if len(numeric) < 2:
+        print(f"  skip (needs >= 2 numeric columns): {title}")
+        return
+    x_idx, y_idxs = numeric[0], numeric[1:]
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    xs = [float(row[x_idx]) for row in rows]
+    for y_idx in y_idxs:
+        ys = [float(row[y_idx]) for row in rows]
+        ax.plot(xs, ys, marker="o", label=header[y_idx])
+    ax.set_xlabel(header[x_idx])
+    ax.set_title(title)
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=8)
+    safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in title)[:80]
+    target = out_dir / f"{safe}.png"
+    fig.tight_layout()
+    fig.savefig(target, dpi=120)
+    plt.close(fig)
+    print(f"  wrote {target}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_files", nargs="+", type=pathlib.Path)
+    parser.add_argument("-o", "--out", type=pathlib.Path,
+                        default=pathlib.Path("plots"))
+    args = parser.parse_args()
+    args.out.mkdir(parents=True, exist_ok=True)
+    for path in args.csv_files:
+        print(path)
+        for title, header, rows in split_tables(path):
+            plot_table(title, header, rows, args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
