@@ -1,0 +1,164 @@
+// Engine hot-path microbenchmark (google-benchmark).
+//
+// Measures steady-state slot throughput of the position-indexed engine on
+// the 32-station reference ring (the restructure's acceptance criterion is
+// >= 2x over the map-indexed baseline), plus the membership-churn path that
+// exercises the dense-vector repack.
+//
+// `--digest` runs a fixed-seed 32-station scenario instead and prints the
+// protocol counters; the output must be bit-identical across builds of the
+// same protocol logic, so scripts/check.sh uses it as a cheap regression
+// oracle for "restructure changed performance, not behaviour".
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "analysis/bounds.hpp"
+#include "bench/bench_common.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt {
+namespace {
+
+/// Initialises `engine` and backlogs every station; returns false when the
+/// ring cannot be built.
+bool saturate_engine(wrtring::Engine& engine, std::size_t n) {
+  if (!engine.init().ok()) return false;
+  for (NodeId node = 0; node < n; ++node) {
+    traffic::FlowSpec spec;
+    spec.id = node;
+    spec.src = node;
+    spec.dst = static_cast<NodeId>((node + n / 2) % n);
+    spec.cls = TrafficClass::kRealTime;
+    engine.add_saturated_source(spec, 8);
+  }
+  return true;
+}
+
+/// Steady state: every station backlogged, no membership changes.  All
+/// station/source lookups hit the epoch-validated position cache.
+void BM_HotPathSteadyState(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  phy::Topology topology = bench::ring_room(n);
+  wrtring::Engine engine(&topology, wrtring::Config{}, 1);
+  if (!saturate_engine(engine, n)) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  engine.run_slots(256);  // past the warm-up transient
+  for (auto _ : state) engine.step();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HotPathSteadyState)->Arg(8)->Arg(32)->Arg(128);
+
+/// Mixed CBR + Poisson load (the common experiment shape) rather than full
+/// saturation: stresses poll_traffic()'s bound-source cache.
+void BM_HotPathMixedLoad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  phy::Topology topology = bench::ring_room(n);
+  wrtring::Engine engine(&topology, wrtring::Config{}, 1);
+  if (!engine.init().ok()) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  for (NodeId node = 0; node < n; ++node) {
+    traffic::FlowSpec spec;
+    spec.id = node;
+    spec.src = node;
+    spec.dst = static_cast<NodeId>((node + n / 2) % n);
+    spec.cls = node % 2 == 0 ? TrafficClass::kRealTime
+                             : TrafficClass::kBestEffort;
+    spec.kind = node % 2 == 0 ? traffic::ArrivalKind::kCbr
+                              : traffic::ArrivalKind::kPoisson;
+    spec.period_slots = 8.0;
+    spec.rate_per_slot = 0.125;
+    engine.add_source(spec);
+  }
+  engine.run_slots(256);
+  for (auto _ : state) engine.step();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HotPathMixedLoad)->Arg(32)->Arg(128);
+
+/// Membership churn: a graceful leave plus the SAT_REC cut-out machinery
+/// every iteration — the slow path the dense repack must not regress.
+void BM_HotPathLeaveRejoinChurn(benchmark::State& state) {
+  const std::size_t n = 32;
+  for (auto _ : state) {
+    state.PauseTiming();
+    phy::Topology topology = bench::ring_room(n);
+    wrtring::Engine engine(&topology, wrtring::Config{}, 1);
+    if (!saturate_engine(engine, n)) {
+      state.SkipWithError("init failed");
+      return;
+    }
+    engine.run_slots(64);
+    state.ResumeTiming();
+    const NodeId leaver = engine.virtual_ring().station_at(5);
+    if (engine.request_leave(leaver).ok()) {
+      engine.run_slots(256);
+    }
+    benchmark::DoNotOptimize(engine.stats().leaves_completed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotPathLeaveRejoinChurn);
+
+/// Fixed-seed digest: deterministic protocol counters for a 32-station run
+/// with saturation, churn, and a recovery.  Any diff here means the change
+/// under test altered behaviour, not just speed.
+int run_digest() {
+  const std::size_t n = 32;
+  phy::Topology topology = bench::ring_room(n);
+  wrtring::Engine engine(&topology, wrtring::Config{}, 1);
+  if (!saturate_engine(engine, n)) return 1;
+  engine.run_slots(2000);
+  const NodeId leaver = engine.virtual_ring().station_at(5);
+  if (!engine.request_leave(leaver).ok()) return 1;
+  engine.run_slots(1000);
+  engine.kill_station(engine.virtual_ring().station_at(11));
+  engine.run_slots(4 * analysis::sat_time_bound(engine.ring_params()));
+  engine.run_slots(2000);
+  if (!engine.check_invariants().ok()) {
+    std::puts("digest: invariant violation");
+    return 1;
+  }
+  const auto& stats = engine.stats();
+  std::printf("ring_size=%zu\n", engine.virtual_ring().size());
+  std::printf("sat_rounds=%llu\n",
+              static_cast<unsigned long long>(stats.sat_rounds));
+  std::printf("sat_hops=%llu\n",
+              static_cast<unsigned long long>(stats.sat_hops));
+  std::printf("data_transmissions=%llu\n",
+              static_cast<unsigned long long>(stats.data_transmissions));
+  std::printf("transit_forwards=%llu\n",
+              static_cast<unsigned long long>(stats.transit_forwards));
+  std::printf("delivered=%llu\n",
+              static_cast<unsigned long long>(stats.sink.total_delivered()));
+  std::printf("frames_lost_link=%llu\n",
+              static_cast<unsigned long long>(stats.frames_lost_link));
+  std::printf("leaves_completed=%llu\n",
+              static_cast<unsigned long long>(stats.leaves_completed));
+  std::printf("sat_recoveries=%llu\n",
+              static_cast<unsigned long long>(stats.sat_recoveries));
+  std::printf("access_delay_mean_milli=%lld\n",
+              static_cast<long long>(stats.access_delay_slots.mean() * 1000));
+  std::printf("rotation_mean_milli=%lld\n",
+              static_cast<long long>(stats.sat_rotation_slots.mean() * 1000));
+  return 0;
+}
+
+}  // namespace
+}  // namespace wrt
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--digest") == 0) return wrt::run_digest();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,15 +2,52 @@
 # Full verification pass: configure, build (warnings-as-errors), run the
 # complete test suite, then every experiment bench and example.  This is
 # the command CI (or a suspicious reviewer) runs.
+#
+#   scripts/check.sh          # regular pass
+#   scripts/check.sh --asan   # additionally build + ctest under ASan/UBSan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+WITH_ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) WITH_ASAN=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+# Reuse the generator of an existing build tree; prefer Ninja on a fresh one.
+configure() {
+  local dir="$1"; shift
+  if [ -f "$dir/CMakeCache.txt" ]; then
+    cmake -B "$dir" "$@"
+  else
+    cmake -B "$dir" -G Ninja "$@"
+  fi
+}
+
+configure build
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+if [ "$WITH_ASAN" = 1 ]; then
+  echo "== ASan/UBSan build + tests =="
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  configure build-asan -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
+
+echo "== engine hot-path smoke =="
+# Fixed-seed behaviour digest (deterministic) + a short throughput sample.
+build/bench/bench_engine_hot_path --digest
+build/bench/bench_engine_hot_path --benchmark_min_time=0.05 \
+  --benchmark_filter='BM_HotPathSteadyState/32' > /dev/null
+
 echo "== benches =="
 for b in build/bench/bench_*; do
+  [ "$(basename "$b")" = bench_engine_hot_path ] && continue  # smoke above
   echo "--- $(basename "$b")"
   "$b" > /dev/null
 done

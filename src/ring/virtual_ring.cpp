@@ -20,10 +20,17 @@ NodeId VirtualRing::station_at(std::size_t pos) const {
 }
 
 std::size_t VirtualRing::position_of(NodeId node) const {
-  const auto it = std::find(order_.begin(), order_.end(), node);
-  if (it == order_.end()) {
+  const auto position = find_position(node);
+  if (!position.has_value()) {
     throw std::out_of_range("VirtualRing: node not in ring");
   }
+  return *position;
+}
+
+std::optional<std::size_t> VirtualRing::find_position(
+    NodeId node) const noexcept {
+  const auto it = std::find(order_.begin(), order_.end(), node);
+  if (it == order_.end()) return std::nullopt;
   return static_cast<std::size_t>(it - order_.begin());
 }
 

@@ -12,6 +12,7 @@
 // a failed station out (Section 2.5).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "phy/topology.hpp"
@@ -34,6 +35,12 @@ class VirtualRing {
 
   /// Ring position of `node`; throws std::out_of_range if absent.
   [[nodiscard]] std::size_t position_of(NodeId node) const;
+
+  /// Non-throwing variant: nullopt when `node` is not a ring member.  The
+  /// engine's membership paths use this to update their position-indexed
+  /// storage in lockstep with ring mutations.
+  [[nodiscard]] std::optional<std::size_t> find_position(
+      NodeId node) const noexcept;
 
   [[nodiscard]] bool contains(NodeId node) const noexcept;
 

@@ -1,6 +1,5 @@
 #include "sim/scheduler.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -12,34 +11,32 @@ EventHandle Scheduler::schedule_at(Tick when, EventFn fn) {
   }
   const std::uint64_t id = next_id_++;
   queue_.push(Entry{when, next_sequence_++, id, std::move(fn)});
+  live_ids_.insert(id);
   return EventHandle{id};
 }
 
 void Scheduler::cancel(EventHandle handle) {
+  // Erasing from the live set is the cancellation; an unknown or
+  // already-fired id is absent, so the call is a true no-op and leaves
+  // nothing behind.
   if (handle.id == 0) return;
-  cancelled_.push_back(handle.id);
-  ++cancelled_count_;
+  live_ids_.erase(handle.id);
 }
 
-void Scheduler::execute_top() {
+bool Scheduler::execute_top() {
   // Copy out then pop so an event may schedule new events freely.
   Entry entry = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
-  const auto it = std::find(cancelled_.begin(), cancelled_.end(), entry.id);
-  if (it != cancelled_.end()) {
-    cancelled_.erase(it);
-    --cancelled_count_;
-    return;
-  }
+  if (live_ids_.erase(entry.id) == 0) return false;  // cancelled
   now_ = entry.when;
   entry.fn();
+  return true;
 }
 
 std::uint64_t Scheduler::run_until(Tick horizon) {
   std::uint64_t executed = 0;
   while (!queue_.empty() && queue_.top().when <= horizon) {
-    execute_top();
-    ++executed;
+    if (execute_top()) ++executed;
   }
   if (now_ < horizon) now_ = horizon;
   return executed;

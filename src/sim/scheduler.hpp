@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "util/types.hpp"
@@ -53,7 +54,7 @@ class Scheduler {
 
   /// Number of pending (non-cancelled) events.
   [[nodiscard]] std::size_t pending() const noexcept {
-    return queue_.size() - cancelled_count_;
+    return live_ids_.size();
   }
 
  private:
@@ -71,14 +72,18 @@ class Scheduler {
     }
   };
 
-  void execute_top();
+  /// Pops the top entry; returns true iff its event actually ran (false for
+  /// entries cancelled while queued).
+  bool execute_top();
 
   Tick now_ = 0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t next_id_ = 1;
   std::priority_queue<Entry> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted insert not needed; small
-  std::size_t cancelled_count_ = 0;
+  // Ids of scheduled-but-not-yet-fired events.  cancel() erases from here
+  // (O(1)); execute purges the fired id, so a handle cancelled after its
+  // event already ran cannot accumulate.
+  std::unordered_set<std::uint64_t> live_ids_;
 };
 
 }  // namespace wrt::sim

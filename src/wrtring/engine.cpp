@@ -38,11 +38,17 @@ util::Status Engine::init() {
         "CDMA code assignment violates the distance-2 condition");
   }
 
+  stations_.clear();
+  control_.clear();
+  stations_.reserve(ring_.size());
+  control_.reserve(ring_.size());
   for (std::size_t p = 0; p < ring_.size(); ++p) {
-    setup_station(ring_.station_at(p), quota_for_position(p));
+    stations_.push_back(
+        make_station(ring_.station_at(p), quota_for_position(p)));
+    control_.push_back(make_control());
   }
-  links_.assign(ring_.size(), {});
-  transit_regs_.assign(ring_.size(), {});
+  rebuild_position_index();
+  reset_data_plane();
   rotation_anchor_ = ring_.station_at(0);
 
   if (config_.cdma_fidelity) {
@@ -69,21 +75,72 @@ Quota Engine::quota_for_position(std::size_t position) const {
   return config_.default_quota;
 }
 
-void Engine::setup_station(NodeId node, Quota quota) {
-  stations_.emplace(node,
-                    Station(node, quota, config_.k1_assured,
-                            config_.queue_capacity));
-  PerStationControl control;
-  control.last_sat_arrival = now_;
-  control_[node] = std::move(control);
+Station Engine::make_station(NodeId node, Quota quota) const {
+  return Station(node, quota, config_.k1_assured, config_.queue_capacity);
 }
 
-void Engine::remove_station_state(NodeId node) {
-  if (auto it = stations_.find(node); it != stations_.end()) {
-    it->second.clear_queues();
-    stations_.erase(it);
+Engine::PerStationControl Engine::make_control() const {
+  PerStationControl control;
+  control.last_sat_arrival = now_;
+  return control;
+}
+
+// ---------------------------------------------------------------------------
+// Position-indexed membership maintenance
+// ---------------------------------------------------------------------------
+
+std::int32_t Engine::station_position(NodeId node) const noexcept {
+  return node < position_index_.size() ? position_index_[node] : -1;
+}
+
+void Engine::rebuild_position_index() {
+  position_index_.assign(topology_->node_count(), -1);
+  const std::vector<NodeId>& order = ring_.order();
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    position_index_[order[p]] = static_cast<std::int32_t>(p);
   }
-  control_.erase(node);
+  ++membership_epoch_;
+  sat_timeout_dirty_ = true;
+}
+
+void Engine::reset_data_plane() {
+  const std::size_t R = ring_.size();
+  links_.resize(R);
+  for (auto& link : links_) {
+    link.reset(static_cast<std::size_t>(config_.hop_latency_slots));
+  }
+  transit_regs_.assign(R, LinkFrame{});
+}
+
+void Engine::insert_member(NodeId ingress, NodeId joiner, Quota quota) {
+  const std::size_t position = ring_.position_of(ingress) + 1;
+  ring_.insert_after(ingress, joiner);
+  stations_.insert(stations_.begin() + static_cast<std::ptrdiff_t>(position),
+                   make_station(joiner, quota));
+  control_.insert(control_.begin() + static_cast<std::ptrdiff_t>(position),
+                  make_control());
+  rebuild_position_index();
+}
+
+void Engine::erase_member(std::size_t position) {
+  assert(position < ring_.size());
+  ring_.remove(ring_.station_at(position));
+  auto& station = stations_[position];
+  station.clear_queues();
+  stations_.erase(stations_.begin() + static_cast<std::ptrdiff_t>(position));
+  control_.erase(control_.begin() + static_cast<std::ptrdiff_t>(position));
+  rebuild_position_index();
+}
+
+template <typename Bound>
+Station* Engine::bound_station(Bound& bound) {
+  if (bound.epoch != membership_epoch_) {
+    bound.position = station_position(bound.station);
+    bound.epoch = membership_epoch_;
+  }
+  return bound.position < 0
+             ? nullptr
+             : &stations_[static_cast<std::size_t>(bound.position)];
 }
 
 CdmaCode Engine::allocate_code_for(NodeId node) const {
@@ -99,31 +156,33 @@ CdmaCode Engine::allocate_code_for(NodeId node) const {
 }
 
 const Station& Engine::station(NodeId node) const {
-  const auto it = stations_.find(node);
-  if (it == stations_.end()) {
+  const std::int32_t position = station_position(node);
+  if (position < 0) {
     throw std::out_of_range("Engine::station: node not in ring");
   }
-  return it->second;
+  return stations_[static_cast<std::size_t>(position)];
 }
 
 void Engine::set_station_quota(NodeId node, Quota quota) {
-  const auto it = stations_.find(node);
-  if (it == stations_.end()) {
+  const std::int32_t position = station_position(node);
+  if (position < 0) {
     throw std::out_of_range("Engine::set_station_quota: node not in ring");
   }
-  it->second.set_quota(quota);
+  stations_[static_cast<std::size_t>(position)].set_quota(quota);
+  sat_timeout_dirty_ = true;
 }
 
 void Engine::set_station_split(NodeId node, std::uint32_t k1_assured) {
-  const auto it = stations_.find(node);
-  if (it == stations_.end()) {
+  const std::int32_t position = station_position(node);
+  if (position < 0) {
     throw std::out_of_range("Engine::set_station_split: node not in ring");
   }
-  if (k1_assured > it->second.quota().k) {
+  Station& station = stations_[static_cast<std::size_t>(position)];
+  if (k1_assured > station.quota().k) {
     throw std::invalid_argument(
         "Engine::set_station_split: k1 exceeds the station's k quota");
   }
-  it->second.set_k1_assured(k1_assured);
+  station.set_k1_assured(k1_assured);
 }
 
 analysis::RingParams Engine::ring_params() const {
@@ -132,16 +191,18 @@ analysis::RingParams Engine::ring_params() const {
                               config_.effective_sat_hop_latency();
   params.t_rap_slots = config_.t_rap_slots();
   params.quotas.reserve(ring_.size());
-  for (std::size_t p = 0; p < ring_.size(); ++p) {
-    params.quotas.push_back(station(ring_.station_at(p)).quota());
+  for (const Station& station : stations_) {
+    params.quotas.push_back(station.quota());
   }
   return params;
 }
 
 const std::deque<Tick>& Engine::sat_arrival_history(NodeId node) const {
   static const std::deque<Tick> kEmpty;
-  const auto it = control_.find(node);
-  return it == control_.end() ? kEmpty : it->second.arrival_history;
+  const std::int32_t position = station_position(node);
+  return position < 0
+             ? kEmpty
+             : control_[static_cast<std::size_t>(position)].arrival_history;
 }
 
 bool Engine::admission_allows(Quota extra) const {
@@ -175,18 +236,22 @@ void Engine::add_trace_source(traffic::Trace trace, FlowId flow, NodeId src,
 }
 
 bool Engine::inject_packet(traffic::Packet packet) {
-  const auto it = stations_.find(packet.src);
-  if (it == stations_.end()) return false;
-  return it->second.enqueue(std::move(packet));
+  const std::int32_t position = station_position(packet.src);
+  if (position < 0) return false;
+  return stations_[static_cast<std::size_t>(position)].enqueue(
+      std::move(packet));
 }
 
 void Engine::poll_traffic() {
   for (auto& bound : sources_) {
     arrival_scratch_.clear();
     bound.source.poll(now_, arrival_scratch_);
-    const auto it = stations_.find(bound.station);
+    if (arrival_scratch_.empty()) continue;
+    Station* station = bound_station(bound);
     for (auto& packet : arrival_scratch_) {
-      if (it == stations_.end() || !it->second.enqueue(std::move(packet))) {
+      // enqueue() moves only on acceptance, so a rejected (queue-full)
+      // packet is still intact for drop attribution.
+      if (station == nullptr || !station->enqueue(std::move(packet))) {
         stats_.sink.record_drop(packet);
       }
     }
@@ -194,21 +259,21 @@ void Engine::poll_traffic() {
   for (auto& bound : traces_) {
     arrival_scratch_.clear();
     bound.source.poll(now_, arrival_scratch_);
-    const auto it = stations_.find(bound.station);
+    if (arrival_scratch_.empty()) continue;
+    Station* station = bound_station(bound);
     for (auto& packet : arrival_scratch_) {
-      if (it == stations_.end() || !it->second.enqueue(std::move(packet))) {
+      if (station == nullptr || !station->enqueue(std::move(packet))) {
         stats_.sink.record_drop(packet);
       }
     }
   }
   for (auto& bound : saturated_) {
-    const auto it = stations_.find(bound.station);
-    if (it == stations_.end()) continue;
-    const std::size_t depth =
-        it->second.queue_depth(bound.source.spec().cls);
+    Station* station = bound_station(bound);
+    if (station == nullptr) continue;
+    const std::size_t depth = station->queue_depth(bound.source.spec().cls);
     if (depth < bound.backlog) {
       for (auto& packet : bound.source.take(now_, bound.backlog - depth)) {
-        it->second.enqueue(std::move(packet));
+        (void)station->enqueue(std::move(packet));
       }
     }
   }
@@ -261,20 +326,20 @@ void Engine::data_plane_step() {
   const std::size_t R = ring_.size();
   if (R == 0) return;
   const Tick hop_ticks = slots_to_ticks(config_.hop_latency_slots);
+  const std::vector<NodeId>& order = ring_.order();
 
   if (config_.cdma_fidelity) channel_->begin_slot(now_);
 
   // Phase 1: arrivals.  A frame sent last slot reaches the next station now;
   // the destination absorbs it (destination release, enabling spatial
   // reuse), everything else becomes this slot's transit load.
-  if (transit_regs_.size() != R) transit_regs_.resize(R);
   for (std::size_t p = 0; p < R; ++p) {
-    const std::size_t upstream = (p + R - 1) % R;
+    const std::size_t upstream = p == 0 ? R - 1 : p - 1;
     auto& link = links_[upstream];
     if (link.empty() || link.front().arrival > now_) continue;
     LinkFrame frame = std::move(link.front());
     link.pop_front();
-    const NodeId here = ring_.station_at(p);
+    const NodeId here = order[p];
     if (!topology_->alive(here)) {
       ++stats_.frames_lost_link;
       continue;
@@ -297,35 +362,34 @@ void Engine::data_plane_step() {
   // Phase 2: transmissions.  A slot carrying transit is forwarded in the
   // same slot time (the slot structure rotates one position per slot); an
   // empty slot may be filled by a local packet per the Send algorithm.
+  const bool injection_allowed = data_allowed();
   std::size_t busy_links_now = 0;
   for (std::size_t p = 0; p < R; ++p) {
-    const NodeId sender = ring_.station_at(p);
-    const NodeId receiver = ring_.station_at(p + 1);
+    const NodeId sender = order[p];
     LinkFrame out;
     if (transit_regs_[p].busy) {
       out = std::move(transit_regs_[p]);
       transit_regs_[p].busy = false;
       ++stats_.transit_forwards;
-    } else if (data_allowed() && topology_->alive(sender)) {
-      auto it = stations_.find(sender);
-      if (it != stations_.end()) {
-        if (const auto cls = it->second.eligible_class()) {
-          traffic::Packet packet = it->second.take_for_transmit(*cls);
-          const double delay = ticks_to_slots_real(now_ - packet.created);
-          stats_.access_delay_slots.add(delay);
-          if (packet.cls == TrafficClass::kRealTime) {
-            stats_.rt_access_delay_slots.add(delay);
-          }
-          ++stats_.data_transmissions;
-          out.packet = std::move(packet);
-          out.entered_ring = now_;
-          out.hops = 0;
-          out.busy = true;
+    } else if (injection_allowed && topology_->alive(sender)) {
+      Station& station = stations_[p];
+      if (const auto cls = station.eligible_class()) {
+        traffic::Packet packet = station.take_for_transmit(*cls);
+        const double delay = ticks_to_slots_real(now_ - packet.created);
+        stats_.access_delay_slots.add(delay);
+        if (packet.cls == TrafficClass::kRealTime) {
+          stats_.rt_access_delay_slots.add(delay);
         }
+        ++stats_.data_transmissions;
+        out.packet = std::move(packet);
+        out.entered_ring = now_;
+        out.hops = 0;
+        out.busy = true;
       }
     }
     if (!out.busy) continue;
 
+    const NodeId receiver = order[p + 1 == R ? 0 : p + 1];
     if (!topology_->reachable(sender, receiver)) {
       ++stats_.frames_lost_link;
       continue;
@@ -344,7 +408,11 @@ void Engine::data_plane_step() {
       channel_->transmit(sender, codes_[receiver], out.packet);
     }
     out.arrival = now_ + hop_ticks;
-    links_[p].push_back(std::move(out));
+    if (!links_[p].push_back(std::move(out))) {
+      // Unreachable while the depth invariant holds; account, don't corrupt.
+      ++stats_.frames_lost_link;
+      continue;
+    }
     ++busy_links_now;
   }
   stats_.busy_links.update(
@@ -364,15 +432,15 @@ void Engine::launch_sat(NodeId at) {
   sat_state_ = SatState::kHeld;
   sat_location_ = at;
   sat_lost_at_ = kNeverTick;
-  for (auto& [node, control] : control_) {
+  for (auto& control : control_) {
     control.last_sat_arrival = now_;
   }
   trace_.record(sim::EventKind::kSatLaunched, now_, at);
   sat_arrive(at);
 }
 
-void Engine::record_rotation(NodeId node, Tick arrival) {
-  auto& control = control_[node];
+void Engine::record_rotation(std::size_t position, Tick arrival) {
+  auto& control = control_[position];
   if (control.last_rotation_arrival != kNeverTick) {
     const double rotation =
         ticks_to_slots_real(arrival - control.last_rotation_arrival);
@@ -383,20 +451,20 @@ void Engine::record_rotation(NodeId node, Tick arrival) {
   if (control.arrival_history.size() > kArrivalHistoryCap) {
     control.arrival_history.pop_front();
   }
-  if (node == rotation_anchor_) ++stats_.sat_rounds;
+  if (stations_[position].id() == rotation_anchor_) ++stats_.sat_rounds;
 }
 
 void Engine::sat_arrive(NodeId at) {
-  auto control_it = control_.find(at);
-  if (control_it == control_.end() || !topology_->alive(at)) {
+  const std::int32_t position32 = station_position(at);
+  if (position32 < 0 || !topology_->alive(at)) {
     // Arrived at a station that just vanished: the signal is lost here.
     sat_state_ = SatState::kLost;
     if (sat_lost_at_ == kNeverTick) sat_lost_at_ = now_;
     return;
   }
-  auto& control = control_it->second;
-  control.last_sat_arrival = now_;
-  record_rotation(at, now_);
+  const auto position = static_cast<std::size_t>(position32);
+  control_[position].last_sat_arrival = now_;
+  record_rotation(position, now_);
 
   if (sat_.is_rec && at == sat_.rec_origin) {
     // Section 2.5: the SAT_REC made it back — the ring is re-established;
@@ -449,8 +517,7 @@ void Engine::sat_arrive(NodeId at) {
 
   // SAT algorithm (Section 2.2): forward when satisfied, else hold.
   sat_location_ = at;
-  auto& station_state = stations_.at(at);
-  if (station_state.satisfied()) {
+  if (stations_[position].satisfied()) {
     sat_release(at);
   } else {
     sat_state_ = SatState::kHeld;
@@ -463,29 +530,35 @@ void Engine::sat_release(NodeId from) {
     stats_.sat_hold_slots.add(ticks_to_slots_real(now_ - sat_hold_started_));
     sat_hold_started_ = kNeverTick;
   }
-  auto& station_state = stations_.at(from);
-  station_state.on_sat_release();
-  auto& control = control_[from];
-  control.last_sat_departure = now_;
-  ++control.rounds_since_rap;
+  const auto from_position = static_cast<std::size_t>(ring_.position_of(from));
+  stations_[from_position].on_sat_release();
+  {
+    auto& control = control_[from_position];
+    control.last_sat_departure = now_;
+    ++control.rounds_since_rap;
+  }
 
-  NodeId target = ring_.successor(from);
+  const std::size_t R = ring_.size();
+  NodeId target = ring_.order()[(from_position + 1) % R];
 
   if (sat_.is_rec && target == sat_.rec_failed) {
     // This station plays the role of i-1: skip the failed station by
     // addressing i+1 directly with code i+1 (Section 2.5).
-    const NodeId beyond = ring_.successor(target);
-    if (ring_.size() <= 3 || !topology_->reachable(from, beyond)) {
+    const NodeId beyond = ring_.order()[(from_position + 2) % R];
+    if (R <= 3 || !topology_->reachable(from, beyond)) {
       // "station i-1 could be too far to directly reach station i+1":
       // the previous ring is no longer valid.
       start_rebuild();
       return;
     }
     const NodeId failed = target;
-    const Quota failed_quota = stations_.at(failed).quota();
-    ring_.remove(failed);
-    remove_station_state(failed);
+    const std::size_t failed_position = (from_position + 1) % R;
+    const Quota failed_quota = stations_[failed_position].quota();
+    erase_member(failed_position);
     drop_in_flight_frames();
+    // Re-anchor the round counter: a cut-out anchor would otherwise freeze
+    // stats_.sat_rounds until a full rebuild.
+    if (rotation_anchor_ == failed) rotation_anchor_ = beyond;
     target = beyond;
     util::log(util::LogLevel::kInfo,
               "WRT-Ring: cut out station " + std::to_string(failed));
@@ -532,13 +605,15 @@ void Engine::sat_plane_step() {
     case SatState::kHeld: {
       const NodeId holder = sat_location_;
       if (in_rap() && holder == rap_ingress_) break;  // held for the RAP
-      const auto it = stations_.find(holder);
-      if (it == stations_.end() || !topology_->alive(holder)) {
+      const std::int32_t position = station_position(holder);
+      if (position < 0 || !topology_->alive(holder)) {
         sat_state_ = SatState::kLost;
         if (sat_lost_at_ == kNeverTick) sat_lost_at_ = now_;
         break;
       }
-      if (it->second.satisfied()) sat_release(holder);
+      if (stations_[static_cast<std::size_t>(position)].satisfied()) {
+        sat_release(holder);
+      }
       break;
     }
     case SatState::kLost:
@@ -549,7 +624,11 @@ void Engine::sat_plane_step() {
 
 std::int64_t Engine::effective_sat_timeout(NodeId) const {
   if (config_.sat_timeout_slots > 0) return config_.sat_timeout_slots;
-  return analysis::sat_time_bound(ring_params());
+  if (sat_timeout_dirty_) {
+    sat_timeout_cache_ = analysis::sat_time_bound(ring_params());
+    sat_timeout_dirty_ = false;
+  }
+  return sat_timeout_cache_;
 }
 
 void Engine::check_sat_timers() {
@@ -564,14 +643,19 @@ void Engine::check_sat_timers() {
   if (sat_.is_rec) return;  // recovery already in progress
 
   // Earliest-expiry station detects the loss.  Stations run their timers
-  // independently; the first expiry wins and generates the SAT_REC.
+  // independently; the first expiry wins and generates the SAT_REC (ties
+  // break toward the lowest NodeId, matching the historical scan order).
+  const Tick timeout_ticks =
+      slots_to_ticks(effective_sat_timeout(kInvalidNode));
+  const std::vector<NodeId>& order = ring_.order();
   NodeId detector = kInvalidNode;
   Tick earliest = kNeverTick;
-  for (const auto& [node, control] : control_) {
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    const NodeId node = order[p];
     if (!topology_->alive(node)) continue;
-    const Tick expiry = control.last_sat_arrival +
-                        slots_to_ticks(effective_sat_timeout(node));
-    if (now_ > expiry && expiry < earliest) {
+    const Tick expiry = control_[p].last_sat_arrival + timeout_ticks;
+    if (now_ > expiry &&
+        (expiry < earliest || (expiry == earliest && node < detector))) {
       earliest = expiry;
       detector = node;
     }
@@ -598,7 +682,7 @@ void Engine::start_recovery(NodeId detector) {
   sat_.rec_failed = ring_.predecessor(detector);
   sat_.rap_owner = kInvalidNode;
   rec_deadline_ = now_ + slots_to_ticks(effective_sat_timeout(detector));
-  control_[detector].last_sat_arrival = now_;
+  control_[ring_.position_of(detector)].last_sat_arrival = now_;
   trace_.record(sim::EventKind::kSatRecStarted, now_, detector,
                 sat_.rec_failed);
   sat_state_ = SatState::kHeld;
@@ -610,11 +694,8 @@ void Engine::start_recovery(NodeId detector) {
 void Engine::drop_in_flight_frames() {
   for (auto& link : links_) {
     stats_.frames_lost_link += link.size();
-    link.clear();
   }
-  links_.assign(ring_.size(), {});
-  for (auto& reg : transit_regs_) reg.busy = false;
-  transit_regs_.assign(ring_.size(), {});
+  reset_data_plane();
 }
 
 void Engine::start_rebuild() {
@@ -656,26 +737,46 @@ void Engine::finish_rebuild() {
 
   // Keep state for surviving members; create state for (re)joining ones.
   std::set<NodeId> members(new_ring.order().begin(), new_ring.order().end());
-  for (auto it = stations_.begin(); it != stations_.end();) {
-    if (!members.contains(it->first)) {
-      if (membership_callback_) membership_callback_(it->first, false);
-      control_.erase(it->first);
-      it = stations_.erase(it);
+  std::vector<NodeId> departed;
+  for (const Station& station : stations_) {
+    if (!members.contains(station.id())) departed.push_back(station.id());
+  }
+  std::sort(departed.begin(), departed.end());
+  if (membership_callback_) {
+    for (const NodeId node : departed) membership_callback_(node, false);
+  }
+
+  // Re-pack the position-indexed vectors against the new ring order, moving
+  // surviving stations' state (queues, quotas, splits) into place.  The old
+  // position_index_ stays valid until rebuild_position_index() below.
+  std::vector<Station> new_stations;
+  std::vector<PerStationControl> new_control;
+  std::vector<NodeId> joined;
+  new_stations.reserve(new_ring.size());
+  new_control.reserve(new_ring.size());
+  for (std::size_t p = 0; p < new_ring.size(); ++p) {
+    const NodeId node = new_ring.station_at(p);
+    const std::int32_t old_position = station_position(node);
+    if (old_position >= 0) {
+      new_stations.push_back(
+          std::move(stations_[static_cast<std::size_t>(old_position)]));
+      new_control.push_back(
+          std::move(control_[static_cast<std::size_t>(old_position)]));
     } else {
-      ++it;
+      new_stations.push_back(make_station(node, config_.default_quota));
+      new_control.push_back(make_control());
+      joined.push_back(node);
     }
   }
   ring_ = new_ring;
-  for (std::size_t p = 0; p < ring_.size(); ++p) {
-    const NodeId node = ring_.station_at(p);
-    if (!stations_.contains(node)) {
-      setup_station(node, config_.default_quota);
-      if (membership_callback_) membership_callback_(node, true);
-    }
+  stations_ = std::move(new_stations);
+  control_ = std::move(new_control);
+  rebuild_position_index();
+  if (membership_callback_) {
+    for (const NodeId node : joined) membership_callback_(node, true);
   }
   assign_codes();
-  links_.assign(ring_.size(), {});
-  transit_regs_.assign(ring_.size(), {});
+  reset_data_plane();
   rotation_anchor_ = ring_.station_at(0);
   // The re-formation may have recruited stations that were waiting to
   // rejoin; their pending requests are now moot.
@@ -683,7 +784,7 @@ void Engine::finish_rebuild() {
     it = ring_.contains(it->first) ? pending_joins_.erase(it) : ++it;
   }
   // Rotation history across a rebuild would mix two different rings.
-  for (auto& [node, control] : control_) {
+  for (auto& control : control_) {
     control.last_rotation_arrival = kNeverTick;
     control.arrival_history.clear();
   }
@@ -698,21 +799,25 @@ void Engine::finish_rebuild() {
 
 util::Status Engine::check_invariants() const {
   const std::size_t R = ring_.size();
-  if (stations_.size() != R) {
+  if (stations_.size() != R || control_.size() != R) {
     return util::Error::protocol_violation(
-        "station map size does not match ring size");
+        "station/control vectors do not match ring size");
   }
   if (links_.size() != R || transit_regs_.size() != R) {
     return util::Error::protocol_violation("link structures out of sync");
   }
   for (std::size_t p = 0; p < R; ++p) {
     const NodeId node = ring_.station_at(p);
-    const auto it = stations_.find(node);
-    if (it == stations_.end()) {
+    const Station& st = stations_[p];
+    if (st.id() != node) {
       return util::Error::protocol_violation(
-          "ring member " + std::to_string(node) + " has no station state");
+          "station vector misaligned with ring order at position " +
+          std::to_string(p));
     }
-    const Station& st = it->second;
+    if (station_position(node) != static_cast<std::int32_t>(p)) {
+      return util::Error::protocol_violation(
+          "position index stale for station " + std::to_string(node));
+    }
     if (st.rt_pck() > st.quota().l || st.nrt_pck() > st.quota().k) {
       return util::Error::protocol_violation(
           "quota counters exceed quotas at station " + std::to_string(node));
@@ -723,7 +828,9 @@ util::Status Engine::check_invariants() const {
     }
     // Per-link pipeline depth is bounded by the hop latency.
     if (links_[p].size() >
-        static_cast<std::size_t>(config_.hop_latency_slots)) {
+            static_cast<std::size_t>(config_.hop_latency_slots) ||
+        links_[p].depth() !=
+            static_cast<std::size_t>(config_.hop_latency_slots)) {
       return util::Error::protocol_violation("link pipeline overfull");
     }
   }
@@ -760,12 +867,13 @@ util::Status Engine::check_invariants() const {
 
 bool Engine::wants_rap(NodeId node) const {
   if (config_.rap_policy != RapPolicy::kRotating) return false;
-  const auto it = control_.find(node);
-  if (it == control_.end()) return false;
+  const std::int32_t position = station_position(node);
+  if (position < 0) return false;
   const std::int64_t min_rounds =
       config_.s_round_min > 0 ? config_.s_round_min
                               : static_cast<std::int64_t>(ring_.size());
-  return it->second.rounds_since_rap >= min_rounds;
+  return control_[static_cast<std::size_t>(position)].rounds_since_rap >=
+         min_rounds;
 }
 
 void Engine::request_join(NodeId node, Quota quota) {
@@ -812,7 +920,7 @@ void Engine::begin_rap(NodeId ingress) {
   sat_.rap_owner = ingress;
   sat_state_ = SatState::kHeld;
   sat_location_ = ingress;
-  control_[ingress].rounds_since_rap = 0;
+  control_[ring_.position_of(ingress)].rounds_since_rap = 0;
 
   // Slot 0 of the earing phase: the ingress broadcasts NEXT_FREE with its
   // own address/code and its successor's (Section 2.4.1).
@@ -885,8 +993,9 @@ void Engine::finish_rap() {
   }
   // The RAP over, the ingress resumes the normal SAT algorithm.
   if (sat_state_ == SatState::kHeld && sat_location_ == ingress) {
-    const auto it = stations_.find(ingress);
-    if (it != stations_.end() && it->second.satisfied()) {
+    const std::int32_t position = station_position(ingress);
+    if (position >= 0 &&
+        stations_[static_cast<std::size_t>(position)].satisfied()) {
       sat_release(ingress);
     }
   }
@@ -901,12 +1010,10 @@ void Engine::complete_join(NodeId joiner, NodeId ingress) {
   // Update phase: insert between the ingress and its successor, assign a
   // fresh distance-2-safe code, and initialise MAC state.
   drop_in_flight_frames();
-  ring_.insert_after(ingress, joiner);
+  insert_member(ingress, joiner, join.quota);
   if (codes_.size() <= joiner) codes_.resize(joiner + 1, kInvalidCode);
   codes_[joiner] = allocate_code_for(joiner);
-  setup_station(joiner, join.quota);
-  links_.assign(ring_.size(), {});
-  transit_regs_.assign(ring_.size(), {});
+  reset_data_plane();
   if (channel_) {
     channel_->set_listen_codes(joiner, {codes_[joiner], kBroadcastCode});
   }

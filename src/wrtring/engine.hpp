@@ -18,6 +18,18 @@
 //
 // The engine steps in MAC slots; one Engine instance is single-threaded and
 // owns all protocol state, so parallel replications each build their own.
+//
+// Storage layout: the per-slot hot path is position-indexed.  `stations_`,
+// `control_`, `links_` and `transit_regs_` are dense vectors indexed by ring
+// position — entry p always describes the station at ring_.station_at(p) and
+// the link from position p to p+1 — so data_plane_step() and poll_traffic()
+// never perform associative lookups.  Every membership path (init, join,
+// SAT_REC cut-out, graceful leave, ring re-formation) mutates the four
+// vectors and the ring order together and then refreshes `position_index_`
+// (NodeId -> position, -1 when not a member), which serves the by-NodeId
+// control-plane accessors.  `membership_epoch_` increments on each such
+// change; traffic sources cache their station's position keyed by the epoch,
+// so steady-state polling is lookup-free.
 #pragma once
 
 #include <deque>
@@ -226,6 +238,46 @@ class Engine final {
     bool busy = false;
   };
 
+  /// Fixed-depth FIFO of frames in flight on one ring link.  A link holds at
+  /// most `hop_latency_slots` frames (one transmission per slot, drained on
+  /// arrival — the invariant check_invariants() enforces), so the pipeline
+  /// is a ring buffer over preallocated slots: no per-frame allocation.
+  class LinkPipeline {
+   public:
+    void reset(std::size_t depth) {
+      slots_.assign(depth, LinkFrame{});
+      head_ = 0;
+      count_ = 0;
+    }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+    [[nodiscard]] std::size_t depth() const noexcept { return slots_.size(); }
+    [[nodiscard]] LinkFrame& front() noexcept { return slots_[head_]; }
+    [[nodiscard]] const LinkFrame& front() const noexcept {
+      return slots_[head_];
+    }
+    void pop_front() noexcept {
+      slots_[head_].busy = false;
+      head_ = head_ + 1 == slots_.size() ? 0 : head_ + 1;
+      --count_;
+    }
+    /// False when the pipeline is full (cannot happen while the depth
+    /// invariant holds; callers treat it as a lost frame defensively).
+    [[nodiscard]] bool push_back(LinkFrame&& frame) noexcept {
+      if (count_ == slots_.size()) return false;
+      std::size_t tail = head_ + count_;
+      if (tail >= slots_.size()) tail -= slots_.size();
+      slots_[tail] = std::move(frame);
+      ++count_;
+      return true;
+    }
+
+   private:
+    std::vector<LinkFrame> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
   struct SatSignal {
     bool is_rec = false;          ///< SAT_REC rather than plain SAT
     bool graceful_leave = false;  ///< SAT_REC triggered by a voluntary leave
@@ -276,13 +328,29 @@ class Engine final {
   void drop_in_flight_frames();
   [[nodiscard]] std::int64_t effective_sat_timeout(NodeId node) const;
   [[nodiscard]] Quota quota_for_position(std::size_t position) const;
-  void record_rotation(NodeId node, Tick arrival);
-  void setup_station(NodeId node, Quota quota);
-  void remove_station_state(NodeId node);
+  void record_rotation(std::size_t position, Tick arrival);
+  [[nodiscard]] Station make_station(NodeId node, Quota quota) const;
+  [[nodiscard]] PerStationControl make_control() const;
   [[nodiscard]] CdmaCode allocate_code_for(NodeId node) const;
   void assign_codes();
   void deliver(LinkFrame& frame, NodeId at);
   [[nodiscard]] bool data_allowed() const noexcept;
+
+  // --- position-indexed membership maintenance ---
+  /// Ring position of `node`, or -1 when it is not a member.
+  [[nodiscard]] std::int32_t station_position(NodeId node) const noexcept;
+  /// Rebuilds position_index_ from ring_ and bumps membership_epoch_.
+  void rebuild_position_index();
+  /// Resizes links_/transit_regs_ to the ring and empties them.
+  void reset_data_plane();
+  /// Inserts `joiner` (with its station/control state) right after
+  /// `ingress`, keeping vectors and ring order aligned.
+  void insert_member(NodeId ingress, NodeId joiner, Quota quota);
+  /// Removes the member at `position` from the ring and all vectors.
+  void erase_member(std::size_t position);
+  /// Cached station slot for a bound traffic source (epoch-validated).
+  template <typename Bound>
+  [[nodiscard]] Station* bound_station(Bound& bound);
 
   phy::Topology* topology_;
   Config config_;
@@ -292,14 +360,20 @@ class Engine final {
 
   ring::VirtualRing ring_;
   cdma::CodeMap codes_;
-  std::map<NodeId, Station> stations_;
-  std::map<NodeId, PerStationControl> control_;
+
+  // Position-indexed dense storage (see the header comment): entry p of
+  // stations_/control_/links_/transit_regs_ belongs to the station at ring
+  // position p; all four are resized together by the membership paths.
+  std::vector<Station> stations_;
+  std::vector<PerStationControl> control_;
+  std::vector<std::int32_t> position_index_;  ///< NodeId -> position, -1 out
+  std::uint64_t membership_epoch_ = 1;
 
   // Data plane: links_[p] is the FIFO pipeline of frames in flight from the
   // station at ring position p to position p+1; transit_regs_[p] holds the
   // frame station p must forward next slot (transit has absolute priority
   // over local injection, which is what makes slots "busy").
-  std::vector<std::deque<LinkFrame>> links_;
+  std::vector<LinkPipeline> links_;
   std::vector<LinkFrame> transit_regs_;
 
   // SAT state.
@@ -323,19 +397,26 @@ class Engine final {
   // Joins.
   std::map<NodeId, PendingJoin> pending_joins_;
 
-  // Traffic.
+  // Traffic.  Each bound source caches its station's ring position keyed by
+  // membership_epoch_, so steady-state polling performs no lookups.
   struct BoundSource {
     traffic::TrafficSource source;
     NodeId station;
+    std::int32_t position = -1;
+    std::uint64_t epoch = 0;
   };
   struct BoundSaturated {
     traffic::SaturatedSource source;
     NodeId station;
     std::size_t backlog;
+    std::int32_t position = -1;
+    std::uint64_t epoch = 0;
   };
   struct BoundTrace {
     traffic::TraceSource source;
     NodeId station;
+    std::int32_t position = -1;
+    std::uint64_t epoch = 0;
   };
   std::vector<BoundSource> sources_;
   std::vector<BoundSaturated> saturated_;
@@ -349,6 +430,12 @@ class Engine final {
   // Admission.
   std::int64_t max_sat_time_goal_ = 0;
   MembershipCallback membership_callback_;
+
+  // Derived SAT timeout (Theorem 1 bound over the current ring), cached so
+  // the per-slot timer scan does not recompute ring_params().  Invalidated
+  // by every membership change and by quota renegotiation.
+  mutable std::int64_t sat_timeout_cache_ = 0;
+  mutable bool sat_timeout_dirty_ = true;
 
   // CDMA fidelity channel (allocated only when config_.cdma_fidelity).
   std::unique_ptr<cdma::Channel<traffic::Packet>> channel_;

@@ -27,7 +27,7 @@ void Station::set_k1_assured(std::uint32_t k1) noexcept {
   k1_assured_ = k1;
 }
 
-bool Station::enqueue(traffic::Packet packet) {
+bool Station::enqueue(traffic::Packet&& packet) {
   auto& queue = queues_[static_cast<std::size_t>(packet.cls)];
   if (queue.size() >= queue_capacity_) {
     ++drops_;

@@ -45,8 +45,13 @@ class Station final {
   }
 
   /// Enqueues an arriving packet into its class queue; returns false (and
-  /// counts a drop) when the class queue is full.
-  bool enqueue(traffic::Packet packet);
+  /// counts a drop) when the class queue is full.  On failure the caller's
+  /// packet is left untouched — the move is committed only on acceptance —
+  /// so rejected packets can still be attributed in drop accounting.
+  bool enqueue(traffic::Packet&& packet);
+  bool enqueue(const traffic::Packet& packet) {
+    return enqueue(traffic::Packet(packet));
+  }
 
   /// Number of real-time packets currently queued (the `x` of Theorem 3).
   [[nodiscard]] std::size_t rt_queue_depth() const noexcept {

@@ -92,6 +92,53 @@ TEST(Scheduler, SchedulingInPastThrows) {
   EXPECT_THROW(s.schedule_at(10, [] {}), std::invalid_argument);
 }
 
+TEST(Scheduler, CancelAfterExecutionKeepsPendingConsistent) {
+  // Regression: cancelling a handle whose event already ran used to count
+  // as an outstanding cancellation, underflowing pending().
+  Scheduler s;
+  int fired = 0;
+  const EventHandle h = s.schedule_at(10, [&] { ++fired; });
+  s.run_until(50);
+  EXPECT_EQ(fired, 1);
+  s.cancel(h);  // already fired: must be a no-op
+  EXPECT_EQ(s.pending(), 0u);
+  s.schedule_at(60, [&] { ++fired; });
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_until(100);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, PendingReflectsCancellationImmediately) {
+  Scheduler s;
+  const EventHandle a = s.schedule_at(10, [] {});
+  s.schedule_at(20, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+  s.cancel(a);  // double-cancel: no-op
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_EQ(s.run_until(100), 1u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, ManyStaleHandleCancellationsDoNotAccumulate) {
+  Scheduler s;
+  std::vector<EventHandle> handles;
+  handles.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(s.schedule_at(i, [] {}));
+  }
+  EXPECT_EQ(s.run_until(2000), 1000u);
+  for (const EventHandle& h : handles) s.cancel(h);  // all already fired
+  EXPECT_EQ(s.pending(), 0u);
+  int fired = 0;
+  s.schedule_after(1, [&] { ++fired; });
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_until(3000);
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(Scheduler, StepExecutesOneTick) {
   Scheduler s;
   int fired = 0;
