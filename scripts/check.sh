@@ -5,13 +5,17 @@
 #
 #   scripts/check.sh          # regular pass
 #   scripts/check.sh --asan   # additionally build + ctest under ASan/UBSan
+#   scripts/check.sh --lint   # additionally run wrt_lint (+ clang-tidy and
+#                             # cppcheck when installed)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 WITH_ASAN=0
+WITH_LINT=0
 for arg in "$@"; do
   case "$arg" in
     --asan) WITH_ASAN=1 ;;
+    --lint) WITH_LINT=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -29,6 +33,30 @@ configure() {
 configure build
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+if [ "$WITH_LINT" = 1 ]; then
+  echo "== lint: wrt_lint =="
+  build/tools/wrt_lint src
+
+  # External analyzers are optional (not baked into every container); the
+  # repo-specific linter above is the part that must always run and gate.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== lint: clang-tidy =="
+    find src tools -name '*.cpp' -print0 |
+      xargs -0 clang-tidy -p build --quiet
+  else
+    echo "== lint: clang-tidy not installed, skipping =="
+  fi
+
+  if command -v cppcheck >/dev/null 2>&1; then
+    echo "== lint: cppcheck =="
+    cppcheck --enable=warning,performance,portability --inline-suppr \
+      --suppressions-list=scripts/cppcheck.suppressions \
+      --error-exitcode=1 --quiet -I src src tools/wrt_lint.cpp
+  else
+    echo "== lint: cppcheck not installed, skipping =="
+  fi
+fi
 
 if [ "$WITH_ASAN" = 1 ]; then
   echo "== ASan/UBSan build + tests =="

@@ -1,0 +1,366 @@
+#include "check/invariants.hpp"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "analysis/bounds.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt::check {
+namespace {
+
+// Registry order; must match the check_* dispatch in run().
+constexpr const char* kCheckNames[] = {
+    "ring-lockstep",      "position-bijection", "single-sat",
+    "rap-mutex",          "quota-conservation", "link-pipeline",
+    "theorem1-oracle",    "theorem2-oracle",
+};
+constexpr std::size_t kCheckCount = std::size(kCheckNames);
+
+std::string node_str(NodeId node) { return std::to_string(node); }
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor(const wrtring::Engine& engine,
+                                   AuditOptions options)
+    : engine_(engine),
+      options_(options),
+      per_check_runs_(kCheckCount, 0),
+      per_check_violations_(kCheckCount, 0) {}
+
+std::vector<std::string> InvariantAuditor::check_names() {
+  return {kCheckNames, kCheckNames + kCheckCount};
+}
+
+std::uint64_t InvariantAuditor::violation_count(
+    const std::string& check) const {
+  for (std::size_t i = 0; i < kCheckCount; ++i) {
+    if (check == kCheckNames[i]) return per_check_violations_[i];
+  }
+  return 0;
+}
+
+std::vector<CheckStats> InvariantAuditor::check_stats() const {
+  std::vector<CheckStats> stats;
+  stats.reserve(kCheckCount);
+  for (std::size_t i = 0; i < kCheckCount; ++i) {
+    stats.push_back({kCheckNames[i], per_check_runs_[i],
+                     per_check_violations_[i]});
+  }
+  return stats;
+}
+
+void InvariantAuditor::install(wrtring::Engine& engine,
+                               std::int64_t every_k_slots) {
+  assert(&engine == &engine_);
+  engine.set_audit_hook([this](const char* event) { run(event); },
+                        every_k_slots);
+}
+
+std::size_t InvariantAuditor::run(const char* event) {
+  ++audits_;
+  observe_disturbances();
+
+  std::size_t found = 0;
+  Details details;
+  const auto execute = [&](std::size_t index, auto&& check) {
+    details.clear();
+    ++per_check_runs_[index];
+    check(details);
+    per_check_violations_[index] += details.size();
+    total_violations_ += details.size();
+    found += details.size();
+    for (std::string& detail : details) {
+      if (violations_.size() >= options_.max_recorded) break;
+      violations_.push_back(
+          {kCheckNames[index], std::move(detail), engine_.now_, event});
+    }
+  };
+
+  execute(0, [&](Details& d) { check_ring_lockstep(d); });
+  execute(1, [&](Details& d) { check_position_bijection(d); });
+  execute(2, [&](Details& d) { check_single_sat(d); });
+  execute(3, [&](Details& d) { check_rap_mutex(d); });
+  execute(4, [&](Details& d) { check_quota_conservation(d); });
+  execute(5, [&](Details& d) { check_link_pipeline(d); });
+  if (options_.theorem_oracles) {
+    execute(6, [&](Details& d) { check_theorem1_oracle(d); });
+    execute(7, [&](Details& d) { check_theorem2_oracle(d); });
+  }
+  return found;
+}
+
+void InvariantAuditor::observe_disturbances() {
+  const wrtring::Engine& e = engine_;
+  bool disturbed = false;
+
+  if (e.membership_epoch_ != last_epoch_) {
+    last_epoch_ = e.membership_epoch_;
+    disturbed = true;
+  }
+  if (e.stats_.sat_losses_detected != last_losses_) {
+    last_losses_ = e.stats_.sat_losses_detected;
+    disturbed = true;
+  }
+  if (e.stats_.ring_rebuilds != last_rebuilds_) {
+    last_rebuilds_ = e.stats_.ring_rebuilds;
+    disturbed = true;
+  }
+  if (e.stats_.sat_recoveries != last_recoveries_) {
+    last_recoveries_ = e.stats_.sat_recoveries;
+    disturbed = true;
+  }
+  // An in-progress fault is a disturbance even before its counter ticks.
+  if (e.sat_state_ == wrtring::SatState::kLost ||
+      e.sat_state_ == wrtring::SatState::kRebuilding) {
+    disturbed = true;
+  }
+  // Quota renegotiation has no counter; it shows up as a bound change.
+  const std::int64_t bound = analysis::sat_time_bound(e.ring_params());
+  if (bound != last_bound_ || e.ring_.size() != last_ring_size_) {
+    last_bound_ = bound;
+    last_ring_size_ = e.ring_.size();
+    disturbed = true;
+  }
+  if (disturbed) oracle_horizon_ = e.now_;
+}
+
+void InvariantAuditor::check_ring_lockstep(Details& out) const {
+  const wrtring::Engine& e = engine_;
+  const std::size_t R = e.ring_.size();
+  if (e.stations_.size() != R || e.control_.size() != R) {
+    out.push_back("station/control vectors out of lockstep with ring: ring=" +
+                  std::to_string(R) + " stations=" +
+                  std::to_string(e.stations_.size()) + " control=" +
+                  std::to_string(e.control_.size()));
+    return;  // positional comparison below would be meaningless
+  }
+  if (e.links_.size() != R || e.transit_regs_.size() != R) {
+    out.push_back("link structures out of lockstep with ring: ring=" +
+                  std::to_string(R) + " links=" +
+                  std::to_string(e.links_.size()) + " transit=" +
+                  std::to_string(e.transit_regs_.size()));
+  }
+  for (std::size_t p = 0; p < R; ++p) {
+    const NodeId expected = e.ring_.station_at(p);
+    if (e.stations_[p].id() != expected) {
+      out.push_back("station vector misaligned at position " +
+                    std::to_string(p) + ": holds " +
+                    node_str(e.stations_[p].id()) + ", ring says " +
+                    node_str(expected));
+    }
+  }
+}
+
+void InvariantAuditor::check_position_bijection(Details& out) const {
+  const wrtring::Engine& e = engine_;
+  const std::size_t R = e.ring_.size();
+  std::size_t mapped = 0;
+  for (std::size_t n = 0; n < e.position_index_.size(); ++n) {
+    const std::int32_t pos = e.position_index_[n];
+    if (pos < 0) continue;
+    ++mapped;
+    const auto node = static_cast<NodeId>(n);
+    if (static_cast<std::size_t>(pos) >= R ||
+        e.ring_.station_at(static_cast<std::size_t>(pos)) != node) {
+      out.push_back("position index maps node " + node_str(node) +
+                    " to position " + std::to_string(pos) +
+                    ", which the ring does not corroborate");
+    }
+  }
+  if (mapped != R) {
+    out.push_back("position index covers " + std::to_string(mapped) +
+                  " nodes but the ring has " + std::to_string(R));
+  }
+  for (std::size_t p = 0; p < R; ++p) {
+    const NodeId node = e.ring_.station_at(p);
+    if (e.station_position(node) != static_cast<std::int32_t>(p)) {
+      out.push_back("member " + node_str(node) + " at ring position " +
+                    std::to_string(p) + " resolves to position " +
+                    std::to_string(e.station_position(node)));
+    }
+  }
+}
+
+void InvariantAuditor::check_single_sat(Details& out) const {
+  const wrtring::Engine& e = engine_;
+  switch (e.sat_state_) {
+    case wrtring::SatState::kHeld:
+      if (!e.ring_.contains(e.sat_location_)) {
+        out.push_back("SAT held at " + node_str(e.sat_location_) +
+                      ", which is not a ring member");
+      }
+      break;
+    case wrtring::SatState::kInTransit: {
+      if (!e.ring_.contains(e.sat_location_)) {
+        out.push_back("SAT in transit toward " + node_str(e.sat_location_) +
+                      ", which is not a ring member");
+      }
+      if (e.sat_arrival_tick_ == kNeverTick) {
+        out.push_back("SAT in transit with no arrival tick");
+      } else if (e.sat_arrival_tick_ < e.now_) {
+        out.push_back("SAT arrival tick " +
+                      std::to_string(e.sat_arrival_tick_) +
+                      " is in the past (now=" + std::to_string(e.now_) + ")");
+      } else if (e.sat_arrival_tick_ - e.now_ >
+                 slots_to_ticks(e.config_.effective_sat_hop_latency())) {
+        out.push_back("SAT arrival tick " +
+                      std::to_string(e.sat_arrival_tick_) +
+                      " is further out than one hop latency");
+      }
+      break;
+    }
+    case wrtring::SatState::kLost:
+      if (e.sat_lost_at_ == kNeverTick) {
+        out.push_back("SAT lost without a recorded loss instant");
+      }
+      break;
+    case wrtring::SatState::kRebuilding:
+      break;
+  }
+}
+
+void InvariantAuditor::check_rap_mutex(Details& out) const {
+  const wrtring::Engine& e = engine_;
+  // The owner flag is cleared when the SAT completes its round back at the
+  // owner; a departed owner must not leave it dangling (that would block
+  // every future RAP).
+  if (e.sat_.rap_owner != kInvalidNode &&
+      !e.ring_.contains(e.sat_.rap_owner)) {
+    out.push_back("RAP owner flag names " + node_str(e.sat_.rap_owner) +
+                  ", which is not a ring member");
+  }
+  if (!e.in_rap()) return;
+  if (e.rap_ingress_ == kInvalidNode) return;  // RAP already wound down
+  if (!e.ring_.contains(e.rap_ingress_)) {
+    out.push_back("RAP in progress with non-member ingress " +
+                  node_str(e.rap_ingress_));
+  }
+  // Exclusivity: while the original RAP's SAT is still the live signal
+  // (owner flag intact, not a SAT_REC), it must be held at the ingress —
+  // a plain SAT anywhere else during the RAP breaks the mutex.  A recovery
+  // relaunched mid-RAP resets the owner flag, so it is excluded here.
+  if (e.sat_state_ == wrtring::SatState::kHeld && !e.sat_.is_rec &&
+      e.sat_.rap_owner == e.rap_ingress_ &&
+      e.sat_location_ != e.rap_ingress_) {
+    out.push_back("RAP mutex broken: SAT held at " +
+                  node_str(e.sat_location_) + " while ingress " +
+                  node_str(e.rap_ingress_) + " owns the RAP");
+  }
+}
+
+void InvariantAuditor::check_quota_conservation(Details& out) const {
+  const wrtring::Engine& e = engine_;
+  for (std::size_t p = 0; p < e.stations_.size(); ++p) {
+    const wrtring::Station& st = e.stations_[p];
+    if (st.rt_pck() > st.quota().l) {
+      out.push_back("station " + node_str(st.id()) + " RT_PCK=" +
+                    std::to_string(st.rt_pck()) + " exceeds l=" +
+                    std::to_string(st.quota().l));
+    }
+    if (st.nrt_pck() > st.quota().k) {
+      out.push_back("station " + node_str(st.id()) + " NRT_PCK=" +
+                    std::to_string(st.nrt_pck()) + " exceeds k=" +
+                    std::to_string(st.quota().k));
+    }
+    if (st.k1_assured() > st.quota().k) {
+      out.push_back("station " + node_str(st.id()) + " k1=" +
+                    std::to_string(st.k1_assured()) + " exceeds k=" +
+                    std::to_string(st.quota().k));
+    }
+  }
+  if (e.stats_.sink.total_delivered() > e.stats_.data_transmissions) {
+    out.push_back("more deliveries (" +
+                  std::to_string(e.stats_.sink.total_delivered()) +
+                  ") than transmissions (" +
+                  std::to_string(e.stats_.data_transmissions) + ")");
+  }
+}
+
+void InvariantAuditor::check_link_pipeline(Details& out) const {
+  const wrtring::Engine& e = engine_;
+  const auto depth = static_cast<std::size_t>(e.config_.hop_latency_slots);
+  for (std::size_t p = 0; p < e.links_.size(); ++p) {
+    const auto& link = e.links_[p];
+    if (link.depth() != depth) {
+      out.push_back("link " + std::to_string(p) + " pipeline depth " +
+                    std::to_string(link.depth()) + " != hop latency " +
+                    std::to_string(depth));
+    }
+    if (link.size() > link.depth()) {
+      out.push_back("link " + std::to_string(p) + " overfull: " +
+                    std::to_string(link.size()) + " frames in depth " +
+                    std::to_string(link.depth()));
+    }
+    if (!link.empty()) {
+      if (!link.front().busy) {
+        out.push_back("link " + std::to_string(p) +
+                      " front frame is not marked busy");
+      } else if (link.front().arrival < e.now_) {
+        out.push_back("link " + std::to_string(p) +
+                      " front frame arrival " +
+                      std::to_string(link.front().arrival) +
+                      " is in the past (now=" + std::to_string(e.now_) + ")");
+      }
+    }
+  }
+  // Transit registers are filled and drained within the same slot; a busy
+  // one between slots means a frame was parked and never forwarded.
+  for (std::size_t p = 0; p < e.transit_regs_.size(); ++p) {
+    if (e.transit_regs_[p].busy) {
+      out.push_back("transit register " + std::to_string(p) +
+                    " busy between slots");
+    }
+  }
+}
+
+void InvariantAuditor::check_theorem1_oracle(Details& out) const {
+  const wrtring::Engine& e = engine_;
+  const Tick bound_ticks =
+      slots_to_ticks(analysis::sat_time_bound(e.ring_params()));
+  for (std::size_t p = 0; p < e.control_.size(); ++p) {
+    const std::vector<Tick>& history = e.control_[p].arrival_history;
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      // Only spans recorded entirely after the last disturbance are covered
+      // by the current ring's bound (strict >: an arrival at the
+      // disturbance tick itself predates the new regime).
+      if (history[i - 1] <= oracle_horizon_) continue;
+      const Tick delta = history[i] - history[i - 1];
+      if (delta >= bound_ticks) {  // Theorem 1 is a strict bound
+        out.push_back(
+            "station " + node_str(e.ring_.station_at(p)) +
+            " SAT inter-arrival " + std::to_string(ticks_to_slots(delta)) +
+            " slots >= Theorem-1 bound " +
+            std::to_string(ticks_to_slots(bound_ticks)) + " slots");
+      }
+    }
+  }
+}
+
+void InvariantAuditor::check_theorem2_oracle(Details& out) const {
+  const wrtring::Engine& e = engine_;
+  const std::int64_t window = options_.theorem2_window;
+  if (window <= 0) return;
+  const Tick bound_ticks = slots_to_ticks(
+      analysis::sat_time_n_rounds_bound(e.ring_params(), window));
+  const auto v = static_cast<std::size_t>(window);
+  for (std::size_t p = 0; p < e.control_.size(); ++p) {
+    const std::vector<Tick>& history = e.control_[p].arrival_history;
+    if (history.size() <= v) continue;
+    for (std::size_t i = 0; i + v < history.size(); ++i) {
+      if (history[i] <= oracle_horizon_) continue;
+      const Tick span = history[i + v] - history[i];
+      if (span > bound_ticks) {  // Theorem 2 is a non-strict bound
+        out.push_back(
+            "station " + node_str(e.ring_.station_at(p)) + " " +
+            std::to_string(window) + "-round span " +
+            std::to_string(ticks_to_slots(span)) +
+            " slots > Theorem-2 bound " +
+            std::to_string(ticks_to_slots(bound_ticks)) + " slots");
+      }
+    }
+  }
+}
+
+}  // namespace wrt::check

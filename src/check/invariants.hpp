@@ -1,0 +1,143 @@
+// Runtime protocol-invariant auditor.
+//
+// PR 1 made the engine hot path position-indexed and documented its
+// structural invariants (dense vectors in lockstep with the ring order, a
+// NodeId->position bijection, epoch-keyed caches); the paper's Section 2.6
+// worst-case analysis additionally gives *analytic oracles* — Theorem 1
+// (Eq 1) bounds every SAT rotation, Theorem 2 (Eq 3) every n-rotation span
+// — that any correct simulation run must satisfy in fault-free stretches.
+// This module turns both into a registry of named, individually reportable
+// checks that run against a live Engine:
+//
+//   ring-lockstep       stations_/control_/links_/transit_regs_ sized and
+//                       ordered exactly like the virtual ring
+//   position-bijection  NodeId -> position index is a bijection onto the
+//                       current members
+//   single-sat          exactly one coherent SAT (held at a member, or in
+//                       transit toward one with a future arrival tick)
+//   rap-mutex           RAP exclusivity: a live RAP has a member ingress
+//                       holding the SAT; the round-robin owner flag never
+//                       dangles on a departed station
+//   quota-conservation  per-round RT_PCK/NRT_PCK counters within (l, k),
+//                       Diffserv split within k, deliveries <= transmissions
+//   link-pipeline       per-link FIFO depth bounded by the hop latency, no
+//                       in-flight frame with an arrival in the past, no
+//                       transit register left busy between slots
+//   theorem1-oracle     observed SAT inter-arrival < Eq (1) bound (strict)
+//   theorem2-oracle     every window of n rotations <= Eq (3) bound
+//
+// The analytic oracles self-gate on "disturbances": a membership change,
+// SAT loss, rebuild, or quota renegotiation invalidates history collected
+// under the previous ring parameters, so only arrival spans recorded
+// entirely after the most recent disturbance are compared against the
+// bounds of the current ring.  This is what lets the auditor run clean
+// over churn-heavy scenarios while still catching genuine bound breaches.
+//
+// Wiring: construct over an Engine and either call run() manually (tests,
+// monkey harnesses) or install() it so the engine invokes it after every
+// membership event and — in audit builds (WRT_AUDIT_LEVEL, util/audit.hpp)
+// — every K slots.  Release builds compile the periodic hook out entirely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wrt::wrtring {
+class Engine;
+}  // namespace wrt::wrtring
+
+namespace wrt::check {
+
+/// One failed check instance.
+struct Violation {
+  std::string check;   ///< registry name, e.g. "position-bijection"
+  std::string detail;  ///< human-readable specifics
+  Tick at = 0;         ///< engine time when detected
+  std::string event;   ///< audit trigger ("periodic", "join", "manual", ...)
+};
+
+struct AuditOptions {
+  /// Run the Theorem 1/2 analytic oracles (disable for scenarios that are
+  /// deliberately outside the paper's fault-free assumptions).
+  bool theorem_oracles = true;
+  /// Window n for the Theorem-2 oracle (spans of n consecutive rotations).
+  std::int64_t theorem2_window = 4;
+  /// Recorded-violation cap; counting continues past it.
+  std::size_t max_recorded = 256;
+};
+
+/// Per-check tally, exposed for reports and test assertions.
+struct CheckStats {
+  std::string name;
+  std::uint64_t runs = 0;
+  std::uint64_t violations = 0;
+};
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(const wrtring::Engine& engine,
+                            AuditOptions options = {});
+
+  /// Runs every registered check once; returns the number of violations
+  /// found by *this* run (all are also recorded).
+  std::size_t run(const char* event = "manual");
+
+  /// Attaches this auditor to `engine` (must be the audited engine):
+  /// membership events always trigger run(); in audit builds the engine
+  /// additionally calls it every `every_k_slots` slots (0 = never).
+  void install(wrtring::Engine& engine, std::int64_t every_k_slots = 0);
+
+  [[nodiscard]] bool clean() const noexcept { return total_violations_ == 0; }
+  [[nodiscard]] std::uint64_t audits_run() const noexcept { return audits_; }
+  [[nodiscard]] std::uint64_t total_violations() const noexcept {
+    return total_violations_;
+  }
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  /// Violations recorded by the named check so far.
+  [[nodiscard]] std::uint64_t violation_count(const std::string& check) const;
+  /// Tally for every registered check, registry order.
+  [[nodiscard]] std::vector<CheckStats> check_stats() const;
+  /// Registry names, in execution order.
+  [[nodiscard]] static std::vector<std::string> check_names();
+
+ private:
+  // Each check appends one detail string per violation found.
+  using Details = std::vector<std::string>;
+  void check_ring_lockstep(Details& out) const;
+  void check_position_bijection(Details& out) const;
+  void check_single_sat(Details& out) const;
+  void check_rap_mutex(Details& out) const;
+  void check_quota_conservation(Details& out) const;
+  void check_link_pipeline(Details& out) const;
+  void check_theorem1_oracle(Details& out) const;
+  void check_theorem2_oracle(Details& out) const;
+
+  /// Detects ring-parameter / fault disturbances and advances the oracle
+  /// horizon past history the current bounds do not cover.
+  void observe_disturbances();
+
+  const wrtring::Engine& engine_;
+  AuditOptions options_;
+
+  std::uint64_t audits_ = 0;
+  std::uint64_t total_violations_ = 0;
+  std::vector<Violation> violations_;
+  std::vector<std::uint64_t> per_check_runs_;
+  std::vector<std::uint64_t> per_check_violations_;
+
+  // Oracle gating state (see observe_disturbances()).
+  Tick oracle_horizon_ = 0;
+  std::uint64_t last_epoch_ = 0;
+  std::uint64_t last_losses_ = 0;
+  std::uint64_t last_rebuilds_ = 0;
+  std::uint64_t last_recoveries_ = 0;
+  std::int64_t last_bound_ = 0;
+  std::size_t last_ring_size_ = 0;
+};
+
+}  // namespace wrt::check

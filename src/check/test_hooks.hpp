@@ -1,0 +1,106 @@
+// Test-only engine-state corruption.
+//
+// The fault-injection tests for the invariant auditor need to produce
+// states the protocol can never reach on its own — a stale position index,
+// a duplicate SAT, an over-quota counter — and then assert that exactly
+// the matching named check fires.  EngineTestHook is the single befriended
+// back door for that: every method corrupts one specific structure and is
+// named after the check it is meant to trip.
+//
+// This header must never be included from src/ production code; it exists
+// for tests/check/ only.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+#include "wrtring/engine.hpp"
+
+namespace wrt::check {
+
+struct EngineTestHook {
+  /// Smallest NodeId that is not currently a ring member (ids are dense
+  /// small integers in every test topology).
+  [[nodiscard]] static NodeId non_member(const wrtring::Engine& engine) {
+    NodeId candidate = 0;
+    while (engine.ring_.contains(candidate)) ++candidate;
+    return candidate;
+  }
+
+  // --- position-bijection -------------------------------------------------
+  /// Drops a member from the NodeId -> position index.
+  static void desync_position_index(wrtring::Engine& engine, NodeId node) {
+    engine.position_index_[node] = -1;
+  }
+
+  // --- ring-lockstep ------------------------------------------------------
+  /// Swaps two adjacent station slots without touching the ring order.
+  static void swap_adjacent_stations(wrtring::Engine& engine,
+                                     std::size_t position) {
+    std::swap(engine.stations_[position], engine.stations_[position + 1]);
+  }
+
+  // --- single-sat ---------------------------------------------------------
+  /// Puts the (held) SAT at a station that is not a ring member.
+  static void corrupt_sat_location(wrtring::Engine& engine) {
+    engine.sat_state_ = wrtring::SatState::kHeld;
+    engine.sat_location_ = non_member(engine);
+  }
+
+  /// Leaves the SAT in transit with an arrival tick already elapsed.
+  static void sat_arrival_in_past(wrtring::Engine& engine) {
+    engine.sat_state_ = wrtring::SatState::kInTransit;
+    engine.sat_location_ = engine.ring_.station_at(0);
+    engine.sat_arrival_tick_ = engine.now_ - slots_to_ticks(1);
+  }
+
+  // --- rap-mutex ----------------------------------------------------------
+  /// Sets the RAP owner flag to a station that is not in the ring (the
+  /// dangling-owner state a departed round owner would leave behind).
+  static void dangling_rap_owner(wrtring::Engine& engine) {
+    engine.sat_.rap_owner = non_member(engine);
+  }
+
+  /// Fakes a RAP in progress at one member while the SAT is held at
+  /// another — two stations believing they hold the access period.
+  static void phantom_rap(wrtring::Engine& engine) {
+    const NodeId ingress = engine.ring_.station_at(0);
+    const NodeId elsewhere = engine.ring_.station_at(1);
+    engine.sat_state_ = wrtring::SatState::kHeld;
+    engine.sat_location_ = elsewhere;
+    engine.sat_.is_rec = false;
+    engine.sat_.rap_owner = ingress;
+    engine.rap_ingress_ = ingress;
+    engine.rap_end_ = engine.now_ + slots_to_ticks(100);
+  }
+
+  // --- quota-conservation -------------------------------------------------
+  /// Bumps a station's RT_PCK counter past its l quota.
+  static void force_over_quota(wrtring::Engine& engine, NodeId node) {
+    const auto position =
+        static_cast<std::size_t>(engine.station_position(node));
+    wrtring::Station& station = engine.stations_[position];
+    station.rt_pck_ = station.quota_.l + 1;
+  }
+
+  // --- link-pipeline ------------------------------------------------------
+  /// Parks a phantom frame in a transit register between slots.
+  static void mark_transit_busy(wrtring::Engine& engine,
+                                std::size_t position) {
+    engine.transit_regs_[position].busy = true;
+  }
+
+  // --- theorem1-oracle / theorem2-oracle ----------------------------------
+  /// Replaces a station's SAT inter-arrival history wholesale (ticks,
+  /// oldest first) so the analytic oracles can be fed crafted spans.
+  static void forge_sat_history(wrtring::Engine& engine, NodeId node,
+                                std::vector<Tick> arrivals) {
+    const auto position =
+        static_cast<std::size_t>(engine.station_position(node));
+    engine.control_[position].arrival_history = std::move(arrivals);
+  }
+};
+
+}  // namespace wrt::check

@@ -57,6 +57,7 @@ PriorityLink::PriorityLink(double service_rate_per_slot,
                            std::size_t queue_capacity)
     : service_rate_(service_rate_per_slot), capacity_(queue_capacity) {}
 
+// wrt-lint-allow(by-value-frame-param): deliberate sink, moved into queue
 void PriorityLink::enqueue(traffic::Packet packet) {
   auto& queue = queues_[static_cast<std::size_t>(packet.cls)];
   if (queue.size() >= capacity_) {

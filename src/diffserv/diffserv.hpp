@@ -84,6 +84,7 @@ class PriorityLink {
   PriorityLink(double service_rate_per_slot, std::size_t queue_capacity);
 
   /// Enqueues; drops (and records) when the class queue is full.
+  // wrt-lint-allow(by-value-frame-param): deliberate sink, moved into queue
   void enqueue(traffic::Packet packet);
 
   /// Serves the slot; appends served packets to `served`.

@@ -8,7 +8,6 @@
 // keeps nodes fixed for bound-verification runs.
 #pragma once
 
-#include <memory>
 #include <vector>
 
 #include "phy/topology.hpp"

@@ -8,7 +8,6 @@
 // injection lets tests and the recovery benches break specific links.
 #pragma once
 
-#include <optional>
 #include <set>
 #include <vector>
 

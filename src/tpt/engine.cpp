@@ -82,6 +82,7 @@ void TptEngine::add_trace_source(traffic::Trace trace, FlowId flow,
        src});
 }
 
+// wrt-lint-allow(by-value-frame-param): deliberate sink, moved into queue
 bool TptEngine::inject_packet(traffic::Packet packet) {
   const auto it = stations_.find(packet.src);
   if (it == stations_.end()) return false;

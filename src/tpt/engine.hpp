@@ -101,6 +101,7 @@ class TptEngine final {
   void add_trace_source(traffic::Trace trace, FlowId flow, NodeId src,
                         NodeId dst, std::int64_t deadline_slots = 0);
 
+  // wrt-lint-allow(by-value-frame-param): deliberate sink, moved into queue
   bool inject_packet(traffic::Packet packet);
 
   void step();

@@ -10,10 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "sim/stats.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -121,13 +121,16 @@ class Sink {
   [[nodiscard]] double throughput(Tick t0, Tick t1) const noexcept;
 
   /// Per-flow delay stats (present only for flows with deliveries).
-  [[nodiscard]] const std::map<FlowId, sim::SampleStats>& per_flow() const {
+  [[nodiscard]] const util::FlatMap<FlowId, sim::SampleStats>& per_flow()
+      const {
     return per_flow_delay_;
   }
 
  private:
   ClassStats classes_[3];
-  std::map<FlowId, sim::SampleStats> per_flow_delay_;
+  // Flat map: record_delivery() sits on the per-delivery hot path and a
+  // simulation has few distinct flows.
+  util::FlatMap<FlowId, sim::SampleStats> per_flow_delay_;
 };
 
 }  // namespace wrt::traffic

@@ -1,0 +1,64 @@
+// Build-time audit switch for the correctness tooling (src/check/).
+//
+// WRT_AUDIT_LEVEL selects how much runtime self-checking is compiled in:
+//   0  release: every WRT_AUDIT / WRT_ASSERT expands to nothing — the hot
+//      path carries zero audit overhead (the check.sh digest oracle relies
+//      on this);
+//   1  audit build: WRT_AUDIT(stmt) executes `stmt` and WRT_ASSERT aborts
+//      with a diagnostic on violation.
+//
+// The default follows NDEBUG (release builds are level 0), and can be
+// forced either way with -DWRT_AUDIT_LEVEL=0/1.  Code that needs to branch
+// on the mode at compile time uses util::kAuditEnabled with `if constexpr`.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "util/log.hpp"
+
+#ifndef WRT_AUDIT_LEVEL
+#ifdef NDEBUG
+#define WRT_AUDIT_LEVEL 0
+#else
+#define WRT_AUDIT_LEVEL 1
+#endif
+#endif
+
+namespace wrt::util {
+
+inline constexpr bool kAuditEnabled = WRT_AUDIT_LEVEL != 0;
+
+namespace detail {
+/// Reports a failed WRT_ASSERT and aborts.  Out-of-line of the macro so the
+/// cold path costs one call even in audit builds.
+[[noreturn]] inline void audit_fail(const char* file, int line,
+                                    const char* condition,
+                                    const std::string& message) {
+  log(LogLevel::kError, std::string("WRT_ASSERT failed at ") + file + ":" +
+                            std::to_string(line) + ": (" + condition +
+                            ") " + message);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace wrt::util
+
+#if WRT_AUDIT_LEVEL
+/// Executes `stmt` in audit builds only.
+#define WRT_AUDIT(stmt) \
+  do {                  \
+    stmt;               \
+  } while (false)
+/// Aborts with a diagnostic when `cond` is false (audit builds only).
+#define WRT_ASSERT(cond, message)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::wrt::util::detail::audit_fail(__FILE__, __LINE__, #cond,      \
+                                      (message));                     \
+    }                                                                 \
+  } while (false)
+#else
+#define WRT_AUDIT(stmt) ((void)0)
+#define WRT_ASSERT(cond, message) ((void)0)
+#endif

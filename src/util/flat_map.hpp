@@ -1,0 +1,97 @@
+// Sorted-vector associative map.
+//
+// The engine hot path is position-indexed and must stay free of node-based
+// associative containers (the wrt_lint `hot-path-assoc` rule enforces
+// this).  The few key->value tables that remain on protocol control paths
+// (pending joins, per-flow accounting) are small — a handful to a few
+// dozen entries — where a contiguous sorted vector beats a red-black tree
+// on every operation and keeps iteration deterministic (ascending key
+// order, matching std::map semantics digest-for-digest).
+//
+// Deliberately minimal: exactly the std::map surface the code base uses
+// (find/contains/at/operator[]/erase/ordered iteration), nothing more.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace wrt::util {
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using storage_type = std::vector<value_type>;
+  using iterator = typename storage_type::iterator;
+  using const_iterator = typename storage_type::const_iterator;
+
+  [[nodiscard]] iterator begin() noexcept { return items_.begin(); }
+  [[nodiscard]] iterator end() noexcept { return items_.end(); }
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return items_.begin();
+  }
+  [[nodiscard]] const_iterator end() const noexcept { return items_.end(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  void clear() noexcept { items_.clear(); }
+
+  [[nodiscard]] iterator find(const Key& key) {
+    const iterator it = lower_bound(key);
+    return it != items_.end() && it->first == key ? it : items_.end();
+  }
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    const const_iterator it = lower_bound(key);
+    return it != items_.end() && it->first == key ? it : items_.end();
+  }
+  [[nodiscard]] bool contains(const Key& key) const {
+    return find(key) != items_.end();
+  }
+  [[nodiscard]] std::size_t count(const Key& key) const {
+    return contains(key) ? 1 : 0;
+  }
+
+  [[nodiscard]] Value& at(const Key& key) {
+    const iterator it = find(key);
+    assert(it != items_.end());
+    return it->second;
+  }
+  [[nodiscard]] const Value& at(const Key& key) const {
+    const const_iterator it = find(key);
+    assert(it != items_.end());
+    return it->second;
+  }
+
+  /// std::map-style subscript: default-constructs a missing entry.
+  Value& operator[](const Key& key) {
+    const iterator it = lower_bound(key);
+    if (it != items_.end() && it->first == key) return it->second;
+    return items_.insert(it, value_type(key, Value{}))->second;
+  }
+
+  std::size_t erase(const Key& key) {
+    const iterator it = find(key);
+    if (it == items_.end()) return 0;
+    items_.erase(it);
+    return 1;
+  }
+  iterator erase(const_iterator position) { return items_.erase(position); }
+
+ private:
+  [[nodiscard]] iterator lower_bound(const Key& key) {
+    return std::lower_bound(
+        items_.begin(), items_.end(), key,
+        [](const value_type& item, const Key& k) { return item.first < k; });
+  }
+  [[nodiscard]] const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(
+        items_.begin(), items_.end(), key,
+        [](const value_type& item, const Key& k) { return item.first < k; });
+  }
+
+  storage_type items_;
+};
+
+}  // namespace wrt::util

@@ -2,15 +2,21 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
 #include <string>
 
+#include "util/audit.hpp"
 #include "util/log.hpp"
 
 namespace wrt::wrtring {
 
 namespace {
 constexpr std::size_t kArrivalHistoryCap = 64;
+
+/// True when `node` is in the sorted vector (cold-path membership test used
+/// by the rebuild paths; keeps associative containers out of this file).
+bool sorted_contains(const std::vector<NodeId>& sorted, NodeId node) {
+  return std::binary_search(sorted.begin(), sorted.end(), node);
+}
 }  // namespace
 
 Engine::Engine(phy::Topology* topology, Config config, std::uint64_t seed)
@@ -61,6 +67,7 @@ util::Status Engine::init() {
 
   initialised_ = true;
   launch_sat(ring_.station_at(0));
+  notify_audit("init");
   return util::Status::success();
 }
 
@@ -124,11 +131,16 @@ void Engine::insert_member(NodeId ingress, NodeId joiner, Quota quota) {
 
 void Engine::erase_member(std::size_t position) {
   assert(position < ring_.size());
-  ring_.remove(ring_.station_at(position));
+  const NodeId node = ring_.station_at(position);
+  ring_.remove(node);
   auto& station = stations_[position];
   station.clear_queues();
   stations_.erase(stations_.begin() + static_cast<std::ptrdiff_t>(position));
   control_.erase(control_.begin() + static_cast<std::ptrdiff_t>(position));
+  // A departing RAP-round owner would leave the mutex flag dangling forever
+  // (the flag is cleared only when the SAT completes a round back at the
+  // owner), permanently blocking every future RAP.
+  if (sat_.rap_owner == node) sat_.rap_owner = kInvalidNode;
   rebuild_position_index();
 }
 
@@ -144,14 +156,18 @@ Station* Engine::bound_station(Bound& bound) {
 }
 
 CdmaCode Engine::allocate_code_for(NodeId node) const {
-  std::set<CdmaCode> used;
+  std::vector<CdmaCode> used;
   for (const NodeId other : cdma::two_hop_neighbors(*topology_, node)) {
     if (other < codes_.size() && codes_[other] != kInvalidCode) {
-      used.insert(codes_[other]);
+      used.push_back(codes_[other]);
     }
   }
+  std::sort(used.begin(), used.end());
   CdmaCode code = 1;
-  while (used.contains(code)) ++code;
+  for (const CdmaCode taken : used) {
+    if (taken > code) break;      // smallest free code found
+    if (taken == code) ++code;    // duplicates in `used` just re-test `code`
+  }
   return code;
 }
 
@@ -197,8 +213,8 @@ analysis::RingParams Engine::ring_params() const {
   return params;
 }
 
-const std::deque<Tick>& Engine::sat_arrival_history(NodeId node) const {
-  static const std::deque<Tick> kEmpty;
+const std::vector<Tick>& Engine::sat_arrival_history(NodeId node) const {
+  static const std::vector<Tick> kEmpty;
   const std::int32_t position = station_position(node);
   return position < 0
              ? kEmpty
@@ -235,6 +251,7 @@ void Engine::add_trace_source(traffic::Trace trace, FlowId flow, NodeId src,
        src});
 }
 
+// wrt-lint-allow(by-value-frame-param): deliberate sink, moved into queue
 bool Engine::inject_packet(traffic::Packet packet) {
   const std::int32_t position = station_position(packet.src);
   if (position < 0) return false;
@@ -301,6 +318,14 @@ void Engine::step() {
   }
 
   now_ += kTicksPerSlot;
+  WRT_AUDIT(maybe_periodic_audit());
+}
+
+void Engine::maybe_periodic_audit() {
+  if (audit_hook_ && audit_every_slots_ > 0 &&
+      now_slots() % audit_every_slots_ == 0) {
+    audit_hook_("periodic");
+  }
 }
 
 void Engine::run_slots(std::int64_t n) {
@@ -449,7 +474,9 @@ void Engine::record_rotation(std::size_t position, Tick arrival) {
   control.last_rotation_arrival = arrival;
   control.arrival_history.push_back(arrival);
   if (control.arrival_history.size() > kArrivalHistoryCap) {
-    control.arrival_history.pop_front();
+    // Once per rotation per station: the 64-entry shift is cheaper than a
+    // deque's allocation churn and keeps the history contiguous.
+    control.arrival_history.erase(control.arrival_history.begin());
   }
   if (stations_[position].id() == rotation_anchor_) ++stats_.sat_rounds;
 }
@@ -564,6 +591,7 @@ void Engine::sat_release(NodeId from) {
               "WRT-Ring: cut out station " + std::to_string(failed));
     trace_.record(sim::EventKind::kCutOut, now_, from, failed);
     if (membership_callback_) membership_callback_(failed, false);
+    notify_audit(sat_.graceful_leave ? "leave" : "cut-out");
     // A healthy station cut out by a spurious SAT_REC re-enters through the
     // normal join procedure when configured to.
     if (config_.auto_rejoin && topology_->alive(failed) &&
@@ -723,9 +751,10 @@ void Engine::finish_rebuild() {
   // out and may rejoin later through the RAP.
   std::vector<NodeId> candidates = ring::largest_component(*topology_);
   if (!config_.members.empty()) {
-    std::set<NodeId> allowed(config_.members.begin(), config_.members.end());
+    std::vector<NodeId> allowed = config_.members;
+    std::sort(allowed.begin(), allowed.end());
     std::erase_if(candidates,
-                  [&](NodeId n) { return !allowed.contains(n); });
+                  [&](NodeId n) { return !sorted_contains(allowed, n); });
   }
   auto ring_result = ring::build_ring_over(*topology_, std::move(candidates));
   if (!ring_result.ok()) {
@@ -736,10 +765,13 @@ void Engine::finish_rebuild() {
   const ring::VirtualRing new_ring = std::move(ring_result.value());
 
   // Keep state for surviving members; create state for (re)joining ones.
-  std::set<NodeId> members(new_ring.order().begin(), new_ring.order().end());
+  std::vector<NodeId> members = new_ring.order();
+  std::sort(members.begin(), members.end());
   std::vector<NodeId> departed;
   for (const Station& station : stations_) {
-    if (!members.contains(station.id())) departed.push_back(station.id());
+    if (!sorted_contains(members, station.id())) {
+      departed.push_back(station.id());
+    }
   }
   std::sort(departed.begin(), departed.end());
   if (membership_callback_) {
@@ -795,6 +827,7 @@ void Engine::finish_rebuild() {
                                        std::to_string(ring_.size()));
   trace_.record(sim::EventKind::kRebuildCompleted, now_);
   launch_sat(ring_.station_at(0));
+  notify_audit("rebuild");
 }
 
 util::Status Engine::check_invariants() const {
@@ -1024,6 +1057,7 @@ void Engine::complete_join(NodeId joiner, NodeId ingress) {
                 " joined after ingress " + std::to_string(ingress));
   trace_.record(sim::EventKind::kJoinCompleted, now_, joiner, ingress);
   if (membership_callback_) membership_callback_(joiner, true);
+  notify_audit("join");
 }
 
 }  // namespace wrt::wrtring

@@ -32,11 +32,8 @@
 // so steady-state polling is lookup-free.
 #pragma once
 
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "cdma/channel.hpp"
@@ -49,10 +46,16 @@
 #include "sim/stats.hpp"
 #include "traffic/trace.hpp"
 #include "traffic/traffic.hpp"
+#include "util/flat_map.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
 #include "wrtring/config.hpp"
 #include "wrtring/station.hpp"
+
+namespace wrt::check {
+class InvariantAuditor;   // runtime invariant auditor (src/check/)
+struct EngineTestHook;    // test-only state corruption (src/check/)
+}  // namespace wrt::check
 
 namespace wrt::wrtring {
 
@@ -126,6 +129,7 @@ class Engine final {
 
   /// Direct injection for tests; returns false if the queue is full or the
   /// station is not in the ring.
+  // wrt-lint-allow(by-value-frame-param): deliberate sink, moved into queue
   bool inject_packet(traffic::Packet packet);
 
   // -- execution ----------------------------------------------------------
@@ -192,8 +196,8 @@ class Engine final {
   [[nodiscard]] analysis::RingParams ring_params() const;
 
   /// Per-station SAT inter-arrival history (most recent last, bounded);
-  /// used by the Theorem-2 property tests.
-  [[nodiscard]] const std::deque<Tick>& sat_arrival_history(NodeId node) const;
+  /// used by the Theorem-2 property tests and the check:: oracles.
+  [[nodiscard]] const std::vector<Tick>& sat_arrival_history(NodeId node) const;
 
   /// Admission check used by the join handshake and the gateway: would the
   /// ring extended by `extra` still satisfy every admitted deadline?
@@ -229,7 +233,21 @@ class Engine final {
   /// found; tests and the monkey harness call this between steps.
   [[nodiscard]] util::Status check_invariants() const;
 
+  /// External audit hook (see check::InvariantAuditor).  Invoked with an
+  /// event tag after every membership event (init, join, cut-out, graceful
+  /// leave, ring re-formation) and — in audit builds only (WRT_AUDIT_LEVEL,
+  /// util/audit.hpp) — every `every_k_slots` slots.  In release builds the
+  /// periodic call compiles out entirely; the membership-event call costs
+  /// one branch on a rare path.  Pass nullptr to detach.
+  using AuditHook = std::function<void(const char* event)>;
+  void set_audit_hook(AuditHook hook, std::int64_t every_k_slots = 0) {
+    audit_hook_ = std::move(hook);
+    audit_every_slots_ = every_k_slots;
+  }
+
  private:
+  friend class ::wrt::check::InvariantAuditor;
+  friend struct ::wrt::check::EngineTestHook;
   struct LinkFrame {
     traffic::Packet packet;
     Tick entered_ring = 0;
@@ -290,7 +308,7 @@ class Engine final {
     Quota quota{1, 1};
     Tick requested_at = 0;
     // NEXT_FREE table: ingress -> its announced successor (Section 2.4.1).
-    std::map<NodeId, NodeId> heard;
+    util::FlatMap<NodeId, NodeId> heard;
     NodeId chosen_ingress = kInvalidNode;
     bool table_complete = false;
   };
@@ -300,7 +318,7 @@ class Engine final {
     Tick last_sat_departure = kNeverTick;
     Tick last_rotation_arrival = kNeverTick;  ///< for rotation statistics
     std::int64_t rounds_since_rap = 0;
-    std::deque<Tick> arrival_history;
+    std::vector<Tick> arrival_history;  ///< bounded, oldest first
   };
 
   // --- slot phases ---
@@ -325,6 +343,10 @@ class Engine final {
   void complete_join(NodeId joiner, NodeId ingress);
 
   // --- helpers ---
+  void notify_audit(const char* event) {
+    if (audit_hook_) audit_hook_(event);
+  }
+  void maybe_periodic_audit();
   void drop_in_flight_frames();
   [[nodiscard]] std::int64_t effective_sat_timeout(NodeId node) const;
   [[nodiscard]] Quota quota_for_position(std::size_t position) const;
@@ -394,8 +416,8 @@ class Engine final {
   NodeId rap_ingress_ = kInvalidNode;
   NodeId rap_accepted_joiner_ = kInvalidNode;
 
-  // Joins.
-  std::map<NodeId, PendingJoin> pending_joins_;
+  // Joins.  Sorted by NodeId (deterministic NEXT_FREE scan order).
+  util::FlatMap<NodeId, PendingJoin> pending_joins_;
 
   // Traffic.  Each bound source caches its station's ring position keyed by
   // membership_epoch_, so steady-state polling performs no lookups.
@@ -430,6 +452,11 @@ class Engine final {
   // Admission.
   std::int64_t max_sat_time_goal_ = 0;
   MembershipCallback membership_callback_;
+
+  // Correctness tooling (src/check/): membership events always notify an
+  // attached hook; the per-slot cadence exists only in audit builds.
+  AuditHook audit_hook_;
+  std::int64_t audit_every_slots_ = 0;
 
   // Derived SAT timeout (Theorem 1 bound over the current ring), cached so
   // the per-slot timer scan does not recompute ring_params().  Invalidated

@@ -10,6 +10,10 @@
 #include "traffic/traffic.hpp"
 #include "util/types.hpp"
 
+namespace wrt::check {
+struct EngineTestHook;  // test-only state corruption (src/check/)
+}  // namespace wrt::check
+
 namespace wrt::wrtring {
 
 /// Section 2.2, verbatim:
@@ -89,6 +93,8 @@ class Station final {
   void clear_queues();
 
  private:
+  friend struct ::wrt::check::EngineTestHook;
+
   NodeId id_ = kInvalidNode;
   Quota quota_{1, 1};
   std::uint32_t k1_assured_ = 0;

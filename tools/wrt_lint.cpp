@@ -1,0 +1,397 @@
+// wrt_lint — repo-specific static analysis for the WRT-Ring code base.
+//
+// Generic linters cannot know this repo's contracts, so this tool encodes
+// them directly (see docs/API.md "Correctness tooling" for the rule table):
+//
+//   hot-path-assoc       The per-slot engine hot path is position-indexed
+//                        by design (PR 1); node-based associative
+//                        containers are banned from the hot-path files.
+//   by-value-frame-param Packet / LinkFrame parameters must be passed by
+//                        reference (or moved); silent copies on the data
+//                        path are the repo's most common perf regression.
+//   stale-include        A curated table of std headers whose usage is
+//                        reliably greppable; flags includes with no use.
+//   missing-nodiscard    Zero-argument const accessors in headers must be
+//                        [[nodiscard]] — dropping an accessor result is
+//                        always a bug.
+//
+// Suppressions (a justification is mandatory):
+//   // wrt-lint-allow(<rule>): <reason>        same line or line above
+//   // wrt-lint-allow-file(<rule>): <reason>   whole file
+//
+// Usage: wrt_lint [--list-rules] [dir-or-file ...]   (default: src)
+// Exits 0 when clean, 1 when any finding survives suppression.
+//
+// The scanner is textual by intent: it blanks comments and string literals
+// and then works with regular expressions.  That keeps it dependency-free
+// (no libclang in the container) and fast enough to run on every check.
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  std::string path;            // repo-relative, as given
+  std::string raw;             // exact file content
+  std::string code;            // comments + string literals blanked
+  bool is_header = false;
+  // rule -> raw lines carrying a justified wrt-lint-allow for it.
+  std::map<std::string, std::set<std::size_t>> suppressed_lines;
+  std::set<std::string> suppressed_rules;  // file-wide
+};
+
+const std::set<std::string> kRules = {
+    "hot-path-assoc", "by-value-frame-param", "stale-include",
+    "missing-nodiscard"};
+
+// Files whose per-slot code must stay free of associative lookups.
+const std::vector<std::string> kHotPathFiles = {
+    "wrtring/engine.hpp", "wrtring/engine.cpp", "wrtring/station.hpp",
+    "wrtring/station.cpp", "traffic/traffic.hpp", "traffic/traffic.cpp",
+    "ring/frame.hpp",      "ring/frame.cpp"};
+
+// stale-include table: header -> regex proving it is used.  Only headers
+// whose entire API is reliably greppable belong here.
+const std::vector<std::pair<std::string, std::string>> kIncludeUsage = {
+    {"map", R"(std::(multi)?map\s*<)"},
+    {"set", R"(std::(multi)?set\s*<)"},
+    {"unordered_map", R"(std::unordered_(multi)?map\s*<)"},
+    {"unordered_set", R"(std::unordered_(multi)?set\s*<)"},
+    {"deque", R"(std::deque\s*<)"},
+    {"queue", R"(std::(priority_)?queue\s*<)"},
+    {"list", R"(std::(forward_)?list\s*<)"},
+    {"optional",
+     R"(std::optional|std::nullopt|std::make_optional|std::in_place)"},
+    {"functional",
+     R"(std::function\s*<|std::bind|std::invoke|std::ref\b|std::cref\b|)"
+     R"(std::hash\s*<|std::plus|std::minus|std::less|std::greater)"},
+    {"memory",
+     R"(std::unique_ptr|std::shared_ptr|std::weak_ptr|std::make_unique|)"
+     R"(std::make_shared|std::addressof|std::pmr)"},
+    {"sstream", R"(std::[io]?stringstream)"},
+};
+
+std::size_t line_of(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() +
+                            static_cast<std::ptrdiff_t>(offset), '\n'));
+}
+
+/// Blanks //- and /* */-comments plus string and char literals with spaces
+/// (newlines preserved so offsets keep mapping to the same lines).
+std::string strip_comments_and_strings(const std::string& raw) {
+  std::string out = raw;
+  enum class State { kCode, kLine, kBlock, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void parse_suppressions(SourceFile& file, std::vector<Finding>& findings) {
+  static const std::regex kAllow(
+      R"(wrt-lint-allow(-file)?\(([a-z0-9-]+)\)\s*:?\s*(.*))");
+  std::istringstream stream(file.raw);
+  std::string line;
+  for (std::size_t number = 1; std::getline(stream, line); ++number) {
+    std::smatch match;
+    if (!std::regex_search(line, match, kAllow)) continue;
+    const bool file_wide = match[1].matched;
+    const std::string rule = match[2].str();
+    const std::string reason = match[3].str();
+    if (kRules.find(rule) == kRules.end()) {
+      findings.push_back({file.path, number, "lint-suppression",
+                          "suppression names unknown rule '" + rule + "'"});
+      continue;
+    }
+    if (reason.find_first_not_of(" \t") == std::string::npos) {
+      findings.push_back({file.path, number, "lint-suppression",
+                          "suppression for '" + rule +
+                              "' lacks a justification"});
+      continue;
+    }
+    if (file_wide) {
+      file.suppressed_rules.insert(rule);
+    } else {
+      // Covers the annotated line and the one below it.
+      file.suppressed_lines[rule].insert(number);
+      file.suppressed_lines[rule].insert(number + 1);
+    }
+  }
+}
+
+bool suppressed(const SourceFile& file, const std::string& rule,
+                std::size_t line) {
+  if (file.suppressed_rules.count(rule) != 0) return true;
+  const auto it = file.suppressed_lines.find(rule);
+  return it != file.suppressed_lines.end() && it->second.count(line) != 0;
+}
+
+void report(const SourceFile& file, const std::string& rule,
+            std::size_t line, const std::string& message,
+            std::vector<Finding>& findings) {
+  if (!suppressed(file, rule, line)) {
+    findings.push_back({file.path, line, rule, message});
+  }
+}
+
+bool is_hot_path(const std::string& path) {
+  for (const std::string& suffix : kHotPathFiles) {
+    if (path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_hot_path_assoc(const SourceFile& file,
+                         std::vector<Finding>& findings) {
+  if (!is_hot_path(file.path)) return;
+  static const std::regex kAssoc(
+      R"((std::(unordered_)?(multi)?(map|set)\s*<)|(#\s*include\s*<(map|set|unordered_map|unordered_set)>))");
+  for (auto it = std::sregex_iterator(file.code.begin(), file.code.end(),
+                                      kAssoc);
+       it != std::sregex_iterator(); ++it) {
+    report(file, "hot-path-assoc",
+           line_of(file.code, static_cast<std::size_t>(it->position())),
+           "associative container '" + it->str() +
+               "' in a hot-path file; use util::FlatMap, a dense "
+               "position-indexed vector, or a sorted vector",
+           findings);
+  }
+}
+
+void rule_by_value_frame_param(const SourceFile& file,
+                               std::vector<Finding>& findings) {
+  static const std::regex kByValue(
+      R"([(,]\s*(const\s+)?((\w+::)*)(Packet|LinkFrame)\s+(\w+)\s*[,)])");
+  for (auto it = std::sregex_iterator(file.code.begin(), file.code.end(),
+                                      kByValue);
+       it != std::sregex_iterator(); ++it) {
+    const std::smatch& match = *it;
+    report(file, "by-value-frame-param",
+           line_of(file.code, static_cast<std::size_t>(match.position())),
+           "parameter '" + match[5].str() + "' takes " + match[4].str() +
+               " by value; pass by (const) reference or rvalue reference",
+           findings);
+  }
+}
+
+void rule_stale_include(const SourceFile& file,
+                        std::vector<Finding>& findings) {
+  for (const auto& [header, usage] : kIncludeUsage) {
+    const std::regex include_re("#\\s*include\\s*<" + header + ">");
+    std::smatch include_match;
+    if (!std::regex_search(file.code, include_match, include_re)) continue;
+    if (std::regex_search(file.code, std::regex(usage))) continue;
+    report(file, "stale-include",
+           line_of(file.code,
+                   static_cast<std::size_t>(include_match.position())),
+           "<" + header + "> is included but nothing from it is used",
+           findings);
+  }
+}
+
+void rule_missing_nodiscard(const SourceFile& file,
+                            std::vector<Finding>& findings) {
+  if (!file.is_header) return;
+  static const std::regex kConstAccessor(R"(\(\s*\)\s*const\b[^;{}]*[;{])");
+  const std::string& code = file.code;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                      kConstAccessor);
+       it != std::sregex_iterator(); ++it) {
+    const auto open = static_cast<std::size_t>(it->position());
+    // Back up to the start of the declaration (past the previous ';', '{'
+    // or '}') to see the attributes and the return type.
+    std::size_t start = code.find_last_of(";{}", open);
+    start = start == std::string::npos ? 0 : start + 1;
+    std::string decl = code.substr(start, open - start);
+    // Drop a leading access specifier left in range.
+    for (const char* spec : {"public:", "private:", "protected:"}) {
+      const std::size_t at = decl.rfind(spec);
+      if (at != std::string::npos) {
+        decl = decl.substr(at + std::string(spec).size());
+      }
+    }
+    if (decl.find("[[nodiscard]]") != std::string::npos) continue;
+    if (decl.find("operator") != std::string::npos) continue;
+    if (decl.find("friend") != std::string::npos) continue;
+    if (decl.find("~") != std::string::npos) continue;
+    // Name = last identifier before '('; everything before is the return
+    // type.  A void return has nothing to discard.
+    static const std::regex kName(R"((\w+)\s*$)");
+    std::smatch name_match;
+    if (!std::regex_search(decl, name_match, kName)) continue;
+    const std::string name = name_match[1].str();
+    const std::string return_part =
+        decl.substr(0, static_cast<std::size_t>(name_match.position()));
+    if (std::regex_search(return_part, std::regex(R"(\bvoid\b(?!\s*\*))"))) {
+      continue;
+    }
+    if (return_part.find_first_not_of(" \t\n") == std::string::npos) {
+      continue;  // constructor-like, nothing to discard
+    }
+    report(file, "missing-nodiscard", line_of(code, open),
+           "zero-argument const accessor '" + name +
+               "()' lacks [[nodiscard]]",
+           findings);
+  }
+}
+
+bool load(const fs::path& path, SourceFile& file,
+          std::vector<Finding>& findings) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "wrt_lint: cannot read " << path << '\n';
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  file.path = path.generic_string();
+  file.raw = buffer.str();
+  file.code = strip_comments_and_strings(file.raw);
+  file.is_header = path.extension() == ".hpp" || path.extension() == ".h";
+  parse_suppressions(file, findings);
+  return true;
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& files) {
+  if (fs::is_regular_file(root)) {
+    files.push_back(root);
+    return;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() == ".hpp" || p.extension() == ".cpp" ||
+        p.extension() == ".h") {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : kRules) std::cout << rule << '\n';
+      return 0;
+    }
+    roots.emplace_back(arg);
+  }
+  if (roots.empty()) roots.emplace_back("src");
+
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    if (!fs::exists(root)) {
+      std::cerr << "wrt_lint: no such path: " << root << '\n';
+      return 2;
+    }
+    collect(root, files);
+  }
+
+  std::vector<Finding> findings;
+  for (const fs::path& path : files) {
+    SourceFile file;
+    if (!load(path, file, findings)) return 2;
+    rule_hot_path_assoc(file, findings);
+    rule_by_value_frame_param(file, findings);
+    rule_stale_include(file, findings);
+    rule_missing_nodiscard(file, findings);
+  }
+
+  for (const Finding& finding : findings) {
+    std::cout << finding.path << ':' << finding.line << ": ["
+              << finding.rule << "] " << finding.message << '\n';
+  }
+  if (findings.empty()) {
+    std::cout << "wrt_lint: clean (" << files.size() << " files)\n";
+    return 0;
+  }
+  std::cout << "wrt_lint: " << findings.size() << " finding(s) in "
+            << files.size() << " files\n";
+  return 1;
+}
