@@ -13,7 +13,12 @@
 
 int main(int argc, char** argv) {
   using namespace wrt;
-  const bool csv = bench::csv_mode(argc, argv);
+  bench::Reporter reporter("ablation_parameters", argc, argv);
+  reporter.seed(31);
+  reporter.seed(37);
+  reporter.seed(43);
+  reporter.seed(99);
+  const bool csv = reporter.csv();
   constexpr std::size_t kN = 12;
 
   // --- (a) T_rap ablation ---
@@ -44,7 +49,7 @@ int main(int argc, char** argv) {
       spec.deadline_slots = 1 << 20;
       engine.add_source(spec);
     }
-    engine.run_slots(20000);
+    engine.run_slots(reporter.slots(20000));
     rap.add_row({t_ear, t_update,
                  analysis::sat_time_bound(engine.ring_params()),
                  engine.stats().sat_rotation_slots.mean(),
@@ -78,7 +83,7 @@ int main(int argc, char** argv) {
       be.cls = TrafficClass::kBestEffort;
       engine.add_saturated_source(be, 8);
     }
-    engine.run_slots(12000);
+    engine.run_slots(reporter.slots(12000));
     const auto& sink = engine.stats().sink;
     const double slots = static_cast<double>(engine.now_slots());
     split.add_row(
@@ -122,8 +127,14 @@ int main(int argc, char** argv) {
       spec.deadline_slots = 1 << 20;
       engine.add_source(spec);
     }
-    engine.run_slots(60000);
+    engine.run_slots(reporter.slots(60000));
     const auto& stats = engine.stats();
+    if (loss == 0.008) {
+      reporter.metric("cutouts_at_loss_0p008",
+                      static_cast<double>(stats.sat_recoveries), "cut-outs");
+      reporter.metric("rejoins_at_loss_0p008",
+                      static_cast<double>(stats.joins_completed), "joins");
+    }
     lossy.add_row(
         {loss, static_cast<std::int64_t>(stats.sat_losses_detected),
          static_cast<std::int64_t>(stats.sat_recoveries),
@@ -144,7 +155,8 @@ int main(int argc, char** argv) {
                             analysis::AllocationScheme::kNormalizedProportional}) {
     util::RngStream rng(99);
     int admitted = 0, infeasible = 0, overload = 0;
-    for (int trial = 0; trial < 100; ++trial) {
+    const int trials = reporter.smoke() ? 20 : 100;
+    for (int trial = 0; trial < trials; ++trial) {
       analysis::AllocationInput input;
       input.ring_latency_slots = kN;
       input.t_rap_slots = 0;

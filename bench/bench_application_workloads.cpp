@@ -106,8 +106,10 @@ void emit_rows(util::Table& table, const char* scenario,
 
 int main(int argc, char** argv) {
   using namespace wrt;
-  const bool csv = bench::csv_mode(argc, argv);
-  constexpr std::int64_t kSlots = 40000;
+  bench::Reporter reporter("application_workloads", argc, argv);
+  reporter.seed(51);
+  const bool csv = reporter.csv();
+  const std::int64_t kSlots = reporter.slots(40000);
 
   util::Table table(
       "E13  application workloads, identical arrivals on both MACs",
@@ -118,8 +120,14 @@ int main(int argc, char** argv) {
     constexpr std::size_t kN = 12;
     const auto workload =
         traffic::conference(kN, 400, slots_to_ticks(kSlots), 5);
-    emit_rows(table, "conference (voice + browse)",
-              run_wrt(workload, kN, kSlots), run_tpt(workload, kN, kSlots));
+    const Outcome wrt_outcome = run_wrt(workload, kN, kSlots);
+    const Outcome tpt_outcome = run_tpt(workload, kN, kSlots);
+    reporter.metric("conference_wrt_rt_misses",
+                    static_cast<double>(wrt_outcome.rt_misses), "packets");
+    reporter.metric("conference_tpt_rt_misses",
+                    static_cast<double>(tpt_outcome.rt_misses), "packets");
+    reporter.metric("conference_wrt_rt_p99", wrt_outcome.rt_p99, "slots");
+    emit_rows(table, "conference (voice + browse)", wrt_outcome, tpt_outcome);
   }
   {
     constexpr std::size_t kN = 16;

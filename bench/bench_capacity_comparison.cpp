@@ -20,7 +20,8 @@ struct Load {
   double utilization = 0.0;  // WRT only: busy-link fraction
 };
 
-Load run_wrt(std::size_t n, double load, bool neighbour) {
+Load run_wrt(std::size_t n, double load, bool neighbour,
+             std::int64_t slots) {
   phy::Topology topology = bench::ring_room(n);
   wrtring::Config config;
   config.default_quota = {8, 2};
@@ -38,7 +39,7 @@ Load run_wrt(std::size_t n, double load, bool neighbour) {
     spec.deadline_slots = 1 << 20;
     engine.add_source(spec);
   }
-  engine.run_slots(20000);
+  engine.run_slots(slots);
   return {engine.stats().sink.throughput(0, engine.now()),
           engine.stats()
               .sink.by_class(TrafficClass::kRealTime)
@@ -46,7 +47,8 @@ Load run_wrt(std::size_t n, double load, bool neighbour) {
           engine.ring_utilization()};
 }
 
-Load run_tpt(std::size_t n, double load, bool neighbour) {
+Load run_tpt(std::size_t n, double load, bool neighbour,
+             std::int64_t slots) {
   phy::Topology topology = bench::dense_room(n);
   tpt::TptConfig config;
   config.h_sync_default = 10;
@@ -65,7 +67,7 @@ Load run_tpt(std::size_t n, double load, bool neighbour) {
     spec.deadline_slots = 1 << 20;
     engine.add_source(spec);
   }
-  engine.run_slots(20000);
+  engine.run_slots(slots);
   return {engine.stats().sink.throughput(0, engine.now()),
           engine.stats()
               .sink.by_class(TrafficClass::kRealTime)
@@ -77,7 +79,9 @@ Load run_tpt(std::size_t n, double load, bool neighbour) {
 
 int main(int argc, char** argv) {
   using namespace wrt;
-  const bool csv = bench::csv_mode(argc, argv);
+  bench::Reporter reporter("capacity_comparison", argc, argv);
+  reporter.seed(29);
+  const bool csv = reporter.csv();
   constexpr std::size_t kN = 12;
 
   for (const bool neighbour : {true, false}) {
@@ -88,8 +92,15 @@ int main(int argc, char** argv) {
         {"offered/station", "offered total", "WRT thpt", "TPT thpt",
          "WRT/TPT", "WRT RT delay", "TPT RT delay", "WRT link util"});
     for (const double load : {0.02, 0.05, 0.1, 0.2, 0.4, 0.8}) {
-      const Load wrt_load = run_wrt(kN, load, neighbour);
-      const Load tpt_load = run_tpt(kN, load, neighbour);
+      const Load wrt_load = run_wrt(kN, load, neighbour, reporter.slots(20000));
+      const Load tpt_load = run_tpt(kN, load, neighbour, reporter.slots(20000));
+      if (load == 0.4) {
+        const std::string suffix = neighbour ? "_neighbour" : "_uniform";
+        reporter.metric("wrt_throughput" + suffix, wrt_load.throughput,
+                        "packets/slot");
+        reporter.metric("tpt_throughput" + suffix, tpt_load.throughput,
+                        "packets/slot");
+      }
       table.add_row({load, load * kN, wrt_load.throughput,
                      tpt_load.throughput,
                      tpt_load.throughput > 0.0

@@ -49,8 +49,10 @@ SlotResult run_ring_slots(std::size_t n, bool use_cdma, int slots) {
 
 int main(int argc, char** argv) {
   using namespace wrt;
-  const bool csv = bench::csv_mode(argc, argv);
-  constexpr int kSlots = 1000;
+  bench::Reporter reporter("cdma_concurrency", argc, argv);
+  reporter.seed(42);
+  const bool csv = reporter.csv();
+  const int kSlots = static_cast<int>(reporter.slots(1000));
 
   // --- Figure 1 verbatim: A(0)-B(1)-C(2)-D(3) on a line. ---
   util::Table fig1("E1a  Figure 1 scenario: A->B and C->D in one slot",
@@ -81,6 +83,15 @@ int main(int argc, char** argv) {
   for (const std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
     for (const bool use_cdma : {true, false}) {
       const auto result = run_ring_slots(n, use_cdma, kSlots);
+      if (n == 32) {
+        const std::string suffix = use_cdma ? "_cdma_n32" : "_shared_code_n32";
+        reporter.metric("delivered_per_slot" + suffix,
+                        static_cast<double>(result.delivered) / kSlots,
+                        "packets/slot");
+        reporter.metric("collisions_per_slot" + suffix,
+                        static_cast<double>(result.collisions) / kSlots,
+                        "collisions/slot");
+      }
       const auto codes =
           use_cdma ? cdma::codes_used(
                          cdma::assign_greedy_two_hop(bench::ring_room(n)))

@@ -14,7 +14,10 @@
 
 int main(int argc, char** argv) {
   using namespace wrt;
-  const bool csv = bench::csv_mode(argc, argv);
+  bench::Reporter reporter("diffserv_classes", argc, argv);
+  reporter.seed(13);
+  reporter.seed(17);
+  const bool csv = reporter.csv();
   constexpr std::size_t kN = 12;
 
   util::Table classes(
@@ -56,12 +59,16 @@ int main(int argc, char** argv) {
       best_effort.off_mean_slots = 200.0;
       engine.add_source(best_effort);
     }
-    engine.run_slots(20000);
+    engine.run_slots(reporter.slots(20000));
     const auto& sink = engine.stats().sink;
     for (const TrafficClass cls :
          {TrafficClass::kRealTime, TrafficClass::kAssured,
           TrafficClass::kBestEffort}) {
       const auto& stats = sink.by_class(cls);
+      if (be_load == 0.4) {
+        reporter.metric("mean_delay_" + to_string(cls) + "_high_load",
+                        stats.delay_slots.mean(), "slots");
+      }
       classes.add_row({be_load, to_string(cls),
                        static_cast<std::int64_t>(stats.delivered),
                        stats.delay_slots.mean(),

@@ -16,6 +16,7 @@
 
 #include "analysis/bounds.hpp"
 #include "bench/bench_common.hpp"
+#include "bench/bench_gbench.hpp"
 #include "wrtring/engine.hpp"
 
 namespace wrt {
@@ -156,9 +157,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--digest") == 0) return wrt::run_digest();
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  wrt::bench::Reporter reporter("engine_hot_path", argc, argv);
+  reporter.seed(1);
+  return wrt::bench::run_gbench(reporter, argc, argv);
 }

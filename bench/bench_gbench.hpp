@@ -1,0 +1,66 @@
+// Reporter bridge for the google-benchmark binaries.
+//
+// The table benches call bench::Reporter::metric() by hand; the gbench
+// binaries instead mirror every per-iteration run (name, adjusted real time)
+// into the Reporter while keeping the normal console output, so
+// BENCH_<name>.json carries the same numbers the console shows.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+namespace wrt::bench {
+
+/// Console reporter that additionally records each run into a Reporter.
+class CapturingConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingConsoleReporter(Reporter* reporter)
+      : reporter_(reporter) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      reporter_->metric(run.benchmark_name(), run.GetAdjustedRealTime(),
+                        "ns/op");
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  Reporter* reporter_;
+};
+
+/// Shared main body: strips the repo's flags (gbench rejects unknown
+/// arguments), shortens measurement time in smoke mode, runs the registered
+/// benchmarks with the capturing reporter.
+inline int run_gbench(Reporter& reporter, int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.emplace_back(argc > 0 ? argv[0] : "bench");
+  if (reporter.smoke()) storage.emplace_back("--benchmark_min_time=0.01");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv" || arg == "--smoke" ||
+        arg.rfind("--json-dir=", 0) == 0) {
+      continue;
+    }
+    storage.push_back(arg);
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int gbench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&gbench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc, args.data())) {
+    return 1;
+  }
+  CapturingConsoleReporter capture(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&capture);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace wrt::bench

@@ -9,7 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace wrt;
-  const bool csv = bench::csv_mode(argc, argv);
+  bench::Reporter reporter("hops_per_round", argc, argv);
+  reporter.seed(1);
+  const bool csv = reporter.csv();
 
   util::Table table("E6  control-signal link traversals per round",
                     {"N", "SAT measured", "SAT formula (N)", "token measured",
@@ -21,7 +23,7 @@ int main(int argc, char** argv) {
       phy::Topology topology = bench::ring_room(n);
       wrtring::Engine ring(&topology, wrtring::Config{}, 1);
       if (!ring.init().ok()) return 1;
-      ring.run_slots(static_cast<std::int64_t>(n) * 300);
+      ring.run_slots(reporter.slots(static_cast<std::int64_t>(n) * 300));
       sat_hops = static_cast<double>(ring.stats().sat_hops) /
                  static_cast<double>(ring.stats().sat_rounds);
     } else {
@@ -31,11 +33,17 @@ int main(int argc, char** argv) {
     phy::Topology tree_topology = bench::dense_room(n);
     tpt::TptEngine token(&tree_topology, tpt::TptConfig{}, 1);
     if (!token.init().ok()) return 1;
-    token.run_slots(static_cast<std::int64_t>(n) * 300);
+    token.run_slots(reporter.slots(static_cast<std::int64_t>(n) * 300));
     const double token_hops =
         static_cast<double>(token.stats().token_hops) /
         static_cast<double>(token.stats().token_rounds);
 
+    if (n == 32) {
+      reporter.metric("sat_hops_per_round_n32", sat_hops, "hops");
+      reporter.metric("token_hops_per_round_n32", token_hops, "hops");
+      reporter.metric("token_to_sat_hop_ratio_n32", token_hops / sat_hops,
+                      "ratio");
+    }
     table.add_row(
         {static_cast<std::int64_t>(n), sat_hops,
          analysis::wrt_hops_per_round(static_cast<std::int64_t>(n)),

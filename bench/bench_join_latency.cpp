@@ -11,7 +11,9 @@
 
 int main(int argc, char** argv) {
   using namespace wrt;
-  const bool csv = bench::csv_mode(argc, argv);
+  bench::Reporter reporter("join_latency", argc, argv);
+  reporter.seed(3);
+  const bool csv = reporter.csv();
 
   util::Table table(
       "E9  join latency and QoS impact during join (loaded ring)",
@@ -39,7 +41,7 @@ int main(int argc, char** argv) {
       spec.deadline_slots = 2 * bound + static_cast<std::int64_t>(n);
       engine.add_source(spec);
     }
-    engine.run_slots(3000);
+    engine.run_slots(reporter.slots(3000));
     const double delay_before =
         engine.stats()
             .sink.by_class(TrafficClass::kRealTime)
@@ -49,13 +51,21 @@ int main(int argc, char** argv) {
         (topology.position(0) + topology.position(1)) * 0.5;
     const NodeId joiner = topology.add_node(mid);
     engine.request_join(joiner, {1, 1});
-    engine.run_slots(static_cast<std::int64_t>(n) * bound * 6);
+    engine.run_slots(reporter.slots(static_cast<std::int64_t>(n) * bound * 6));
 
     const auto& stats = engine.stats();
     const double latency = stats.join_latency_slots.count() > 0
                                ? stats.join_latency_slots.max()
                                : -1.0;
     const double mean_rotation = stats.sat_rotation_slots.mean();
+    if (n == 16) {
+      reporter.metric("join_latency_n16", latency, "slots");
+      reporter.metric(
+          "rt_deadline_misses_during_join_n16",
+          static_cast<double>(
+              stats.sink.by_class(TrafficClass::kRealTime).deadline_misses),
+          "packets");
+    }
     table.add_row(
         {static_cast<std::int64_t>(n), latency,
          mean_rotation > 0.0 ? latency / mean_rotation : 0.0,
@@ -81,7 +91,7 @@ int main(int argc, char** argv) {
     if (!engine.init().ok()) return 1;
     const NodeId joiner = topology.add_node({0.0, 0.0});
     engine.request_join(joiner);
-    engine.run_slots(static_cast<std::int64_t>(n) * 600);
+    engine.run_slots(reporter.slots(static_cast<std::int64_t>(n) * 600));
     const auto& stats = engine.stats();
     const double latency = stats.join_latency_slots.count() > 0
                                ? stats.join_latency_slots.max()

@@ -104,7 +104,10 @@ double metric_mean(const std::vector<sim::MetricSummary>& summaries,
 
 int main(int argc, char** argv) {
   using namespace wrt;
-  const bool csv = bench::csv_mode(argc, argv);
+  bench::Reporter reporter("loss_reaction", argc, argv);
+  reporter.seed(0xE8);
+  const bool csv = reporter.csv();
+  const std::uint32_t replications = reporter.smoke() ? 2 : kReplications;
 
   for (const bool kill : {false, true}) {
     util::Table table(
@@ -115,11 +118,21 @@ int main(int argc, char** argv) {
          "full rebuilds (mean)"});
     for (const std::size_t n : {6u, 10u, 16u, 24u, 32u}) {
       const auto wrt_summary = sim::run_replications(
-          kReplications, 0xE8 + n,
+          replications, 0xE8 + n,
           [&](std::uint64_t seed) { return wrt_replication(n, kill, seed); });
       const auto tpt_summary = sim::run_replications(
-          kReplications, 0xE8 + n,
+          replications, 0xE8 + n,
           [&](std::uint64_t seed) { return tpt_replication(n, kill, seed); });
+      if (kill && n == 32) {
+        reporter.metric("wrt_detect_after_kill_n32",
+                        metric_mean(wrt_summary, "detect"), "slots");
+        reporter.metric("tpt_detect_after_kill_n32",
+                        metric_mean(tpt_summary, "detect"), "slots");
+        reporter.metric("wrt_rebuilds_after_kill_n32",
+                        metric_mean(wrt_summary, "rebuilds"), "rebuilds");
+        reporter.metric("tpt_rebuilds_after_kill_n32",
+                        metric_mean(tpt_summary, "rebuilds"), "rebuilds");
+      }
       table.add_row({static_cast<std::int64_t>(n), std::string("WRT-Ring"),
                      metric_mean(wrt_summary, "bound"),
                      pm(wrt_summary, "detect"), pm(wrt_summary, "recover"),

@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_gbench.hpp"
 #include "cdma/channel.hpp"
 #include "cdma/code_assignment.hpp"
 #include "ring/virtual_ring.hpp"
@@ -154,4 +155,9 @@ BENCHMARK(BM_RngStream);
 }  // namespace
 }  // namespace wrt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  wrt::bench::Reporter reporter("microperf", argc, argv);
+  reporter.seed(1);
+  reporter.seed(7);
+  return wrt::bench::run_gbench(reporter, argc, argv);
+}

@@ -15,7 +15,7 @@ namespace wrt {
 namespace {
 
 constexpr std::size_t kN = 10;
-constexpr std::int64_t kSlots = 40000;
+std::int64_t g_slots = 40000;  // shrunk by --smoke (see main)
 constexpr std::int64_t kMobilityPeriod = 50;
 
 phy::GaussMarkovParams mobility_params(double speed) {
@@ -56,7 +56,7 @@ Outcome run_wrt(double speed) {
   }
   phy::GaussMarkov mobility(phy::Rect{{0, 0}, {40, 40}},
                             mobility_params(speed), 7);
-  for (std::int64_t slot = 0; slot < kSlots; slot += kMobilityPeriod) {
+  for (std::int64_t slot = 0; slot < g_slots; slot += kMobilityPeriod) {
     if (speed > 0.0) {
       mobility.step(topology, engine.now(), slots_to_ticks(kMobilityPeriod));
     }
@@ -93,7 +93,7 @@ Outcome run_tpt(double speed) {
   }
   phy::GaussMarkov mobility(phy::Rect{{0, 0}, {40, 40}},
                             mobility_params(speed), 7);
-  for (std::int64_t slot = 0; slot < kSlots; slot += kMobilityPeriod) {
+  for (std::int64_t slot = 0; slot < g_slots; slot += kMobilityPeriod) {
     if (speed > 0.0) {
       mobility.step(topology, engine.now(), slots_to_ticks(kMobilityPeriod));
     }
@@ -114,7 +114,11 @@ Outcome run_tpt(double speed) {
 
 int main(int argc, char** argv) {
   using namespace wrt;
-  const bool csv = bench::csv_mode(argc, argv);
+  bench::Reporter reporter("mobility_resilience", argc, argv);
+  reporter.seed(61);
+  reporter.seed(7);
+  const bool csv = reporter.csv();
+  g_slots = reporter.slots(40000);
 
   util::Table table(
       "E14  mobility sweep (Gauss-Markov, 40k slots, N = 10)",
@@ -126,6 +130,22 @@ int main(int argc, char** argv) {
   for (const double speed : {0.0, 0.3, 0.8, 1.5, 3.0}) {
     const Outcome wrt_outcome = run_wrt(speed);
     const Outcome tpt_outcome = run_tpt(speed);
+    if (speed == 1.5) {
+      reporter.metric(
+          "wrt_goodput_vs_static_1p5ms",
+          100.0 * static_cast<double>(wrt_outcome.rt_delivered) /
+              static_cast<double>(wrt_static.rt_delivered),
+          "percent");
+      reporter.metric(
+          "tpt_goodput_vs_static_1p5ms",
+          100.0 * static_cast<double>(tpt_outcome.rt_delivered) /
+              static_cast<double>(tpt_static.rt_delivered),
+          "percent");
+      reporter.metric("wrt_rebuilds_1p5ms",
+                      static_cast<double>(wrt_outcome.rebuilds), "rebuilds");
+      reporter.metric("tpt_rebuilds_1p5ms",
+                      static_cast<double>(tpt_outcome.rebuilds), "rebuilds");
+    }
     table.add_row(
         {speed, std::string("WRT-Ring"),
          static_cast<std::int64_t>(wrt_outcome.losses),

@@ -17,7 +17,9 @@
 
 int main(int argc, char** argv) {
   using namespace wrt;
-  const bool csv = bench::csv_mode(argc, argv);
+  bench::Reporter reporter("round_trip_comparison", argc, argv);
+  reporter.seed(1);
+  const bool csv = reporter.csv();
 
   util::Table idle("E7a  empty-network control round trip (T_rap = 0)",
                    {"N", "t_sig", "SAT analytic", "SAT measured",
@@ -30,19 +32,25 @@ int main(int argc, char** argv) {
       ring_config.sat_hop_latency_slots = t_sig;
       wrtring::Engine ring(&ring_topology, ring_config, 1);
       if (!ring.init().ok()) return 1;
-      ring.run_slots(static_cast<std::int64_t>(n) * t_sig * 120);
+      ring.run_slots(reporter.slots(static_cast<std::int64_t>(n) * t_sig * 120));
 
       phy::Topology tree_topology = bench::dense_room(n);
       tpt::TptConfig tpt_config;
       tpt_config.t_proc_prop_slots = t_sig;
       tpt::TptEngine token(&tree_topology, tpt_config, 1);
       if (!token.init().ok()) return 1;
-      token.run_slots(static_cast<std::int64_t>(n) * t_sig * 240);
+      token.run_slots(reporter.slots(static_cast<std::int64_t>(n) * t_sig * 240));
 
       const double sat_analytic = analysis::wrt_signal_round_trip(
           static_cast<std::int64_t>(n), static_cast<double>(t_sig), 0.0);
       const double token_analytic = analysis::tpt_signal_round_trip(
           static_cast<std::int64_t>(n), static_cast<double>(t_sig), 0.0);
+      if (n == 32 && t_sig == 1) {
+        reporter.metric("sat_round_trip_n32", ring.stats().sat_rotation_slots.mean(),
+                        "slots");
+        reporter.metric("token_round_trip_n32",
+                        token.stats().token_rotation_slots.mean(), "slots");
+      }
       idle.add_row({static_cast<std::int64_t>(n), t_sig, sat_analytic,
                     ring.stats().sat_rotation_slots.mean(), token_analytic,
                     token.stats().token_rotation_slots.mean(),

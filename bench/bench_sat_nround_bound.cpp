@@ -12,7 +12,11 @@
 
 int main(int argc, char** argv) {
   using namespace wrt;
-  const bool csv = bench::csv_mode(argc, argv);
+  bench::Reporter reporter("sat_nround_bound", argc, argv);
+  reporter.seed(11);
+  const bool csv = reporter.csv();
+  double min_slack_pct = 100.0;
+  bool all_hold = true;
 
   util::Table table("E3  n-round SAT span vs Theorem-2 bound (saturated)",
                     {"N", "n rounds", "bound Eq(3)", "max measured span",
@@ -36,7 +40,7 @@ int main(int argc, char** argv) {
       be.cls = TrafficClass::kBestEffort;
       engine.add_saturated_source(be, 8);
     }
-    engine.run_slots(12000);
+    engine.run_slots(reporter.slots(12000));
 
     const auto params = engine.ring_params();
     for (const std::int64_t rounds : {1, 2, 4, 8, 16, 32}) {
@@ -52,6 +56,11 @@ int main(int argc, char** argv) {
         }
       }
       const double worst_slots = ticks_to_slots_real(worst);
+      const double slack_pct =
+          100.0 * (static_cast<double>(bound) - worst_slots) /
+          static_cast<double>(bound);
+      min_slack_pct = std::min(min_slack_pct, slack_pct);
+      all_hold = all_hold && worst_slots <= static_cast<double>(bound);
       table.add_row(
           {static_cast<std::int64_t>(n_stations), rounds, bound, worst_slots,
            100.0 * (static_cast<double>(bound) - worst_slots) /
@@ -61,5 +70,7 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(table, csv);
+  reporter.metric("min_bound_slack", min_slack_pct, "percent");
+  reporter.metric("theorem2_holds", all_hold ? 1.0 : 0.0, "bool");
   return 0;
 }

@@ -28,7 +28,10 @@ traffic::FlowSpec saturated_flow(FlowId id, NodeId src, std::size_t n,
 
 int main(int argc, char** argv) {
   using namespace wrt;
-  const bool csv = bench::csv_mode(argc, argv);
+  bench::Reporter reporter("sat_rotation_bound", argc, argv);
+  reporter.seed(7);
+  const bool csv = reporter.csv();
+  bool all_hold = true;
 
   util::Table table(
       "E2  SAT rotation vs Theorem-1 bound (saturated, worst-case dst)",
@@ -50,10 +53,16 @@ int main(int argc, char** argv) {
                            TrafficClass::kBestEffort),
             8);
       }
-      engine.run_slots(12000);
+      engine.run_slots(reporter.slots(12000));
       const auto params = engine.ring_params();
       const auto bound = analysis::sat_time_bound(params);
       const double max_measured = engine.stats().sat_rotation_slots.max();
+      all_hold = all_hold && max_measured < static_cast<double>(bound);
+      if (n == 32 && quota.l == 2 && quota.k == 2) {
+        reporter.metric("max_rotation_n32_l2_k2", max_measured, "slots");
+        reporter.metric("theorem1_bound_n32_l2_k2",
+                        static_cast<double>(bound), "slots");
+      }
       table.add_row(
           {static_cast<std::int64_t>(n), static_cast<std::int64_t>(quota.l),
            static_cast<std::int64_t>(quota.k), bound, max_measured,
@@ -83,7 +92,8 @@ int main(int argc, char** argv) {
       const auto bound = analysis::sat_time_bound(params);
       // Burst period > bound so each burst meets an otherwise idle ring.
       const std::int64_t period = bound + 8;
-      for (int burst = 0; burst < 60; ++burst) {
+      const int bursts = reporter.smoke() ? 8 : 60;
+      for (int burst = 0; burst < bursts; ++burst) {
         for (std::size_t p = 0; p < n; ++p) {
           const NodeId src = engine.virtual_ring().station_at(p);
           const NodeId dst = engine.virtual_ring().station_at(p + n / 2);
@@ -106,5 +116,6 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(aligned, csv);
+  reporter.metric("theorem1_holds", all_hold ? 1.0 : 0.0, "bool");
   return 0;
 }

@@ -14,7 +14,8 @@ namespace wrt {
 namespace {
 
 double run_mean_rotation(std::size_t n, double load_per_station,
-                         bool rap_enabled, double* utilisation_out) {
+                         bool rap_enabled, double* utilisation_out,
+                         std::int64_t slots) {
   phy::Topology topology = bench::ring_room(n);
   wrtring::Config config;
   config.default_quota = {1, 1};
@@ -50,7 +51,7 @@ double run_mean_rotation(std::size_t n, double load_per_station,
       engine.add_source(spec);
     }
   }
-  engine.run_slots(12000);
+  engine.run_slots(slots);
   if (utilisation_out != nullptr) {
     *utilisation_out =
         engine.stats().sink.throughput(0, engine.now());
@@ -63,7 +64,11 @@ double run_mean_rotation(std::size_t n, double load_per_station,
 
 int main(int argc, char** argv) {
   using namespace wrt;
-  const bool csv = bench::csv_mode(argc, argv);
+  bench::Reporter reporter("sat_rotation_mean", argc, argv);
+  reporter.seed(23);
+  reporter.seed(41);
+  reporter.seed(47);
+  const bool csv = reporter.csv();
 
   util::Table table("E4  mean SAT rotation vs offered load (N = 16, l=k=1)",
                     {"load/station (pkt/slot)", "RAP", "mean rotation",
@@ -72,7 +77,8 @@ int main(int argc, char** argv) {
   for (const bool rap : {false, true}) {
     for (const double load : {0.0, 0.01, 0.05, 0.1, 0.25, 1.0}) {
       double throughput = 0.0;
-      const double mean = run_mean_rotation(kN, load, rap, &throughput);
+      const double mean =
+          run_mean_rotation(kN, load, rap, &throughput, reporter.slots(12000));
       const std::int64_t t_rap = rap ? 6 : 0;
       analysis::RingParams params;
       params.ring_latency_slots = kN;
@@ -113,7 +119,7 @@ int main(int argc, char** argv) {
       spec.deadline_slots = 1 << 20;
       engine.add_source(spec);
     }
-    engine.run_slots(20000);
+    engine.run_slots(reporter.slots(20000));
     const auto params = engine.ring_params();
     bursty.add_row({intensity, engine.stats().sat_rotation_slots.mean(),
                     engine.stats().sat_rotation_slots.max(),
@@ -125,13 +131,18 @@ int main(int argc, char** argv) {
   util::Table sweep("E4b  saturated mean rotation across N",
                     {"N", "mean measured", "Eq(5)", "ratio"});
   for (const std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
-    const double mean = run_mean_rotation(n, 1.0, false, nullptr);
+    const double mean =
+        run_mean_rotation(n, 1.0, false, nullptr, reporter.slots(12000));
     analysis::RingParams params;
     params.ring_latency_slots = static_cast<std::int64_t>(n);
     params.t_rap_slots = 0;
     params.quotas.assign(n, {1, 1});
     const auto expected =
         static_cast<double>(analysis::expected_sat_time(params));
+    if (n == 32) {
+      reporter.metric("saturated_mean_rotation_n32", mean, "slots");
+      reporter.metric("eq5_expected_rotation_n32", expected, "slots");
+    }
     sweep.add_row({static_cast<std::int64_t>(n), mean, expected,
                    mean / expected});
   }
@@ -163,7 +174,7 @@ int main(int argc, char** argv) {
     spec.rate_per_slot = lambda;
     spec.deadline_slots = 1 << 20;
     engine.add_source(spec);
-    engine.run_slots(60000);
+    engine.run_slots(reporter.slots(60000));
     const double measured = engine.stats().rt_access_delay_slots.mean();
     const auto estimate =
         analysis::approx_rt_access_delay(params, 0, lambda).value();

@@ -3,19 +3,24 @@
 # complete test suite, then every experiment bench and example.  This is
 # the command CI (or a suspicious reviewer) runs.
 #
-#   scripts/check.sh          # regular pass
-#   scripts/check.sh --asan   # additionally build + ctest under ASan/UBSan
-#   scripts/check.sh --lint   # additionally run wrt_lint (+ clang-tidy and
-#                             # cppcheck when installed)
+#   scripts/check.sh                # regular pass
+#   scripts/check.sh --asan         # additionally build + ctest under ASan/UBSan
+#   scripts/check.sh --lint         # additionally run wrt_lint (+ clang-tidy
+#                                   # and cppcheck when installed)
+#   scripts/check.sh --bench-smoke  # build only, then run every bench with
+#                                   # --smoke --json-dir and validate the
+#                                   # emitted BENCH_*.json schema
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 WITH_ASAN=0
 WITH_LINT=0
+BENCH_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --asan) WITH_ASAN=1 ;;
     --lint) WITH_LINT=1 ;;
+    --bench-smoke) BENCH_SMOKE=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -32,6 +37,21 @@ configure() {
 
 configure build
 cmake --build build
+
+if [ "$BENCH_SMOKE" = 1 ]; then
+  echo "== bench smoke: BENCH_*.json emission + schema =="
+  BENCH_JSON_DIR="${BENCH_JSON_DIR:-build/bench-json}"
+  rm -rf "$BENCH_JSON_DIR"
+  mkdir -p "$BENCH_JSON_DIR"
+  for b in build/bench/bench_*; do
+    echo "--- $(basename "$b")"
+    "$b" --smoke --json-dir="$BENCH_JSON_DIR" > /dev/null
+  done
+  python3 scripts/validate_bench_json.py "$BENCH_JSON_DIR"
+  echo "BENCH SMOKE PASSED"
+  exit 0
+fi
+
 ctest --test-dir build --output-on-failure
 
 if [ "$WITH_LINT" = 1 ]; then

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json files against the bench::Reporter schema.
+
+Schema (bench/bench_common.hpp, schema_version 1):
+  {
+    "bench":          str, non-empty, matches the BENCH_<name>.json filename
+    "schema_version": 1
+    "git_rev":        str, non-empty
+    "timestamp":      str, ISO-8601 UTC (YYYY-MM-DDTHH:MM:SSZ)
+    "smoke":          bool
+    "seeds":          list of non-negative ints
+    "metrics":        non-empty list of {"metric": str, "value": number|null,
+                                         "units": str}
+  }
+
+Usage: validate_bench_json.py FILE_OR_DIR [...]
+A directory argument validates every BENCH_*.json inside it.  Exit 0 when all
+files validate, 1 otherwise.
+"""
+import json
+import pathlib
+import re
+import sys
+
+TIMESTAMP_RE = re.compile(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z$")
+
+
+def validate(path: pathlib.Path) -> list:
+    errors = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable or invalid JSON: {exc}"]
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+
+    def check(key, predicate, expect):
+        if key not in doc:
+            errors.append(f"missing key {key!r}")
+        elif not predicate(doc[key]):
+            errors.append(f"{key!r} is not {expect}: {doc[key]!r}")
+
+    check("bench", lambda v: isinstance(v, str) and v, "a non-empty string")
+    check("schema_version", lambda v: v == 1, "1")
+    check("git_rev", lambda v: isinstance(v, str) and v, "a non-empty string")
+    check("timestamp", lambda v: isinstance(v, str) and TIMESTAMP_RE.match(v),
+          "an ISO-8601 UTC timestamp")
+    check("smoke", lambda v: isinstance(v, bool), "a bool")
+    check("seeds", lambda v: isinstance(v, list) and all(
+        isinstance(s, int) and s >= 0 and not isinstance(s, bool) for s in v),
+        "a list of non-negative ints")
+
+    name = doc.get("bench")
+    if isinstance(name, str) and path.name != f"BENCH_{name}.json":
+        errors.append(f"filename {path.name} does not match bench name "
+                      f"{name!r}")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        errors.append("'metrics' is not a non-empty list")
+    else:
+        for i, metric in enumerate(metrics):
+            if not isinstance(metric, dict):
+                errors.append(f"metrics[{i}] is not an object")
+                continue
+            if not (isinstance(metric.get("metric"), str) and metric["metric"]):
+                errors.append(f"metrics[{i}].metric missing or empty")
+            value = metric.get("value", "absent")
+            if value == "absent":
+                errors.append(f"metrics[{i}].value missing")
+            elif value is not None and (isinstance(value, bool)
+                                        or not isinstance(value, (int, float))):
+                errors.append(f"metrics[{i}].value is not a number or null")
+            if not isinstance(metric.get("units"), str):
+                errors.append(f"metrics[{i}].units missing or not a string")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        path = pathlib.Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.glob("BENCH_*.json")))
+        else:
+            files.append(path)
+    if not files:
+        print("validate_bench_json: no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    failed = 0
+    for path in files:
+        errors = validate(path)
+        if errors:
+            failed += 1
+            for error in errors:
+                print(f"{path}: {error}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,5 +1,7 @@
 #include "sim/event_trace.hpp"
 
+#include <ostream>
+
 namespace wrt::sim {
 
 std::string to_string(EventKind kind) {
@@ -79,6 +81,32 @@ bool EventTrace::ordered(EventKind a, EventKind b) const {
   }
   if (first_a == nullptr || first_b == nullptr) return false;
   return first_a->at <= first_b->at;
+}
+
+void EventTrace::to_json(std::ostream& out) const {
+  out << "{\"total_recorded\": " << total_ << ", \"dropped\": " << dropped()
+      << ", \"events\": [";
+  bool first = true;
+  for (const auto& event : events_) {
+    out << (first ? "" : ", ");
+    first = false;
+    out << "{\"kind\": \"" << to_string(event.kind)
+        << "\", \"tick\": " << event.at
+        << ", \"slot\": " << ticks_to_slots(event.at) << ", \"station\": ";
+    if (event.station == kInvalidNode) {
+      out << "null";
+    } else {
+      out << event.station;
+    }
+    out << ", \"other\": ";
+    if (event.other == kInvalidNode) {
+      out << "null";
+    } else {
+      out << event.other;
+    }
+    out << '}';
+  }
+  out << "]}";
 }
 
 void EventTrace::clear() {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,17 @@ class EventTrace {
   [[nodiscard]] std::uint64_t total_recorded() const noexcept {
     return total_;
   }
+
+  /// Events pushed out of the ring since the last clear().  Exports surface
+  /// this so a wrapped trace is never mistaken for the full history.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_ - events_.size();
+  }
+
+  /// JSON export: {"total_recorded", "dropped", "events": [{kind, tick,
+  /// slot, station, other}, ...]} with events oldest first.  station/other
+  /// are null when unset (kInvalidNode).
+  void to_json(std::ostream& out) const;
 
   /// Events of one kind, oldest first.
   [[nodiscard]] std::vector<ProtocolEvent> of_kind(EventKind kind) const;

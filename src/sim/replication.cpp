@@ -12,7 +12,10 @@
 namespace wrt::sim {
 
 double MetricSummary::ci95_half_width() const noexcept {
-  if (samples < 2) return 0.0;
+  // A single sample (or none) carries no dispersion information, and a
+  // zero-variance metric has a degenerate interval: both report 0 rather
+  // than NaN so "x +/- 0" formats sanely.
+  if (samples < 2 || !std::isfinite(stddev) || stddev <= 0.0) return 0.0;
   return 1.96 * stddev / std::sqrt(static_cast<double>(samples));
 }
 

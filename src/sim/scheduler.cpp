@@ -10,7 +10,17 @@ EventHandle Scheduler::schedule_at(Tick when, EventFn fn) {
     throw std::invalid_argument("Scheduler::schedule_at: time in the past");
   }
   const std::uint64_t id = next_id_++;
-  queue_.push(Entry{when, next_sequence_++, id, std::move(fn)});
+  queue_.push(Entry{when, next_sequence_++, id, /*period=*/0, std::move(fn)});
+  live_ids_.insert(id);
+  return EventHandle{id};
+}
+
+EventHandle Scheduler::schedule_every(Tick period, EventFn fn) {
+  if (period <= 0) {
+    throw std::invalid_argument("Scheduler::schedule_every: period must be > 0");
+  }
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{now_ + period, next_sequence_++, id, period, std::move(fn)});
   live_ids_.insert(id);
   return EventHandle{id};
 }
@@ -27,6 +37,19 @@ bool Scheduler::execute_top() {
   // Copy out then pop so an event may schedule new events freely.
   Entry entry = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
+  if (entry.period > 0) {
+    // Recurring: the id stays live across firings so the original handle can
+    // cancel it at any time, including from inside its own callback.
+    if (live_ids_.count(entry.id) == 0) return false;  // cancelled
+    now_ = entry.when;
+    entry.fn();
+    if (live_ids_.count(entry.id) != 0) {
+      const Tick next = entry.when + entry.period;
+      queue_.push(Entry{next, next_sequence_++, entry.id, entry.period,
+                        std::move(entry.fn)});
+    }
+    return true;
+  }
   if (live_ids_.erase(entry.id) == 0) return false;  // cancelled
   now_ = entry.when;
   entry.fn();

@@ -40,8 +40,14 @@ class Scheduler {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
+  /// Schedules `fn` every `period` ticks, first firing at now() + period.
+  /// The event re-arms itself after each firing until cancelled; the
+  /// returned handle stays valid across firings.  Periodic snapshotting
+  /// (telemetry::SnapshotTimeline) is the motivating client.
+  EventHandle schedule_every(Tick period, EventFn fn);
+
   /// Cancels a pending event; cancelling an already-fired or unknown handle
-  /// is a no-op.
+  /// is a no-op.  For recurring events this also stops future re-arms.
   void cancel(EventHandle handle);
 
   /// Runs until the queue empties or `horizon` is passed (events strictly
@@ -62,6 +68,7 @@ class Scheduler {
     Tick when = 0;
     std::uint64_t sequence = 0;  // tie-break: stable FIFO within a tick
     std::uint64_t id = 0;
+    Tick period = 0;  // > 0: re-arm `period` ticks after firing
     EventFn fn;
 
     // std::priority_queue is a max-heap; invert so earliest (when, sequence)

@@ -1,0 +1,157 @@
+#include "telemetry/exporters.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace wrt::telemetry {
+
+namespace {
+
+/// Minimal JSON number formatting: doubles print round-trippably, and the
+/// exporters only ever emit names from the closed metric catalogue, so no
+/// string escaping is required.
+void json_double(std::ostream& out, double value) {
+  const auto old_precision = out.precision(17);
+  out << value;
+  out.precision(old_precision);
+}
+
+void write_histogram_json(std::ostream& out,
+                          const RegistrySnapshot::HistogramData& h) {
+  out << "{\"name\":\"" << h.name << "\",\"lo\":";
+  json_double(out, h.layout.lo);
+  out << ",\"width\":";
+  json_double(out, h.layout.width);
+  out << ",\"total\":" << h.total << ",\"underflow\":" << h.underflow
+      << ",\"mean\":";
+  json_double(out, h.mean());
+  out << ",\"p50\":";
+  json_double(out, h.quantile(0.5));
+  out << ",\"p99\":";
+  json_double(out, h.quantile(0.99));
+  out << ",\"buckets\":[";
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    if (b != 0) out << ',';
+    out << h.buckets[b];
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+void write_snapshot_json(std::ostream& out,
+                         const RegistrySnapshot& snapshot) {
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i != 0) out << ',';
+    out << '"' << snapshot.counters[i].first
+        << "\":" << snapshot.counters[i].second;
+  }
+  out << "},\"histograms\":[";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i != 0) out << ',';
+    write_histogram_json(out, snapshot.histograms[i]);
+  }
+  out << "]}";
+}
+
+void write_snapshot_csv(std::ostream& out,
+                        const RegistrySnapshot& snapshot) {
+  out << "metric,value\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out << name << ',' << value << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    out << h.name << "_count," << h.total << '\n';
+    out << h.name << "_mean,";
+    json_double(out, h.mean());
+    out << '\n';
+    out << h.name << "_p50,";
+    json_double(out, h.quantile(0.5));
+    out << '\n';
+    out << h.name << "_p99,";
+    json_double(out, h.quantile(0.99));
+    out << '\n';
+  }
+}
+
+void write_chrome_trace(std::ostream& out, const Journal& journal) {
+  // 1 slot = 1 trace microsecond; ticks are kTicksPerSlot per slot, so the
+  // conversion keeps sub-slot resolution as fractional microseconds.
+  const auto us = [](Tick tick) {
+    return static_cast<double>(tick) /
+           static_cast<double>(kTicksPerSlot);
+  };
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ',';
+    first = false;
+  };
+
+  for (const NodeId station : journal.stations()) {
+    // Name the per-station track.
+    comma();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << station << ",\"args\":{\"name\":\"station " << station << "\"}}";
+    const std::uint64_t dropped = journal.dropped(station);
+    if (dropped != 0) {
+      // Surface ring wrap in the viewer rather than dropping silently.
+      comma();
+      out << "{\"name\":\"journal_dropped\",\"ph\":\"C\",\"pid\":1,\"tid\":"
+          << station << ",\"ts\":0,\"args\":{\"dropped\":" << dropped
+          << "}}";
+    }
+
+    Tick sat_arrived = kNeverTick;
+    for (const JournalEvent& event : journal.events(station)) {
+      switch (event.kind) {
+        case JournalKind::kSatArrive:
+          sat_arrived = event.tick;
+          break;
+        case JournalKind::kSatRelease: {
+          // SAT residency slice; an arrive lost to ring wrap degrades to a
+          // zero-length slice at the release instant.
+          const Tick begin =
+              sat_arrived == kNeverTick ? event.tick : sat_arrived;
+          comma();
+          out << "{\"name\":\"SAT\",\"cat\":\"sat\",\"ph\":\"X\",\"pid\":1,"
+              << "\"tid\":" << station << ",\"ts\":";
+          json_double(out, us(begin));
+          out << ",\"dur\":";
+          json_double(out, us(event.tick - begin));
+          out << ",\"args\":{\"next\":" << event.arg << "}}";
+          sat_arrived = kNeverTick;
+          break;
+        }
+        default: {
+          comma();
+          out << "{\"name\":\"" << to_string(event.kind)
+              << "\",\"cat\":\"protocol\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+              << "\"tid\":" << station << ",\"ts\":";
+          json_double(out, us(event.tick));
+          out << ",\"args\":{\"arg\":" << event.arg
+              << ",\"value\":" << event.value << "}}";
+          break;
+        }
+      }
+    }
+  }
+  out << "],\"otherData\":{\"total_recorded\":" << journal.total_recorded()
+      << ",\"total_dropped\":" << journal.total_dropped() << "}}";
+}
+
+void SnapshotTimeline::write_json(std::ostream& out) const {
+  out << '[';
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i != 0) out << ',';
+    out << "{\"tick\":" << entries_[i].tick << ",\"slots\":"
+        << ticks_to_slots(entries_[i].tick) << ",\"registry\":";
+    write_snapshot_json(out, entries_[i].snapshot);
+    out << '}';
+  }
+  out << ']';
+}
+
+}  // namespace wrt::telemetry

@@ -1,0 +1,153 @@
+// Telemetry macro layer and metric catalogue.
+//
+// The engines are instrumented with WRT_COUNT / WRT_OBSERVE / WRT_SPAN at
+// the protocol's observable moments (SAT handoff, slot transmit, membership
+// churn, SAT_REC recovery).  In a WRT_TELEMETRY=ON build each WRT_COUNT is
+// exactly one relaxed atomic increment into a cache-line-padded slot of the
+// process-wide MetricRegistry; WRT_OBSERVE adds one bucket-index computation
+// on top.  With WRT_TELEMETRY=OFF every macro expands to `((void)0)` so the
+// hot path is bit-for-bit the release binary (the check.sh digest oracle
+// and CI's telemetry gate rely on this).
+//
+// The counter/histogram ids are closed enums rather than string keys: the
+// hot path never hashes, and the exporters recover stable snake_case names
+// from the tables below.  Pure observation only — nothing in this layer may
+// feed back into protocol decisions, which is what keeps the --digest
+// output identical whether telemetry is compiled in or out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef WRT_TELEMETRY_LEVEL
+#define WRT_TELEMETRY_LEVEL 1
+#endif
+
+namespace wrt::telemetry {
+
+inline constexpr bool kTelemetryEnabled = WRT_TELEMETRY_LEVEL != 0;
+
+/// Monotonic counters.  Keep in sync with counter_name().
+enum class CounterId : std::uint16_t {
+  kSlotsStepped = 0,      ///< engine MAC slots advanced
+  kSatHandoffs,           ///< SAT released downstream (link traversals)
+  kSatArrivals,           ///< SAT arrivals at a station
+  kSatHolds,              ///< SAT seized by a not-satisfied station
+  kTxRealTime,            ///< local injections, Premium (l quota)
+  kTxAssured,             ///< local injections, Assured (k1 share)
+  kTxBestEffort,          ///< local injections, best-effort (k2 share)
+  kTransitForwards,       ///< frames forwarded in transit
+  kDeliveries,            ///< frames absorbed by their destination
+  kFramesLost,            ///< frames dropped on a broken/lossy hop
+  kJoins,                 ///< completed join handshakes
+  kJoinsRejected,         ///< admission-refused joins
+  kLeaves,                ///< completed graceful leaves
+  kCutOuts,               ///< SAT_REC cut-outs (incl. graceful)
+  kSatLossesDetected,     ///< SAT_TIMER expiries
+  kSatRecoveries,         ///< SAT_REC made it back (ring survived)
+  kRingRebuilds,          ///< full ring re-formations
+  kRapsStarted,           ///< random access periods opened
+  kTptTokenPasses,        ///< TPT: token link traversals
+  kTptTokenRounds,        ///< TPT: completed token tours
+  kTptClaims,             ///< TPT: claim processes started
+  kTptTreeRebuilds,       ///< TPT: full tree re-formations
+  kJournalEvents,         ///< journal appends (any station)
+  kSnapshots,             ///< registry snapshots taken
+  kCount_,                ///< sentinel — number of counters
+};
+
+/// Fixed-bucket histograms.  Keep in sync with histogram_name() and
+/// histogram_layout().
+enum class HistogramId : std::uint16_t {
+  kSatRotationSlots = 0,  ///< per-station SAT inter-arrival time
+  kRtAccessDelaySlots,    ///< real-time packet queue -> first tx
+  kBeAccessDelaySlots,    ///< non-real-time packet queue -> first tx
+  kQueueDepth,            ///< station queue depth at sample points
+  kJoinLatencySlots,      ///< join request -> in ring
+  kSatRecSlots,           ///< SAT loss -> SAT restored
+  kSpanNanos,             ///< WRT_SPAN wall-clock durations (cold paths)
+  kCount_,                ///< sentinel — number of histograms
+};
+
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(CounterId::kCount_);
+inline constexpr std::size_t kHistogramCount =
+    static_cast<std::size_t>(HistogramId::kCount_);
+
+/// Stable snake_case export name of a counter.
+[[nodiscard]] const char* counter_name(CounterId id) noexcept;
+
+/// Stable snake_case export name of a histogram.
+[[nodiscard]] const char* histogram_name(HistogramId id) noexcept;
+
+/// Bucket layout of a histogram: `bucket_count` linear buckets of `width`
+/// starting at `lo`; values past the top land in the overflow bucket.
+struct HistogramLayout {
+  double lo = 0.0;
+  double width = 1.0;
+  std::uint32_t bucket_count = 32;
+};
+
+[[nodiscard]] HistogramLayout histogram_layout(HistogramId id) noexcept;
+
+}  // namespace wrt::telemetry
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros
+// ---------------------------------------------------------------------------
+//
+//   WRT_COUNT(kSatHandoffs);              // += 1
+//   WRT_COUNT_N(kTxRealTime, burst);      // += burst
+//   WRT_OBSERVE(kSatRotationSlots, 42.0); // histogram sample
+//   { WRT_SPAN(); heavy_cold_work(); }    // wall-clock ns -> kSpanNanos
+//
+// WRT_SPAN measures host wall-clock, not simulated time, so it belongs on
+// cold paths (rebuilds, exports) where real cost matters and determinism
+// doesn't — simulated-time spans live in the telemetry::Journal instead.
+//
+// The WRT_BATCH_* variants route through an engine-owned TelemetryBatch
+// (plain integer bumps, no atomics) instead of the shared registry; the
+// owner flushes periodically via WRT_BATCH_FLUSH.  Use them on per-slot /
+// per-frame paths where even an uncontended lock add is measurable.
+
+#if WRT_TELEMETRY_LEVEL
+
+#include "telemetry/registry.hpp"
+
+#define WRT_COUNT(id)                          \
+  ::wrt::telemetry::MetricRegistry::instance() \
+      .count(::wrt::telemetry::CounterId::id)
+#define WRT_COUNT_N(id, n)                     \
+  ::wrt::telemetry::MetricRegistry::instance() \
+      .count(::wrt::telemetry::CounterId::id,  \
+             static_cast<std::uint64_t>(n))
+#define WRT_OBSERVE(id, value)                   \
+  ::wrt::telemetry::MetricRegistry::instance()   \
+      .observe(::wrt::telemetry::HistogramId::id, \
+               static_cast<double>(value))
+#define WRT_TELEM_CAT2(a, b) a##b
+#define WRT_TELEM_CAT(a, b) WRT_TELEM_CAT2(a, b)
+#define WRT_SPAN() \
+  ::wrt::telemetry::ScopedSpan WRT_TELEM_CAT(wrt_span_, __LINE__) {}
+#define WRT_BATCH_COUNT(batch, id) \
+  (batch).count(::wrt::telemetry::CounterId::id)
+#define WRT_BATCH_COUNT_N(batch, id, n)        \
+  (batch).count(::wrt::telemetry::CounterId::id, \
+                static_cast<std::uint64_t>(n))
+#define WRT_BATCH_OBSERVE(batch, id, value)        \
+  (batch).observe(::wrt::telemetry::HistogramId::id, \
+                  static_cast<double>(value))
+#define WRT_BATCH_FLUSH(batch) (batch).flush()
+
+#else
+
+#define WRT_COUNT(id) ((void)0)
+#define WRT_COUNT_N(id, n) ((void)(n))
+#define WRT_OBSERVE(id, value) ((void)(value))
+#define WRT_SPAN() ((void)0)
+#define WRT_BATCH_COUNT(batch, id) ((void)0)
+#define WRT_BATCH_COUNT_N(batch, id, n) ((void)(n))
+#define WRT_BATCH_OBSERVE(batch, id, value) ((void)(value))
+#define WRT_BATCH_FLUSH(batch) ((void)0)
+
+#endif

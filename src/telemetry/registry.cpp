@@ -1,0 +1,181 @@
+#include "telemetry/registry.hpp"
+
+#include <cmath>
+
+namespace wrt::telemetry {
+
+const char* counter_name(CounterId id) noexcept {
+  switch (id) {
+    case CounterId::kSlotsStepped: return "slots_stepped";
+    case CounterId::kSatHandoffs: return "sat_handoffs";
+    case CounterId::kSatArrivals: return "sat_arrivals";
+    case CounterId::kSatHolds: return "sat_holds";
+    case CounterId::kTxRealTime: return "tx_real_time";
+    case CounterId::kTxAssured: return "tx_assured";
+    case CounterId::kTxBestEffort: return "tx_best_effort";
+    case CounterId::kTransitForwards: return "transit_forwards";
+    case CounterId::kDeliveries: return "deliveries";
+    case CounterId::kFramesLost: return "frames_lost";
+    case CounterId::kJoins: return "joins";
+    case CounterId::kJoinsRejected: return "joins_rejected";
+    case CounterId::kLeaves: return "leaves";
+    case CounterId::kCutOuts: return "cut_outs";
+    case CounterId::kSatLossesDetected: return "sat_losses_detected";
+    case CounterId::kSatRecoveries: return "sat_recoveries";
+    case CounterId::kRingRebuilds: return "ring_rebuilds";
+    case CounterId::kRapsStarted: return "raps_started";
+    case CounterId::kTptTokenPasses: return "tpt_token_passes";
+    case CounterId::kTptTokenRounds: return "tpt_token_rounds";
+    case CounterId::kTptClaims: return "tpt_claims";
+    case CounterId::kTptTreeRebuilds: return "tpt_tree_rebuilds";
+    case CounterId::kJournalEvents: return "journal_events";
+    case CounterId::kSnapshots: return "snapshots";
+    case CounterId::kCount_: break;
+  }
+  return "unknown";
+}
+
+const char* histogram_name(HistogramId id) noexcept {
+  switch (id) {
+    case HistogramId::kSatRotationSlots: return "sat_rotation_slots";
+    case HistogramId::kRtAccessDelaySlots: return "rt_access_delay_slots";
+    case HistogramId::kBeAccessDelaySlots: return "be_access_delay_slots";
+    case HistogramId::kQueueDepth: return "queue_depth";
+    case HistogramId::kJoinLatencySlots: return "join_latency_slots";
+    case HistogramId::kSatRecSlots: return "sat_rec_slots";
+    case HistogramId::kSpanNanos: return "span_nanos";
+    case HistogramId::kCount_: break;
+  }
+  return "unknown";
+}
+
+HistogramLayout histogram_layout(HistogramId id) noexcept {
+  switch (id) {
+    // Rotation: Theorem-1 bounds on the reference rings land well under
+    // 1024 slots; 64 x 16-slot buckets resolve the distribution shape.
+    case HistogramId::kSatRotationSlots: return {0.0, 16.0, 64};
+    case HistogramId::kRtAccessDelaySlots: return {0.0, 8.0, 64};
+    case HistogramId::kBeAccessDelaySlots: return {0.0, 32.0, 64};
+    case HistogramId::kQueueDepth: return {0.0, 2.0, 64};
+    case HistogramId::kJoinLatencySlots: return {0.0, 64.0, 64};
+    case HistogramId::kSatRecSlots: return {0.0, 32.0, 64};
+    // Wall-clock spans: 1us buckets up to 64us; slower spans overflow.
+    case HistogramId::kSpanNanos: return {0.0, 1000.0, 64};
+    case HistogramId::kCount_: break;
+  }
+  return {};
+}
+
+double RegistrySnapshot::HistogramData::quantile(double q) const noexcept {
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total == 0 ? 0 : total - 1));
+  std::uint64_t seen = underflow;
+  if (rank < seen) return layout.lo;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (rank < seen) {
+      return layout.lo + layout.width * static_cast<double>(b);
+    }
+  }
+  return layout.lo + layout.width * static_cast<double>(layout.bucket_count);
+}
+
+void MetricRegistry::observe(HistogramId id, double value) noexcept {
+  PaddedHistogram& h = histograms_[static_cast<std::size_t>(id)];
+  const HistogramLayout layout = histogram_layout(id);
+  h.sum_scaled.fetch_add(static_cast<std::int64_t>(value * kSumScale),
+                        std::memory_order_relaxed);
+  if (value < layout.lo) {
+    h.underflow.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const double offset = (value - layout.lo) / layout.width;
+  std::size_t bucket = offset >= static_cast<double>(layout.bucket_count)
+                           ? layout.bucket_count  // overflow bucket
+                           : static_cast<std::size_t>(offset);
+  h.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricRegistry::merge_histogram(HistogramId id,
+                                     const std::uint64_t* buckets,
+                                     std::size_t bucket_count,
+                                     std::uint64_t underflow,
+                                     std::int64_t sum_scaled) noexcept {
+  PaddedHistogram& h = histograms_[static_cast<std::size_t>(id)];
+  if (sum_scaled != 0) {
+    h.sum_scaled.fetch_add(sum_scaled, std::memory_order_relaxed);
+  }
+  if (underflow != 0) {
+    h.underflow.fetch_add(underflow, std::memory_order_relaxed);
+  }
+  for (std::size_t b = 0; b < bucket_count && b <= kMaxBuckets; ++b) {
+    if (buckets[b] != 0) {
+      h.buckets[b].fetch_add(buckets[b], std::memory_order_relaxed);
+    }
+  }
+}
+
+void TelemetryBatch::flush() noexcept {
+  auto& registry = MetricRegistry::instance();
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (counters_[i] != 0) {
+      registry.count(static_cast<CounterId>(i), counters_[i]);
+      counters_[i] = 0;
+    }
+  }
+  for (std::size_t i = 0; i < kHistogramCount; ++i) {
+    Histogram& h = histograms_[i];
+    if (!h.touched) continue;
+    registry.merge_histogram(static_cast<HistogramId>(i), h.buckets.data(),
+                             h.buckets.size(), h.underflow, h.sum_scaled);
+    h = Histogram{};
+  }
+}
+
+RegistrySnapshot MetricRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  snap.counters.reserve(kCounterCount);
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto id = static_cast<CounterId>(i);
+    snap.counters.emplace_back(
+        counter_name(id), counters_[i].value.load(std::memory_order_relaxed));
+  }
+  snap.histograms.reserve(kHistogramCount);
+  for (std::size_t i = 0; i < kHistogramCount; ++i) {
+    const auto id = static_cast<HistogramId>(i);
+    RegistrySnapshot::HistogramData data;
+    data.name = histogram_name(id);
+    data.layout = histogram_layout(id);
+    const PaddedHistogram& h = histograms_[i];
+    data.underflow = h.underflow.load(std::memory_order_relaxed);
+    data.sum = static_cast<double>(
+                   h.sum_scaled.load(std::memory_order_relaxed)) /
+               kSumScale;
+    data.buckets.resize(data.layout.bucket_count + 1);
+    data.total = data.underflow;
+    for (std::size_t b = 0; b <= data.layout.bucket_count; ++b) {
+      data.buckets[b] = h.buckets[b].load(std::memory_order_relaxed);
+      data.total += data.buckets[b];
+    }
+    snap.histograms.push_back(std::move(data));
+  }
+  return snap;
+}
+
+void MetricRegistry::reset() noexcept {
+  for (auto& counter : counters_) {
+    counter.value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& h : histograms_) {
+    h.underflow.store(0, std::memory_order_relaxed);
+    h.sum_scaled.store(0, std::memory_order_relaxed);
+    for (auto& bucket : h.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace wrt::telemetry

@@ -1,0 +1,194 @@
+// Process-wide metric registry.
+//
+// One fixed-size block of cache-line-padded relaxed atomics, shared by every
+// engine in the process.  Parallel replications (sim::run_replications) all
+// write the same registry concurrently; padding keeps their counters from
+// false-sharing, relaxed ordering keeps an increment a single uncontended
+// `lock add`.  Snapshots are advisory (taken while writers run), which is
+// the standard contract for monitoring counters: totals are exact once
+// writers quiesce, momentarily skewed while they don't.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace wrt::telemetry {
+
+/// Fixed-point scale for histogram running sums: atomic doubles would need
+/// a CAS loop, a 1/1024th-scaled integer keeps the hot path to one add.
+inline constexpr double kSumScale = 1024.0;
+
+/// Point-in-time copy of every counter and histogram; what the exporters
+/// and the periodic snapshotter consume.
+struct RegistrySnapshot {
+  struct HistogramData {
+    std::string name;
+    HistogramLayout layout;
+    std::vector<std::uint64_t> buckets;  ///< bucket_count + 1 (overflow last)
+    std::uint64_t underflow = 0;
+    std::uint64_t total = 0;
+    double sum = 0.0;  ///< sum of observed values (mean = sum / total)
+
+    [[nodiscard]] double mean() const noexcept {
+      return total == 0 ? 0.0 : sum / static_cast<double>(total);
+    }
+    /// Quantile estimate: lower edge of the bucket holding rank q*total.
+    [[nodiscard]] double quantile(double q) const noexcept;
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<HistogramData> histograms;
+
+  [[nodiscard]] std::uint64_t counter(CounterId id) const {
+    return counters[static_cast<std::size_t>(id)].second;
+  }
+  [[nodiscard]] const HistogramData& histogram(HistogramId id) const {
+    return histograms[static_cast<std::size_t>(id)];
+  }
+};
+
+class MetricRegistry {
+ public:
+  /// Largest bucket_count any HistogramLayout may declare.
+  static constexpr std::uint32_t kMaxBuckets = 64;
+
+  [[nodiscard]] static MetricRegistry& instance() noexcept {
+    static MetricRegistry registry;
+    return registry;
+  }
+
+  /// The WRT_COUNT hot path: one relaxed fetch_add on a padded slot.
+  void count(CounterId id, std::uint64_t by = 1) noexcept {
+    counters_[static_cast<std::size_t>(id)].value.fetch_add(
+        by, std::memory_order_relaxed);
+  }
+
+  /// The WRT_OBSERVE hot path: bucket index + one relaxed fetch_add (plus
+  /// a relaxed sum update so snapshots can report means).
+  void observe(HistogramId id, double value) noexcept;
+
+  /// Bulk merge of locally staged histogram state (TelemetryBatch::flush):
+  /// one fetch_add per *touched* bucket rather than per observation.
+  void merge_histogram(HistogramId id, const std::uint64_t* buckets,
+                       std::size_t bucket_count, std::uint64_t underflow,
+                       std::int64_t sum_scaled) noexcept;
+
+  [[nodiscard]] std::uint64_t counter(CounterId id) const noexcept {
+    return counters_[static_cast<std::size_t>(id)].value.load(
+        std::memory_order_relaxed);
+  }
+
+  /// Copies every metric out (advisory while writers run).
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
+  /// Zeroes everything.  For tests and bench isolation only — production
+  /// consumers difference successive snapshots instead.
+  void reset() noexcept;
+
+ private:
+  MetricRegistry() = default;
+
+  // One cache line per counter: replication threads hammer disjoint lines.
+  struct alignas(64) PaddedCounter {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  /// Histogram over linear buckets; bucket bucket_count is the overflow.
+  /// No running total: every observation lands in exactly one of
+  /// underflow/buckets, so snapshot() derives the total by summation and
+  /// the hot path stays at two relaxed fetch_adds (sum + bucket).
+  struct PaddedHistogram {
+    alignas(64) std::atomic<std::uint64_t> underflow{0};
+    /// Sum of observations, in fixed-point 1/1024ths (atomic doubles need a
+    /// CAS loop; a scaled integer keeps the hot path to one fetch_add).
+    std::atomic<std::int64_t> sum_scaled{0};
+    /// kMaxBuckets linear buckets + 1 overflow slot.
+    std::array<std::atomic<std::uint64_t>, kMaxBuckets + 1> buckets{};
+  };
+
+  std::array<PaddedCounter, kCounterCount> counters_{};
+  std::array<PaddedHistogram, kHistogramCount> histograms_{};
+};
+
+/// Single-writer staging area for a hot loop (one per engine).  Events bump
+/// plain integers — no atomics, no cache-line protocol — and flush()
+/// publishes the accumulated deltas to the process-wide registry with one
+/// fetch_add per touched slot.  An engine flushing every K slots amortises
+/// its per-slot telemetry to a handful of atomics per K slots, which is
+/// what keeps the instrumented hot path within the <= 2 % budget.
+///
+/// Registry totals therefore lag a live engine by at most one flush
+/// interval; Engine::run_slots flushes on return (and the batch flushes on
+/// destruction), so totals are exact whenever a driving loop has handed
+/// control back.
+class TelemetryBatch {
+ public:
+  TelemetryBatch() = default;
+  TelemetryBatch(const TelemetryBatch&) = delete;
+  TelemetryBatch& operator=(const TelemetryBatch&) = delete;
+  ~TelemetryBatch() { flush(); }
+
+  void count(CounterId id, std::uint64_t by = 1) noexcept {
+    counters_[static_cast<std::size_t>(id)] += by;
+  }
+
+  void observe(HistogramId id, double value) noexcept {
+    const HistogramLayout layout = histogram_layout(id);
+    Histogram& h = histograms_[static_cast<std::size_t>(id)];
+    h.touched = true;
+    h.sum_scaled += static_cast<std::int64_t>(value * kSumScale);
+    if (value < layout.lo) {
+      ++h.underflow;
+      return;
+    }
+    const double offset = (value - layout.lo) / layout.width;
+    const std::size_t bucket =
+        offset >= static_cast<double>(layout.bucket_count)
+            ? layout.bucket_count  // overflow bucket
+            : static_cast<std::size_t>(offset);
+    ++h.buckets[bucket];
+  }
+
+  /// Publishes every staged delta to MetricRegistry::instance() and zeroes
+  /// the staging arrays.
+  void flush() noexcept;
+
+ private:
+  struct Histogram {
+    std::int64_t sum_scaled = 0;
+    std::uint64_t underflow = 0;
+    bool touched = false;
+    std::array<std::uint64_t, MetricRegistry::kMaxBuckets + 1> buckets{};
+  };
+
+  std::array<std::uint64_t, kCounterCount> counters_{};
+  std::array<Histogram, kHistogramCount> histograms_{};
+};
+
+/// RAII wall-clock span for WRT_SPAN: observes elapsed nanoseconds into
+/// HistogramId::kSpanNanos on destruction.  Cold paths only.
+class ScopedSpan {
+ public:
+  ScopedSpan() noexcept : start_(std::chrono::steady_clock::now()) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    MetricRegistry::instance().observe(
+        HistogramId::kSpanNanos,
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace wrt::telemetry

@@ -5,6 +5,7 @@
 #include <set>
 #include <string>
 
+#include "telemetry/metrics.hpp"
 #include "util/log.hpp"
 
 namespace wrt::tpt {
@@ -198,6 +199,7 @@ void TptEngine::token_arrive() {
 
   if (tour_index_ == 0) {
     ++stats_.token_rounds;
+    WRT_COUNT(kTptTokenRounds);
     ++rounds_since_rap_;
     if (config_.rap_every_rounds > 0 &&
         rounds_since_rap_ >=
@@ -264,6 +266,9 @@ void TptEngine::transmit_one(NodeId holder) {
     stats_.access_delay_slots.add(delay);
     if (packet.cls == TrafficClass::kRealTime) {
       stats_.rt_access_delay_slots.add(delay);
+      WRT_OBSERVE(kRtAccessDelaySlots, delay);
+    } else {
+      WRT_OBSERVE(kBeAccessDelaySlots, delay);
     }
   }
   ++stats_.data_transmissions;
@@ -316,6 +321,7 @@ void TptEngine::pass_token() {
   state_ = TokenState::kInTransit;
   transit_arrival_ = now_ + slots_to_ticks(config_.t_proc_prop_slots);
   ++stats_.token_hops;
+  WRT_COUNT(kTptTokenPasses);
 }
 
 void TptEngine::token_step() {
@@ -412,6 +418,7 @@ void TptEngine::check_timers() {
 }
 
 void TptEngine::start_claim(NodeId detector) {
+  WRT_COUNT(kTptClaims);
   trace_.record(sim::EventKind::kClaimStarted, now_, detector);
   util::log(util::LogLevel::kInfo,
             "TPT: token loss detected by station " + std::to_string(detector));
@@ -433,6 +440,7 @@ void TptEngine::start_claim(NodeId detector) {
 
 void TptEngine::start_rebuild() {
   ++stats_.tree_rebuilds;
+  WRT_COUNT(kTptTreeRebuilds);
   util::log(util::LogLevel::kInfo, "TPT: tree rebuild started");
   state_ = TokenState::kRebuilding;
   claim_deadline_ = kNeverTick;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <string>
 
+#include "telemetry/metrics.hpp"
 #include "util/audit.hpp"
 #include "util/log.hpp"
 
@@ -213,6 +214,18 @@ analysis::RingParams Engine::ring_params() const {
   return params;
 }
 
+telemetry::RingMeta Engine::journal_meta() const {
+  telemetry::RingMeta meta;
+  meta.ring_latency_slots = static_cast<std::int64_t>(ring_.size()) *
+                            config_.effective_sat_hop_latency();
+  meta.t_rap_slots = config_.t_rap_slots();
+  meta.quotas.reserve(ring_.size());
+  for (std::size_t p = 0; p < ring_.size(); ++p) {
+    meta.quotas.emplace_back(ring_.station_at(p), stations_[p].quota());
+  }
+  return meta;
+}
+
 const std::vector<Tick>& Engine::sat_arrival_history(NodeId node) const {
   static const std::vector<Tick> kEmpty;
   const std::int32_t position = station_position(node);
@@ -316,9 +329,28 @@ void Engine::step() {
     sat_plane_step();
     check_sat_timers();
   }
+  if (journal_queue_sample_slots_ > 0) maybe_sample_queues();
 
   now_ += kTicksPerSlot;
+  WRT_BATCH_COUNT(telem_batch_, kSlotsStepped);
+#if WRT_TELEMETRY_LEVEL
+  if ((now_slots() & (kTelemetryFlushSlots - 1)) == 0) telem_batch_.flush();
+#endif
   WRT_AUDIT(maybe_periodic_audit());
+}
+
+void Engine::maybe_sample_queues() {
+  if (now_slots() % journal_queue_sample_slots_ != 0) return;
+  for (std::size_t p = 0; p < stations_.size(); ++p) {
+    const Station& station = stations_[p];
+    const std::size_t depth =
+        station.queue_depth(TrafficClass::kRealTime) +
+        station.queue_depth(TrafficClass::kAssured) +
+        station.queue_depth(TrafficClass::kBestEffort);
+    WRT_BATCH_OBSERVE(telem_batch_, kQueueDepth, depth);
+    journal_record(station.id(), telemetry::JournalKind::kQueueDepth, 0,
+                   static_cast<std::uint64_t>(depth));
+  }
 }
 
 void Engine::maybe_periodic_audit() {
@@ -330,6 +362,9 @@ void Engine::maybe_periodic_audit() {
 
 void Engine::run_slots(std::int64_t n) {
   for (std::int64_t i = 0; i < n; ++i) step();
+  // Publish staged hot-path telemetry so registry totals are exact whenever
+  // a driving loop has handed control back.
+  WRT_BATCH_FLUSH(telem_batch_);
 }
 
 bool Engine::data_allowed() const noexcept {
@@ -343,8 +378,10 @@ bool Engine::data_allowed() const noexcept {
 // ---------------------------------------------------------------------------
 
 void Engine::deliver(LinkFrame& frame, NodeId at) {
+  // Deliveries are counted per slot (WRT_COUNT_N in data_plane_step), not
+  // here: one batched atomic per slot instead of one per absorbed frame.
   stats_.sink.record_delivery(frame.packet, now_);
-  (void)at;
+  journal_record(at, telemetry::JournalKind::kDeliver, frame.packet.src);
 }
 
 void Engine::data_plane_step() {
@@ -358,6 +395,7 @@ void Engine::data_plane_step() {
   // Phase 1: arrivals.  A frame sent last slot reaches the next station now;
   // the destination absorbs it (destination release, enabling spatial
   // reuse), everything else becomes this slot's transit load.
+  std::uint64_t delivered_now = 0;
   for (std::size_t p = 0; p < R; ++p) {
     const std::size_t upstream = p == 0 ? R - 1 : p - 1;
     auto& link = links_[upstream];
@@ -371,6 +409,7 @@ void Engine::data_plane_step() {
     }
     if (frame.packet.dst == here) {
       deliver(frame, here);
+      ++delivered_now;
       continue;
     }
     ++frame.hops;
@@ -389,6 +428,10 @@ void Engine::data_plane_step() {
   // empty slot may be filled by a local packet per the Send algorithm.
   const bool injection_allowed = data_allowed();
   std::size_t busy_links_now = 0;
+  // Per-slot telemetry accumulators: one relaxed atomic per class per slot
+  // instead of one per transmission (dead code when WRT_TELEMETRY=OFF).
+  std::uint64_t tx_by_class[3] = {0, 0, 0};
+  std::uint64_t transit_now = 0;
   for (std::size_t p = 0; p < R; ++p) {
     const NodeId sender = order[p];
     LinkFrame out;
@@ -396,6 +439,7 @@ void Engine::data_plane_step() {
       out = std::move(transit_regs_[p]);
       transit_regs_[p].busy = false;
       ++stats_.transit_forwards;
+      ++transit_now;
     } else if (injection_allowed && topology_->alive(sender)) {
       Station& station = stations_[p];
       if (const auto cls = station.eligible_class()) {
@@ -404,7 +448,14 @@ void Engine::data_plane_step() {
         stats_.access_delay_slots.add(delay);
         if (packet.cls == TrafficClass::kRealTime) {
           stats_.rt_access_delay_slots.add(delay);
+          WRT_BATCH_OBSERVE(telem_batch_, kRtAccessDelaySlots, delay);
+        } else {
+          WRT_BATCH_OBSERVE(telem_batch_, kBeAccessDelaySlots, delay);
         }
+        ++tx_by_class[static_cast<std::size_t>(packet.cls)];
+        journal_record(sender, telemetry::JournalKind::kTransmit,
+                       static_cast<std::uint32_t>(packet.cls),
+                       static_cast<std::uint64_t>(now_ - packet.created));
         ++stats_.data_transmissions;
         out.packet = std::move(packet);
         out.entered_ring = now_;
@@ -417,11 +468,13 @@ void Engine::data_plane_step() {
     const NodeId receiver = order[p + 1 == R ? 0 : p + 1];
     if (!topology_->reachable(sender, receiver)) {
       ++stats_.frames_lost_link;
+      WRT_BATCH_COUNT(telem_batch_, kFramesLost);
       continue;
     }
     if (config_.frame_loss_prob > 0.0 &&
         loss_rng_.bernoulli(config_.frame_loss_prob)) {
       ++stats_.frames_lost_link;
+      WRT_BATCH_COUNT(telem_batch_, kFramesLost);
       continue;
     }
     if (config_.cdma_fidelity) {
@@ -442,6 +495,11 @@ void Engine::data_plane_step() {
   }
   stats_.busy_links.update(
       now_, static_cast<double>(busy_links_now) / static_cast<double>(R));
+  WRT_BATCH_COUNT_N(telem_batch_, kTxRealTime, tx_by_class[0]);
+  WRT_BATCH_COUNT_N(telem_batch_, kTxAssured, tx_by_class[1]);
+  WRT_BATCH_COUNT_N(telem_batch_, kTxBestEffort, tx_by_class[2]);
+  WRT_BATCH_COUNT_N(telem_batch_, kTransitForwards, transit_now);
+  WRT_BATCH_COUNT_N(telem_batch_, kDeliveries, delivered_now);
 
   if (config_.cdma_fidelity) {
     stats_.cdma_collisions += channel_->end_slot();
@@ -470,9 +528,11 @@ void Engine::record_rotation(std::size_t position, Tick arrival) {
     const double rotation =
         ticks_to_slots_real(arrival - control.last_rotation_arrival);
     stats_.sat_rotation_slots.add(rotation);
+    WRT_BATCH_OBSERVE(telem_batch_, kSatRotationSlots, rotation);
   }
   control.last_rotation_arrival = arrival;
   control.arrival_history.push_back(arrival);
+  WRT_BATCH_COUNT(telem_batch_, kSatArrivals);
   if (control.arrival_history.size() > kArrivalHistoryCap) {
     // Once per rotation per station: the 64-entry shift is cheaper than a
     // deque's allocation churn and keeps the history contiguous.
@@ -492,22 +552,28 @@ void Engine::sat_arrive(NodeId at) {
   const auto position = static_cast<std::size_t>(position32);
   control_[position].last_sat_arrival = now_;
   record_rotation(position, now_);
+  journal_record(at, telemetry::JournalKind::kSatArrive);
 
   if (sat_.is_rec && at == sat_.rec_origin) {
     // Section 2.5: the SAT_REC made it back — the ring is re-established;
     // substitute it with a plain SAT.
     if (sat_.graceful_leave) {
       ++stats_.leaves_completed;
+      WRT_COUNT(kLeaves);
+      journal_record(at, telemetry::JournalKind::kLeave, sat_.rec_failed);
       trace_.record(sim::EventKind::kLeaveCompleted, now_, at,
                     sat_.rec_failed);
     } else {
       ++stats_.sat_recoveries;
+      WRT_COUNT(kSatRecoveries);
       if (sat_lost_at_ != kNeverTick) {
-        stats_.recovery_total_slots.add(
-            ticks_to_slots_real(now_ - sat_lost_at_));
+        const double rec = ticks_to_slots_real(now_ - sat_lost_at_);
+        stats_.recovery_total_slots.add(rec);
+        WRT_OBSERVE(kSatRecSlots, rec);
       }
       trace_.record(sim::EventKind::kRecovered, now_, at, sat_.rec_failed);
     }
+    journal_record(at, telemetry::JournalKind::kSatRecDone, sat_.rec_failed);
     sat_.is_rec = false;
     sat_.rec_origin = kInvalidNode;
     sat_.rec_failed = kInvalidNode;
@@ -549,6 +615,7 @@ void Engine::sat_arrive(NodeId at) {
   } else {
     sat_state_ = SatState::kHeld;
     sat_hold_started_ = now_;
+    WRT_BATCH_COUNT(telem_batch_, kSatHolds);
   }
 }
 
@@ -589,6 +656,8 @@ void Engine::sat_release(NodeId from) {
     target = beyond;
     util::log(util::LogLevel::kInfo,
               "WRT-Ring: cut out station " + std::to_string(failed));
+    WRT_COUNT(kCutOuts);
+    journal_record(failed, telemetry::JournalKind::kCutOut, sat_.rec_origin);
     trace_.record(sim::EventKind::kCutOut, now_, from, failed);
     if (membership_callback_) membership_callback_(failed, false);
     notify_audit(sat_.graceful_leave ? "leave" : "cut-out");
@@ -623,6 +692,8 @@ void Engine::sat_release(NodeId from) {
   sat_arrival_tick_ =
       now_ + slots_to_ticks(config_.effective_sat_hop_latency());
   ++stats_.sat_hops;
+  WRT_BATCH_COUNT(telem_batch_, kSatHandoffs);
+  journal_record(from, telemetry::JournalKind::kSatRelease, target);
 }
 
 void Engine::sat_plane_step() {
@@ -693,6 +764,9 @@ void Engine::check_sat_timers() {
 
 void Engine::start_recovery(NodeId detector) {
   ++stats_.sat_losses_detected;
+  WRT_COUNT(kSatLossesDetected);
+  journal_record(detector, telemetry::JournalKind::kSatRecStart,
+                 ring_.predecessor(detector));
   trace_.record(sim::EventKind::kLossDetected, now_, detector,
                 ring_.predecessor(detector));
   if (sat_lost_at_ != kNeverTick) {
@@ -722,12 +796,14 @@ void Engine::start_recovery(NodeId detector) {
 void Engine::drop_in_flight_frames() {
   for (auto& link : links_) {
     stats_.frames_lost_link += link.size();
+    WRT_COUNT_N(kFramesLost, link.size());
   }
   reset_data_plane();
 }
 
 void Engine::start_rebuild() {
   ++stats_.ring_rebuilds;
+  WRT_COUNT(kRingRebuilds);
   trace_.record(sim::EventKind::kRebuildStarted, now_);
   util::log(util::LogLevel::kInfo, "WRT-Ring: ring re-formation started");
   drop_in_flight_frames();
@@ -945,6 +1021,7 @@ void Engine::kill_station(NodeId node) {
 
 void Engine::begin_rap(NodeId ingress) {
   ++stats_.raps_started;
+  WRT_COUNT(kRapsStarted);
   trace_.record(sim::EventKind::kRapStarted, now_, ingress);
   rap_ingress_ = ingress;
   rap_ear_end_ = now_ + slots_to_ticks(config_.t_ear_slots);
@@ -1004,6 +1081,7 @@ void Engine::begin_rap(NodeId ingress) {
   // Slot 2: admission check + JOIN_ACK on code(ingress).
   if (!admission_allows(join.quota)) {
     ++stats_.joins_rejected;
+    WRT_COUNT(kJoinsRejected);
     trace_.record(sim::EventKind::kJoinRejected, now_, joiner, ingress);
     pending_joins_.erase(joiner);
     return;
@@ -1051,7 +1129,11 @@ void Engine::complete_join(NodeId joiner, NodeId ingress) {
     channel_->set_listen_codes(joiner, {codes_[joiner], kBroadcastCode});
   }
   ++stats_.joins_completed;
-  stats_.join_latency_slots.add(ticks_to_slots_real(now_ - join.requested_at));
+  const double join_latency = ticks_to_slots_real(now_ - join.requested_at);
+  stats_.join_latency_slots.add(join_latency);
+  WRT_COUNT(kJoins);
+  WRT_OBSERVE(kJoinLatencySlots, join_latency);
+  journal_record(joiner, telemetry::JournalKind::kJoin, ingress);
   util::log(util::LogLevel::kInfo,
             "WRT-Ring: station " + std::to_string(joiner) +
                 " joined after ingress " + std::to_string(ingress));

@@ -44,6 +44,8 @@
 #include "ring/virtual_ring.hpp"
 #include "sim/event_trace.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/journal.hpp"
+#include "telemetry/metrics.hpp"
 #include "traffic/trace.hpp"
 #include "traffic/traffic.hpp"
 #include "util/flat_map.hpp"
@@ -228,6 +230,23 @@ class Engine final {
     return trace_;
   }
 
+  /// Attaches a telemetry event journal (nullptr detaches).  While attached
+  /// the engine records SAT residency, transmissions, deliveries, and
+  /// membership churn into per-station rings, and — when
+  /// `queue_sample_every_slots` > 0 — samples every station's queue depth on
+  /// that cadence.  Observation only: attaching a journal never changes
+  /// protocol behaviour, and with no journal attached the per-event cost is
+  /// one pointer test.  The journal must outlive the engine or be detached.
+  void set_journal(telemetry::Journal* journal,
+                   std::int64_t queue_sample_every_slots = 0) noexcept {
+    journal_ = journal;
+    journal_queue_sample_slots_ = queue_sample_every_slots;
+  }
+
+  /// Fills `meta` (S, T_rap, per-station quotas) for offline bound
+  /// evaluation; Journal::set_meta + save make a self-contained artifact.
+  [[nodiscard]] telemetry::RingMeta journal_meta() const;
+
   /// Internal-consistency audit (counters within quotas, ring/link/station
   /// structures aligned, SAT state coherent).  Returns the first violation
   /// found; tests and the monkey harness call this between steps.
@@ -346,6 +365,12 @@ class Engine final {
   void notify_audit(const char* event) {
     if (audit_hook_) audit_hook_(event);
   }
+  /// Journal append guarded by attachment; one pointer test when detached.
+  void journal_record(NodeId station, telemetry::JournalKind kind,
+                      std::uint32_t arg = 0, std::uint64_t value = 0) {
+    if (journal_ != nullptr) journal_->record(station, kind, now_, arg, value);
+  }
+  void maybe_sample_queues();
   void maybe_periodic_audit();
   void drop_in_flight_frames();
   [[nodiscard]] std::int64_t effective_sat_timeout(NodeId node) const;
@@ -469,6 +494,18 @@ class Engine final {
 
   EngineStats stats_;
   sim::EventTrace trace_;
+
+  // Telemetry journal (opt-in; see set_journal).
+  telemetry::Journal* journal_ = nullptr;
+  std::int64_t journal_queue_sample_slots_ = 0;
+
+#if WRT_TELEMETRY_LEVEL
+  // Engine-local staging for hot-path counters and histograms (plain
+  // integer bumps); published to the process-wide registry every
+  // kTelemetryFlushSlots slots, at run_slots() return, and on destruction.
+  static constexpr std::int64_t kTelemetryFlushSlots = 64;
+  telemetry::TelemetryBatch telem_batch_;
+#endif
 };
 
 }  // namespace wrt::wrtring

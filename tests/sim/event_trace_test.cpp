@@ -2,8 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 namespace wrt::sim {
 namespace {
+
+std::string exported(const EventTrace& trace) {
+  std::ostringstream out;
+  trace.to_json(out);
+  return out.str();
+}
 
 TEST(EventTrace, RecordsAndFormats) {
   EventTrace trace;
@@ -62,6 +71,62 @@ TEST(EventTrace, ClearResets) {
   trace.clear();
   EXPECT_EQ(trace.size(), 0u);
   EXPECT_EQ(trace.total_recorded(), 0u);
+}
+
+TEST(EventTraceExport, EmptyTrace) {
+  EventTrace trace;
+  EXPECT_EQ(trace.dropped(), 0u);
+  const std::string json = exported(trace);
+  EXPECT_EQ(json,
+            "{\"total_recorded\": 0, \"dropped\": 0, \"events\": []}");
+}
+
+TEST(EventTraceExport, SingleEventRoundTripsAllFields) {
+  EventTrace trace;
+  trace.record(EventKind::kCutOut, slots_to_ticks(50), 3, 4);
+  const std::string json = exported(trace);
+  EXPECT_NE(json.find("\"total_recorded\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"cut-out\""), std::string::npos);
+  EXPECT_NE(json.find("\"tick\": " + std::to_string(slots_to_ticks(50))),
+            std::string::npos);
+  EXPECT_NE(json.find("\"slot\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"station\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"other\": 4"), std::string::npos);
+}
+
+TEST(EventTraceExport, UnsetStationsExportAsNull) {
+  EventTrace trace;
+  trace.record(EventKind::kRapStarted, 0);
+  const std::string json = exported(trace);
+  EXPECT_NE(json.find("\"station\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"other\": null"), std::string::npos);
+}
+
+TEST(EventTraceExport, WrapSurfacesDropCount) {
+  EventTrace trace(4);
+  for (int i = 0; i < 10; ++i) {
+    trace.record(EventKind::kRapStarted, slots_to_ticks(i));
+  }
+  EXPECT_EQ(trace.dropped(), 6u);
+  const std::string json = exported(trace);
+  // The export must carry both the ring contents and the overflow count so
+  // a wrapped trace is never mistaken for complete history.
+  EXPECT_NE(json.find("\"total_recorded\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 6"), std::string::npos);
+  // Oldest surviving event is slot 6; earlier slots were overwritten.
+  EXPECT_NE(json.find("\"slot\": 6"), std::string::npos);
+  EXPECT_EQ(json.find("\"slot\": 5,"), std::string::npos);
+}
+
+TEST(EventTraceExport, ClearResetsDropCount) {
+  EventTrace trace(2);
+  for (int i = 0; i < 5; ++i) trace.record(EventKind::kSatLost, i);
+  EXPECT_EQ(trace.dropped(), 3u);
+  trace.clear();
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_EQ(exported(trace),
+            "{\"total_recorded\": 0, \"dropped\": 0, \"events\": []}");
 }
 
 TEST(EventTrace, AllKindsStringify) {

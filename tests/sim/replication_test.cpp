@@ -76,6 +76,54 @@ TEST(Replication, Ci95SingleSampleIsZero) {
   EXPECT_DOUBLE_EQ(one.ci95_half_width(), 0.0);
 }
 
+TEST(Replication, Ci95ZeroSamplesIsZero) {
+  MetricSummary none{"m", 0.0, 0.0, 0.0, 0.0, 0};
+  EXPECT_DOUBLE_EQ(none.ci95_half_width(), 0.0);
+}
+
+TEST(Replication, Ci95ZeroVarianceIsZero) {
+  MetricSummary flat{"m", 10.0, 0.0, 10.0, 10.0, 32};
+  EXPECT_DOUBLE_EQ(flat.ci95_half_width(), 0.0);
+}
+
+TEST(Replication, Ci95NonFiniteStddevIsZero) {
+  MetricSummary bad{"m", 10.0, std::nan(""), 0.0, 0.0, 8};
+  EXPECT_DOUBLE_EQ(bad.ci95_half_width(), 0.0);
+}
+
+TEST(Replication, SingleReplicationAggregatesSafely) {
+  const auto summaries = run_replications(
+      1, 5,
+      [](std::uint64_t) {
+        ReplicationResult r;
+        r.add("v", 3.5);
+        return r;
+      },
+      1);
+  const auto& v = find_metric(summaries, "v");
+  EXPECT_EQ(v.samples, 1u);
+  EXPECT_DOUBLE_EQ(v.mean, 3.5);
+  EXPECT_DOUBLE_EQ(v.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(v.ci95_half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(v.min, 3.5);
+  EXPECT_DOUBLE_EQ(v.max, 3.5);
+}
+
+TEST(Replication, ZeroVarianceRunsHaveZeroInterval) {
+  const auto summaries = run_replications(
+      6, 9,
+      [](std::uint64_t) {
+        ReplicationResult r;
+        r.add("const", 7.0);
+        return r;
+      },
+      2);
+  const auto& c = find_metric(summaries, "const");
+  EXPECT_EQ(c.samples, 6u);
+  EXPECT_DOUBLE_EQ(c.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(c.ci95_half_width(), 0.0);
+}
+
 TEST(Replication, FindMetricThrowsOnMissing) {
   const std::vector<MetricSummary> none;
   EXPECT_THROW((void)find_metric(none, "nope"), std::out_of_range);

@@ -139,6 +139,77 @@ TEST(Scheduler, ManyStaleHandleCancellationsDoNotAccumulate) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(Scheduler, ScheduleEveryFiresAtPeriodMultiples) {
+  Scheduler s;
+  std::vector<Tick> fired;
+  s.schedule_every(10, [&] { fired.push_back(s.now()); });
+  s.run_until(45);
+  EXPECT_EQ(fired, (std::vector<Tick>{10, 20, 30, 40}));
+  EXPECT_EQ(s.pending(), 1u);  // still armed for tick 50
+}
+
+TEST(Scheduler, ScheduleEveryRejectsNonPositivePeriod) {
+  Scheduler s;
+  EXPECT_THROW(s.schedule_every(0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_every(-5, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, ScheduleEveryInterleavesWithOneShots) {
+  // Same-tick order is by scheduling sequence, and each re-arm counts as a
+  // fresh scheduling: at tick 10 the recurring event (scheduled first)
+  // precedes the one-shot, at tick 20 its re-armed copy follows the
+  // one-shot that was queued before the re-arm happened.
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_every(10, [&] { order.push_back(0); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_until(30);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 0, 0}));
+}
+
+TEST(Scheduler, CancelStopsRecurringEvent) {
+  Scheduler s;
+  int fired = 0;
+  const EventHandle h = s.schedule_every(10, [&] { ++fired; });
+  s.run_until(35);
+  EXPECT_EQ(fired, 3);
+  s.cancel(h);
+  EXPECT_EQ(s.pending(), 0u);
+  s.run_until(100);
+  EXPECT_EQ(fired, 3);  // no further firings
+}
+
+TEST(Scheduler, RecurringEventMayCancelItself) {
+  Scheduler s;
+  int fired = 0;
+  EventHandle h{0};
+  h = s.schedule_every(5, [&] {
+    if (++fired == 3) s.cancel(h);
+  });
+  s.run_until(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, RecurringHandleStaysValidAcrossFirings) {
+  // Cancelling between firings must work no matter how many times the
+  // event has already run — the handle identifies the series, not one
+  // occurrence.
+  Scheduler s;
+  int fired = 0;
+  const EventHandle h = s.schedule_every(7, [&] { ++fired; });
+  s.run_until(7);
+  EXPECT_EQ(fired, 1);
+  s.run_until(14);
+  EXPECT_EQ(fired, 2);
+  s.cancel(h);
+  s.cancel(h);  // double-cancel: no-op
+  s.run_until(1000);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
 TEST(Scheduler, StepExecutesOneTick) {
   Scheduler s;
   int fired = 0;

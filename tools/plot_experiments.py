@@ -1,18 +1,25 @@
 #!/usr/bin/env python3
-"""Plot the experiment benches' CSV output.
+"""Plot the experiment benches' CSV output and BENCH_*.json summaries.
 
 Usage:
     for b in build/bench/bench_*; do $b --csv > out/$(basename $b).csv; done
     python3 tools/plot_experiments.py out/*.csv -o plots/
 
+    scripts/check.sh --bench-smoke            # emits build/bench-json/
+    python3 tools/plot_experiments.py build/bench-json/BENCH_*.json -o plots/
+
 Each bench emits one or more CSV tables separated by `# <title>` comment
 lines; this script splits them, guesses a sensible x-axis (the first
-numeric column) and plots every other numeric column as a series.  It is a
+numeric column) and plots every other numeric column as a series.  A
+BENCH_<name>.json file (the standardized headline-metric summary every
+bench writes with --json-dir) becomes a horizontal bar chart of its
+metrics, annotated with units and the recorded git revision.  It is a
 convenience for eyeballing shapes, not a publication pipeline.
 """
 
 import argparse
 import csv
+import json
 import pathlib
 import sys
 
@@ -81,15 +88,54 @@ def plot_table(title, header, rows, out_dir):
     print(f"  wrote {target}")
 
 
+def plot_bench_json(path, out_dir):
+    """Renders one BENCH_<name>.json as a horizontal bar chart of metrics."""
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    with open(path) as handle:
+        doc = json.load(handle)
+    metrics = [m for m in doc.get("metrics", [])
+               if isinstance(m.get("value"), (int, float))]
+    if not metrics:
+        print(f"  skip (no numeric metrics): {path}")
+        return
+    labels = [f"{m['metric']} [{m['units']}]" for m in metrics]
+    values = [float(m["value"]) for m in metrics]
+
+    fig, ax = plt.subplots(figsize=(7, 0.5 * len(metrics) + 1.5))
+    ypos = range(len(metrics))
+    ax.barh(ypos, values, color="steelblue")
+    ax.set_yticks(list(ypos), labels=labels, fontsize=8)
+    ax.invert_yaxis()
+    for y, value in zip(ypos, values):
+        ax.annotate(f" {value:g}", (value, y), va="center", fontsize=8)
+    smoke = " (smoke)" if doc.get("smoke") else ""
+    ax.set_title(f"{doc.get('bench', path.stem)}{smoke} "
+                 f"@ {doc.get('git_rev', '?')}", fontsize=10)
+    ax.grid(True, axis="x", alpha=0.3)
+    target = out_dir / f"{path.stem}.png"
+    fig.tight_layout()
+    fig.savefig(target, dpi=120)
+    plt.close(fig)
+    print(f"  wrote {target}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("csv_files", nargs="+", type=pathlib.Path)
+    parser.add_argument("inputs", nargs="+", type=pathlib.Path,
+                        metavar="csv_or_bench_json")
     parser.add_argument("-o", "--out", type=pathlib.Path,
                         default=pathlib.Path("plots"))
     args = parser.parse_args()
     args.out.mkdir(parents=True, exist_ok=True)
-    for path in args.csv_files:
+    for path in args.inputs:
         print(path)
+        if path.suffix == ".json":
+            plot_bench_json(path, args.out)
+            continue
         for title, header, rows in split_tables(path):
             plot_table(title, header, rows, args.out)
 
