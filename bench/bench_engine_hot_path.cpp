@@ -137,8 +137,11 @@ int run_digest() {
               static_cast<unsigned long long>(stats.transit_forwards));
   std::printf("delivered=%llu\n",
               static_cast<unsigned long long>(stats.sink.total_delivered()));
+  // The digest line predates the link/teardown loss split; printing the sum
+  // keeps it comparable across that accounting change (same total frames).
   std::printf("frames_lost_link=%llu\n",
-              static_cast<unsigned long long>(stats.frames_lost_link));
+              static_cast<unsigned long long>(stats.frames_lost_link +
+                                              stats.frames_lost_rebuild));
   std::printf("leaves_completed=%llu\n",
               static_cast<unsigned long long>(stats.leaves_completed));
   std::printf("sat_recoveries=%llu\n",

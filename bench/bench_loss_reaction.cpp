@@ -8,9 +8,18 @@
 // and a station death.  Each cell aggregates 8 independent replications
 // (distinct seeds and fault phases) run on parallel threads; ± is the 95%
 // confidence half-width.
+//
+// E8c extends the reaction study to the bursty regime: a Gilbert–Elliott
+// channel at a *fixed* average SAT/data loss rate, sweeping the mean
+// bad-state dwell (burst length).  i.i.d. loss (dwell 1) scatters the loss
+// budget across the whole run, so the timer fires often and recovery churn
+// (cut-outs, rebuilds) dominates; long fades (dwell 64) buy long clean
+// stretches between rare episodes — fewer distinct detections and rebuilds
+// at identical average loss, with the damage concentrated in each fade.
 #include "bench/bench_common.hpp"
 
 #include "analysis/bounds.hpp"
+#include "fault/gilbert_elliott.hpp"
 #include "sim/replication.hpp"
 #include "tpt/engine.hpp"
 #include "wrtring/engine.hpp"
@@ -75,6 +84,47 @@ sim::ReplicationResult tpt_replication(std::size_t n, bool kill,
     result.add("recover", stats.recovery_total_slots.max());
   }
   result.add("rebuilds", static_cast<double>(stats.tree_rebuilds));
+  return result;
+}
+
+/// E8c cell: N = 16 ring under a GE channel with fixed average loss on
+/// every (purpose, link) but the given Bad-state dwell; long soak so the
+/// chain visits Bad many times per replication.
+sim::ReplicationResult ge_replication(double dwell, std::uint64_t seed) {
+  constexpr std::size_t kN = 16;
+  sim::ReplicationResult result;
+  phy::Topology topology = bench::ring_room(kN);
+  wrtring::Config config;
+  config.rap_policy = wrtring::RapPolicy::kRotating;
+  config.auto_rejoin = true;
+  config.channel.data = fault::GeParams::bursty(0.02, dwell);
+  config.channel.sat = fault::GeParams::bursty(0.005, dwell);
+  wrtring::Engine engine(&topology, config, seed);
+  if (!engine.init().ok()) return result;
+  for (NodeId node = 0; node < kN; ++node) {
+    traffic::FlowSpec spec;
+    spec.id = node;
+    spec.src = node;
+    spec.dst = static_cast<NodeId>((node + kN / 2) % kN);
+    spec.cls = TrafficClass::kRealTime;
+    spec.kind = traffic::ArrivalKind::kCbr;
+    spec.period_slots = 24.0;
+    engine.add_source(spec);
+  }
+  engine.run_slots(30000);
+  const auto& stats = engine.stats();
+  result.add("losses", static_cast<double>(stats.sat_losses_detected));
+  if (stats.sat_loss_detection_slots.count() > 0) {
+    result.add("mttd", stats.sat_loss_detection_slots.mean());
+  }
+  if (stats.recovery_total_slots.count() > 0) {
+    result.add("mttr", stats.recovery_total_slots.mean());
+  }
+  result.add("rebuilds", static_cast<double>(stats.ring_rebuilds));
+  result.add("frames_lost",
+             static_cast<double>(stats.frames_lost_link));
+  result.add("delivered",
+             static_cast<double>(stats.sink.total_delivered()));
   return result;
 }
 
@@ -144,5 +194,32 @@ int main(int argc, char** argv) {
     }
     bench::emit(table, csv);
   }
+
+  // E8c — burstiness sweep at fixed average loss (data 2%, SAT 0.5%).
+  util::Table burst_table(
+      "E8c  GE burstiness sweep, N = 16, 30k slots, fixed avg loss "
+      "(data 2%, SAT 0.5%), 8 seeds",
+      {"bad dwell (offers)", "SAT losses", "MTTD (slots)", "MTTR (slots)",
+       "full rebuilds (mean)", "frames lost", "delivered"});
+  for (const double dwell : {1.0, 4.0, 16.0, 64.0}) {
+    const auto summary = sim::run_replications(
+        replications, 0xE8C,
+        [&](std::uint64_t seed) { return ge_replication(dwell, seed); });
+    if (dwell == 1.0 || dwell == 64.0) {
+      const char* tag = dwell == 1.0 ? "iid" : "dwell64";
+      reporter.metric(std::string("wrt_mttd_") + tag,
+                      metric_mean(summary, "mttd"), "slots");
+      reporter.metric(std::string("wrt_mttr_") + tag,
+                      metric_mean(summary, "mttr"), "slots");
+      reporter.metric(std::string("wrt_sat_losses_") + tag,
+                      metric_mean(summary, "losses"), "losses");
+    }
+    burst_table.add_row(
+        {dwell, pm(summary, "losses"), pm(summary, "mttd"),
+         pm(summary, "mttr"), metric_mean(summary, "rebuilds"),
+         metric_mean(summary, "frames_lost"),
+         metric_mean(summary, "delivered")});
+  }
+  bench::emit(burst_table, csv);
   return 0;
 }

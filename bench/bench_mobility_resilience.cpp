@@ -4,9 +4,15 @@
 // breaks, how fast it heals, and what QoS survives.  The same sweep runs
 // over TPT for contrast — every topology change there costs a full tree
 // rebuild.
+//
+// E14b layers a bursty Gilbert–Elliott channel on top of the mobility: the
+// average data-loss rate is held fixed while the mean bad-state dwell
+// sweeps, so the table isolates how burst *structure* (not loss volume)
+// interacts with a ring that is already healing mobility damage.
 #include "bench/bench_common.hpp"
 
 #include "analysis/bounds.hpp"
+#include "fault/gilbert_elliott.hpp"
 #include "phy/mobility.hpp"
 #include "tpt/engine.hpp"
 #include "wrtring/engine.hpp"
@@ -32,15 +38,22 @@ struct Outcome {
   std::uint64_t rejoins = 0;
   double rt_delivered_ratio = 0.0;  // vs the static baseline
   std::uint64_t rt_delivered = 0;
+  std::uint64_t frames_lost = 0;  // channel + mobility link losses
 };
 
-Outcome run_wrt(double speed) {
+// dwell 0 = clean channel; otherwise a GE channel at fixed average loss
+// (data 3%, SAT 0.3%) whose burstiness is set by the mean bad-state dwell.
+Outcome run_wrt(double speed, double dwell = 0.0) {
   // 18 m radio range in a 40 m room: moderate slack before links break.
   phy::Topology topology(phy::placement::circle(kN, 10.0, {20.0, 20.0}),
                          phy::RadioParams{18.0, 0.0});
   wrtring::Config config;
   config.rap_policy = wrtring::RapPolicy::kRotating;
   config.auto_rejoin = true;
+  if (dwell > 0.0) {
+    config.channel.data = fault::GeParams::bursty(0.03, dwell);
+    config.channel.sat = fault::GeParams::bursty(0.003, dwell);
+  }
   wrtring::Engine engine(&topology, config, 61);
   if (!engine.init().ok()) return {};
   for (NodeId node = 0; node < kN; ++node) {
@@ -70,6 +83,7 @@ Outcome run_wrt(double speed) {
   outcome.rejoins = stats.joins_completed;
   outcome.rt_delivered =
       stats.sink.by_class(TrafficClass::kRealTime).delivered;
+  outcome.frames_lost = stats.frames_lost_link;
   return outcome;
 }
 
@@ -166,5 +180,36 @@ int main(int argc, char** argv) {
              static_cast<double>(tpt_static.rt_delivered)});
   }
   bench::emit(table, csv);
+
+  // E14b — burst-structure sweep under mobility: average loss fixed (data
+  // 3%, SAT 0.3%), mean bad-state dwell swept; dwell 1 is the i.i.d. case.
+  util::Table burst_table(
+      "E14b  GE burstiness under mobility (0.8 m/s, fixed avg loss: "
+      "data 3%, SAT 0.3%)",
+      {"bad dwell (offers)", "SAT losses", "recoveries", "full rebuilds",
+       "rejoins", "frames lost", "RT delivered", "goodput vs clean %"});
+  const Outcome clean = run_wrt(0.8);
+  for (const double dwell : {1.0, 4.0, 16.0, 64.0}) {
+    const Outcome outcome = run_wrt(0.8, dwell);
+    if (dwell == 64.0) {
+      reporter.metric(
+          "wrt_goodput_vs_clean_dwell64",
+          100.0 * static_cast<double>(outcome.rt_delivered) /
+              static_cast<double>(clean.rt_delivered),
+          "percent");
+      reporter.metric("wrt_sat_losses_dwell64",
+                      static_cast<double>(outcome.losses), "losses");
+    }
+    burst_table.add_row(
+        {dwell, static_cast<std::int64_t>(outcome.losses),
+         static_cast<std::int64_t>(outcome.recoveries),
+         static_cast<std::int64_t>(outcome.rebuilds),
+         static_cast<std::int64_t>(outcome.rejoins),
+         static_cast<std::int64_t>(outcome.frames_lost),
+         static_cast<std::int64_t>(outcome.rt_delivered),
+         100.0 * static_cast<double>(outcome.rt_delivered) /
+             static_cast<double>(clean.rt_delivered)});
+  }
+  bench::emit(burst_table, csv);
   return 0;
 }

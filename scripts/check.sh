@@ -10,17 +10,22 @@
 #   scripts/check.sh --bench-smoke  # build only, then run every bench with
 #                                   # --smoke --json-dir and validate the
 #                                   # emitted BENCH_*.json schema
+#   scripts/check.sh --chaos-smoke  # build only, then run the fixed 16-seed
+#                                   # wrt_chaos soak (FaultPlan chaos +
+#                                   # recovery-SLO + invariant audit)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 WITH_ASAN=0
 WITH_LINT=0
 BENCH_SMOKE=0
+CHAOS_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --asan) WITH_ASAN=1 ;;
     --lint) WITH_LINT=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --chaos-smoke) CHAOS_SMOKE=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -49,6 +54,17 @@ if [ "$BENCH_SMOKE" = 1 ]; then
   done
   python3 scripts/validate_bench_json.py "$BENCH_JSON_DIR"
   echo "BENCH SMOKE PASSED"
+  exit 0
+fi
+
+if [ "$CHAOS_SMOKE" = 1 ]; then
+  echo "== chaos smoke: 16-seed fault-plan soak with recovery SLO =="
+  # Fixed seed matrix (1..16, the wrt_chaos default): every run draws a
+  # random FaultPlan from its seed, layers an ambient bursty channel, and
+  # must reconverge within the analytic deadline with a clean invariant
+  # audit.  Deterministic, so a failure here is a real regression.
+  build/tools/wrt_chaos
+  echo "CHAOS SMOKE PASSED"
   exit 0
 fi
 

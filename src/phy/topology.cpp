@@ -51,6 +51,18 @@ void Topology::restore_link(NodeId a, NodeId b) {
   failed_links_.erase(ordered(a, b));
 }
 
+void Topology::set_partition(const std::vector<std::vector<NodeId>>& groups) {
+  // Group 0 is the implicit "everyone else"; named groups start at 1.
+  partition_group_.assign(positions_.size(), 0);
+  std::int32_t id = 1;
+  for (const auto& group : groups) {
+    for (const NodeId node : group) {
+      if (node < partition_group_.size()) partition_group_[node] = id;
+    }
+    ++id;
+  }
+}
+
 double Topology::effective_range(NodeId a, NodeId b) const {
   if (radio_.shadowing_sigma <= 0.0) return radio_.range;
   // Deterministic per-link shadowing: hash the link into a stream so the
@@ -67,6 +79,10 @@ bool Topology::reachable(NodeId a, NodeId b) const {
   if (a >= positions_.size() || b >= positions_.size()) return false;
   if (!alive_[a] || !alive_[b]) return false;
   if (failed_links_.contains(ordered(a, b))) return false;
+  if (!partition_group_.empty() &&
+      partition_group_[a] != partition_group_[b]) {
+    return false;
+  }
   return distance(positions_[a], positions_[b]) <= effective_range(a, b);
 }
 

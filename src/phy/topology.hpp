@@ -52,6 +52,16 @@ class Topology {
   void restore_link(NodeId a, NodeId b);
   void clear_failed_links() { failed_links_.clear(); }
 
+  /// Splits the network into isolated groups (a wall slides in / the
+  /// spectrum is jammed between rooms): nodes in different groups are
+  /// unreachable regardless of distance until clear_partition().  Nodes not
+  /// named in any group share an implicit group of their own.
+  void set_partition(const std::vector<std::vector<NodeId>>& groups);
+  void clear_partition() { partition_group_.clear(); }
+  [[nodiscard]] bool partitioned() const noexcept {
+    return !partition_group_.empty();
+  }
+
   /// True iff a and b can communicate over a single hop right now.
   [[nodiscard]] bool reachable(NodeId a, NodeId b) const;
 
@@ -78,6 +88,7 @@ class Topology {
   std::vector<bool> alive_;
   RadioParams radio_;
   std::set<std::pair<NodeId, NodeId>> failed_links_;
+  std::vector<std::int32_t> partition_group_;  ///< empty = no partition
   std::uint64_t seed_;
 };
 

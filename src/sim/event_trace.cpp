@@ -30,6 +30,10 @@ std::string to_string(EventKind kind) {
       return "join-rejected";
     case EventKind::kLeaveCompleted:
       return "leave-completed";
+    case EventKind::kStationStalled:
+      return "station-stalled";
+    case EventKind::kStationResumed:
+      return "station-resumed";
     case EventKind::kTokenLost:
       return "token-lost";
     case EventKind::kClaimStarted:
@@ -43,8 +47,10 @@ std::string to_string(EventKind kind) {
 }
 
 std::string ProtocolEvent::to_line() const {
-  std::string line =
-      "[" + std::to_string(ticks_to_slots(at)) + "] " + to_string(kind);
+  std::string line = "[";
+  line += std::to_string(ticks_to_slots(at));
+  line += "] ";
+  line += to_string(kind);
   if (station != kInvalidNode) line += " station=" + std::to_string(station);
   if (other != kInvalidNode) line += " other=" + std::to_string(other);
   return line;

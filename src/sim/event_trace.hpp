@@ -30,6 +30,8 @@ enum class EventKind : std::uint8_t {
   kJoinCompleted,
   kJoinRejected,
   kLeaveCompleted,
+  kStationStalled,   // fault plane: wedged (alive but silent)
+  kStationResumed,   // fault plane: un-wedged
   kTokenLost,        // TPT
   kClaimStarted,     // TPT
   kClaimSucceeded,   // TPT

@@ -24,6 +24,10 @@ const char* to_string(JournalKind kind) noexcept {
     case JournalKind::kSatRecDone: return "sat-rec-done";
     case JournalKind::kQueueDepth: return "queue-depth";
     case JournalKind::kSnapshot: return "snapshot";
+    case JournalKind::kStall: return "stall";
+    case JournalKind::kResume: return "resume";
+    case JournalKind::kControlLost: return "control-lost";
+    case JournalKind::kRebuildDrop: return "rebuild-drop";
   }
   return "unknown";
 }

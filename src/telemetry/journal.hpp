@@ -39,6 +39,10 @@ enum class JournalKind : std::uint16_t {
   kSatRecDone,      ///< SAT_REC returned here; ring re-established
   kQueueDepth,      ///< periodic sample (value = packets queued)
   kSnapshot,        ///< periodic registry snapshot taken at this tick
+  kStall,           ///< this station wedged (fault plane)
+  kResume,          ///< this station un-wedged
+  kControlLost,     ///< lost JOIN_REQ/JOIN_ACK (arg = attempt number)
+  kRebuildDrop,     ///< teardown discarded in-flight frames (arg = count)
 };
 
 [[nodiscard]] const char* to_string(JournalKind kind) noexcept;

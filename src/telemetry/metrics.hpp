@@ -39,6 +39,9 @@ enum class CounterId : std::uint16_t {
   kTransitForwards,       ///< frames forwarded in transit
   kDeliveries,            ///< frames absorbed by their destination
   kFramesLost,            ///< frames dropped on a broken/lossy hop
+  kFramesLostRebuild,     ///< in-flight frames discarded by a teardown
+  kControlMsgsLost,       ///< lost NEXT_FREE / JOIN_REQ / JOIN_ACK
+  kJoinRetries,           ///< joiner backoffs after a lost handshake
   kJoins,                 ///< completed join handshakes
   kJoinsRejected,         ///< admission-refused joins
   kLeaves,                ///< completed graceful leaves
@@ -65,6 +68,7 @@ enum class HistogramId : std::uint16_t {
   kQueueDepth,            ///< station queue depth at sample points
   kJoinLatencySlots,      ///< join request -> in ring
   kSatRecSlots,           ///< SAT loss -> SAT restored
+  kSatDetectSlots,        ///< SAT loss -> SAT_TIMER detection (MTTD)
   kSpanNanos,             ///< WRT_SPAN wall-clock durations (cold paths)
   kCount_,                ///< sentinel — number of histograms
 };

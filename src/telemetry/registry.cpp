@@ -16,6 +16,9 @@ const char* counter_name(CounterId id) noexcept {
     case CounterId::kTransitForwards: return "transit_forwards";
     case CounterId::kDeliveries: return "deliveries";
     case CounterId::kFramesLost: return "frames_lost";
+    case CounterId::kFramesLostRebuild: return "frames_lost_rebuild";
+    case CounterId::kControlMsgsLost: return "control_msgs_lost";
+    case CounterId::kJoinRetries: return "join_retries";
     case CounterId::kJoins: return "joins";
     case CounterId::kJoinsRejected: return "joins_rejected";
     case CounterId::kLeaves: return "leaves";
@@ -43,6 +46,7 @@ const char* histogram_name(HistogramId id) noexcept {
     case HistogramId::kQueueDepth: return "queue_depth";
     case HistogramId::kJoinLatencySlots: return "join_latency_slots";
     case HistogramId::kSatRecSlots: return "sat_rec_slots";
+    case HistogramId::kSatDetectSlots: return "sat_detect_slots";
     case HistogramId::kSpanNanos: return "span_nanos";
     case HistogramId::kCount_: break;
   }
@@ -59,6 +63,9 @@ HistogramLayout histogram_layout(HistogramId id) noexcept {
     case HistogramId::kQueueDepth: return {0.0, 2.0, 64};
     case HistogramId::kJoinLatencySlots: return {0.0, 64.0, 64};
     case HistogramId::kSatRecSlots: return {0.0, 32.0, 64};
+    // Detection latency is bounded by SAT_TIME (Theorem 1); finer buckets
+    // than kSatRecSlots since MTTD excludes the rebuild tail.
+    case HistogramId::kSatDetectSlots: return {0.0, 16.0, 64};
     // Wall-clock spans: 1us buckets up to 64us; slower spans overflow.
     case HistogramId::kSpanNanos: return {0.0, 1000.0, 64};
     case HistogramId::kCount_: break;

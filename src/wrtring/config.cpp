@@ -33,9 +33,22 @@ util::Status Config::validate() const {
     }
   }
   if (frame_loss_prob < 0.0 || frame_loss_prob >= 1.0 ||
-      sat_loss_prob < 0.0 || sat_loss_prob >= 1.0) {
+      sat_loss_prob < 0.0 || sat_loss_prob >= 1.0 ||
+      control_loss_prob < 0.0 || control_loss_prob >= 1.0) {
     return util::Error::invalid_argument(
         "loss probabilities must be in [0, 1)");
+  }
+  if (const auto status = channel.validate(); !status.ok()) return status;
+  if (join_backoff_base_slots < 1) {
+    return util::Error::invalid_argument(
+        "join_backoff_base_slots must be >= 1");
+  }
+  if (join_backoff_exp_cap > 30) {
+    return util::Error::invalid_argument(
+        "join_backoff_exp_cap must be <= 30 (shift overflow)");
+  }
+  if (join_max_attempts < 1) {
+    return util::Error::invalid_argument("join_max_attempts must be >= 1");
   }
   if (auto_rejoin && rap_policy == RapPolicy::kDisabled) {
     return util::Error::invalid_argument(

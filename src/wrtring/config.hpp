@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/gilbert_elliott.hpp"
 #include "util/result.hpp"
 #include "util/types.hpp"
 
@@ -69,12 +70,33 @@ struct Config {
   bool cdma_fidelity = false;
 
   /// Channel imperfection injection: independent per-hop loss probability
-  /// for data frames and for the SAT control signal.  A lost SAT triggers
-  /// the full Section-2.5 machinery (detection, SAT_REC, cut-out), so this
-  /// models the "control signal can be frequently lost" wireless regime
-  /// the Section-3.3 reaction-time comparison worries about.
+  /// for data frames, the SAT control signal, and join-handshake control
+  /// messages.  A lost SAT triggers the full Section-2.5 machinery
+  /// (detection, SAT_REC, cut-out), so this models the "control signal can
+  /// be frequently lost" wireless regime the Section-3.3 reaction-time
+  /// comparison worries about.  These scalars are the degenerate i.i.d.
+  /// form of `channel` below: each is folded into the corresponding
+  /// Gilbert–Elliott process when that process is not itself configured.
   double frame_loss_prob = 0.0;
   double sat_loss_prob = 0.0;
+  double control_loss_prob = 0.0;
+
+  /// Bursty per-link loss (src/fault/): the default channel imperfection
+  /// model.  Every (purpose, directed link) pair runs an independent
+  /// seeded Gilbert–Elliott chain, so losses are correlated in time but
+  /// independent across links and purposes — and zero draws happen when
+  /// every process is disabled (the digest-preservation contract).
+  fault::ChannelConfig channel;
+
+  /// Lossy-join retry policy (Section 2.4.1 under loss).  A joiner whose
+  /// JOIN_REQ or JOIN_ACK is lost observes a RAP round with no acknowledged
+  /// insertion and backs off: it ignores NEXT_FREE broadcasts for
+  /// base << min(attempt-1, exp_cap) slots, then listens again with a
+  /// cleared NEXT_FREE table.  After `join_max_attempts` lost messages the
+  /// join is abandoned cleanly (nothing half-inserted, RAP_mutex free).
+  std::int64_t join_backoff_base_slots = 8;
+  std::uint32_t join_backoff_exp_cap = 6;
+  std::uint32_t join_max_attempts = 10;
 
   /// A healthy station cut out by a spurious SAT_REC (the paper blames the
   /// detector's predecessor, which may be innocent after a transient loss)

@@ -21,10 +21,7 @@ bool sorted_contains(const std::vector<NodeId>& sorted, NodeId node) {
 }  // namespace
 
 Engine::Engine(phy::Topology* topology, Config config, std::uint64_t seed)
-    : topology_(topology),
-      config_(std::move(config)),
-      seed_(seed),
-      loss_rng_(seed, 0x1055) {
+    : topology_(topology), config_(std::move(config)), seed_(seed) {
   assert(topology_ != nullptr);
   assert(config_.hop_latency_slots >= 1);
 }
@@ -32,6 +29,23 @@ Engine::Engine(phy::Topology* topology, Config config, std::uint64_t seed)
 util::Status Engine::init() {
   assert(!initialised_);
   if (const auto valid = config_.validate(); !valid.ok()) return valid;
+
+  // Channel model: the scalar i.i.d. knobs are the degenerate form of the
+  // per-link Gilbert–Elliott field; each folds in only when the richer
+  // process for that purpose is not configured.  With everything disabled
+  // the field makes zero RNG draws — behaviour is bit-identical to a build
+  // without the fault plane.
+  fault::ChannelConfig channel = config_.channel;
+  if (!channel.data.enabled() && config_.frame_loss_prob > 0.0) {
+    channel.data = fault::GeParams::iid(config_.frame_loss_prob);
+  }
+  if (!channel.sat.enabled() && config_.sat_loss_prob > 0.0) {
+    channel.sat = fault::GeParams::iid(config_.sat_loss_prob);
+  }
+  if (!channel.control.enabled() && config_.control_loss_prob > 0.0) {
+    channel.control = fault::GeParams::iid(config_.control_loss_prob);
+  }
+  link_loss_.configure(channel, seed_);
   auto ring_result =
       config_.members.empty()
           ? ring::build_ring(*topology_)
@@ -403,7 +417,7 @@ void Engine::data_plane_step() {
     LinkFrame frame = std::move(link.front());
     link.pop_front();
     const NodeId here = order[p];
-    if (!topology_->alive(here)) {
+    if (!station_active(here)) {
       ++stats_.frames_lost_link;
       continue;
     }
@@ -440,7 +454,7 @@ void Engine::data_plane_step() {
       transit_regs_[p].busy = false;
       ++stats_.transit_forwards;
       ++transit_now;
-    } else if (injection_allowed && topology_->alive(sender)) {
+    } else if (injection_allowed && station_active(sender)) {
       Station& station = stations_[p];
       if (const auto cls = station.eligible_class()) {
         traffic::Packet packet = station.take_for_transmit(*cls);
@@ -471,8 +485,7 @@ void Engine::data_plane_step() {
       WRT_BATCH_COUNT(telem_batch_, kFramesLost);
       continue;
     }
-    if (config_.frame_loss_prob > 0.0 &&
-        loss_rng_.bernoulli(config_.frame_loss_prob)) {
+    if (link_loss_.offer(fault::LossPurpose::kData, sender, receiver)) {
       ++stats_.frames_lost_link;
       WRT_BATCH_COUNT(telem_batch_, kFramesLost);
       continue;
@@ -543,7 +556,7 @@ void Engine::record_rotation(std::size_t position, Tick arrival) {
 
 void Engine::sat_arrive(NodeId at) {
   const std::int32_t position32 = station_position(at);
-  if (position32 < 0 || !topology_->alive(at)) {
+  if (position32 < 0 || !station_active(at)) {
     // Arrived at a station that just vanished: the signal is lost here.
     sat_state_ = SatState::kLost;
     if (sat_lost_at_ == kNeverTick) sat_lost_at_ = now_;
@@ -663,7 +676,7 @@ void Engine::sat_release(NodeId from) {
     notify_audit(sat_.graceful_leave ? "leave" : "cut-out");
     // A healthy station cut out by a spurious SAT_REC re-enters through the
     // normal join procedure when configured to.
-    if (config_.auto_rejoin && topology_->alive(failed) &&
+    if (config_.auto_rejoin && station_active(failed) &&
         config_.rap_policy != RapPolicy::kDisabled) {
       PendingJoin rejoin;
       rejoin.quota = failed_quota;
@@ -680,8 +693,7 @@ void Engine::sat_release(NodeId from) {
     return;
   }
   if (!topology_->reachable(from, target) ||
-      (config_.sat_loss_prob > 0.0 &&
-       loss_rng_.bernoulli(config_.sat_loss_prob))) {
+      link_loss_.offer(fault::LossPurpose::kSat, from, target)) {
     sat_state_ = SatState::kLost;
     if (sat_lost_at_ == kNeverTick) sat_lost_at_ = now_;
     trace_.record(sim::EventKind::kSatLost, now_, from, target);
@@ -705,7 +717,7 @@ void Engine::sat_plane_step() {
       const NodeId holder = sat_location_;
       if (in_rap() && holder == rap_ingress_) break;  // held for the RAP
       const std::int32_t position = station_position(holder);
-      if (position < 0 || !topology_->alive(holder)) {
+      if (position < 0 || !station_active(holder)) {
         sat_state_ = SatState::kLost;
         if (sat_lost_at_ == kNeverTick) sat_lost_at_ = now_;
         break;
@@ -751,7 +763,9 @@ void Engine::check_sat_timers() {
   Tick earliest = kNeverTick;
   for (std::size_t p = 0; p < order.size(); ++p) {
     const NodeId node = order[p];
-    if (!topology_->alive(node)) continue;
+    // A wedged station's timer process is wedged with it — only active
+    // stations can detect the loss.
+    if (!station_active(node)) continue;
     const Tick expiry = control_[p].last_sat_arrival + timeout_ticks;
     if (now_ > expiry &&
         (expiry < earliest || (expiry == earliest && node < detector))) {
@@ -772,6 +786,7 @@ void Engine::start_recovery(NodeId detector) {
   if (sat_lost_at_ != kNeverTick) {
     stats_.sat_loss_detection_slots.add(
         ticks_to_slots_real(now_ - sat_lost_at_));
+    WRT_OBSERVE(kSatDetectSlots, ticks_to_slots(now_ - sat_lost_at_));
   }
   util::log(util::LogLevel::kInfo,
             "WRT-Ring: SAT loss detected by station " +
@@ -794,9 +809,20 @@ void Engine::start_recovery(NodeId detector) {
 }
 
 void Engine::drop_in_flight_frames() {
-  for (auto& link : links_) {
-    stats_.frames_lost_link += link.size();
-    WRT_COUNT_N(kFramesLost, link.size());
+  // Frames abandoned by a ring teardown are a different casualty class than
+  // channel losses: they indict the recovery path, not the link quality.
+  std::size_t dropped = 0;
+  for (auto& link : links_) dropped += link.size();
+  for (auto& reg : transit_regs_) {
+    if (reg.busy) ++dropped;
+  }
+  if (dropped > 0) {
+    stats_.frames_lost_rebuild += dropped;
+    WRT_COUNT_N(kFramesLostRebuild, dropped);
+    if (ring_.size() > 0) {
+      journal_record(ring_.station_at(0), telemetry::JournalKind::kRebuildDrop,
+                     static_cast<NodeId>(dropped));
+    }
   }
   reset_data_plane();
 }
@@ -967,6 +993,18 @@ util::Status Engine::check_invariants() const {
     return util::Error::protocol_violation(
         "more deliveries than transmissions");
   }
+  // Frame conservation: every injected frame is delivered, lost on a hop,
+  // discarded by a teardown, purged as stale, or still in flight.  A leak
+  // here means some fault path dropped frames without accounting for them.
+  const std::uint64_t accounted =
+      stats_.sink.total_delivered() + stats_.frames_lost_link +
+      stats_.frames_lost_rebuild + stats_.frames_dropped_stale +
+      frames_in_flight();
+  if (accounted != stats_.data_transmissions) {
+    return util::Error::protocol_violation(
+        "frame accounting leak: " + std::to_string(stats_.data_transmissions) +
+        " transmitted vs " + std::to_string(accounted) + " accounted");
+  }
   return util::Status::success();
 }
 
@@ -1019,6 +1057,69 @@ void Engine::kill_station(NodeId node) {
   }
 }
 
+void Engine::stall_station(NodeId node) {
+  if (node >= stalled_.size()) {
+    stalled_.resize(static_cast<std::size_t>(node) + 1, 0);
+  }
+  if (stalled_[node] != 0) return;
+  stalled_[node] = 1;
+  journal_record(node, telemetry::JournalKind::kStall);
+  trace_.record(sim::EventKind::kStationStalled, now_, node);
+  // A wedged holder takes the SAT down with it, exactly like a crash —
+  // except the station is still topologically present and may come back.
+  if (sat_location_ == node &&
+      (sat_state_ == SatState::kHeld || sat_state_ == SatState::kInTransit)) {
+    sat_state_ = SatState::kLost;
+    sat_lost_at_ = now_;
+  }
+}
+
+void Engine::resume_station(NodeId node) {
+  if (!station_stalled(node)) return;
+  stalled_[node] = 0;
+  journal_record(node, telemetry::JournalKind::kResume);
+  trace_.record(sim::EventKind::kStationResumed, now_, node);
+  const std::int32_t position = station_position(node);
+  if (position >= 0) {
+    // Still a member: its SAT_TIMER slept through the wedge and would fire
+    // immediately on wake; restart it instead of spuriously starting a
+    // recovery against a healthy ring.
+    control_[static_cast<std::size_t>(position)].last_sat_arrival = now_;
+  } else if (config_.auto_rejoin && topology_->alive(node) &&
+             config_.rap_policy != RapPolicy::kDisabled) {
+    // The ring cut it out while it was wedged; re-enter via Section 2.4.1.
+    PendingJoin rejoin;
+    rejoin.quota = config_.default_quota;
+    rejoin.requested_at = now_;
+    pending_joins_[node] = std::move(rejoin);
+  }
+}
+
+void Engine::degrade_link(NodeId a, NodeId b, const fault::GeParams& params) {
+  for (std::size_t i = 0; i < fault::kLossPurposeCount; ++i) {
+    const auto purpose = static_cast<fault::LossPurpose>(i);
+    link_loss_.set_link_params(purpose, a, b, params);
+    link_loss_.set_link_params(purpose, b, a, params);
+  }
+}
+
+void Engine::heal_link(NodeId a, NodeId b) {
+  for (std::size_t i = 0; i < fault::kLossPurposeCount; ++i) {
+    const auto purpose = static_cast<fault::LossPurpose>(i);
+    link_loss_.clear_link_params(purpose, a, b);
+    link_loss_.clear_link_params(purpose, b, a);
+  }
+}
+
+std::uint64_t Engine::frames_in_flight() const noexcept {
+  std::uint64_t in_flight = 0;
+  for (const auto& link : links_) in_flight += link.size();
+  for (const auto& reg : transit_regs_) {
+    if (reg.busy) ++in_flight;
+  }
+  return in_flight;
+}
+
 void Engine::begin_rap(NodeId ingress) {
   ++stats_.raps_started;
   WRT_COUNT(kRapsStarted);
@@ -1035,6 +1136,10 @@ void Engine::begin_rap(NodeId ingress) {
   // Slot 0 of the earing phase: the ingress broadcasts NEXT_FREE with its
   // own address/code and its successor's (Section 2.4.1).
   const NodeId announced_next = ring_.successor(ingress);
+  // One-shot fault: the broadcast itself dies and every listener misses this
+  // round.  No backoff — a joiner cannot tell a lost NEXT_FREE from an
+  // ingress that simply is not RAPing yet.
+  const bool next_free_dropped = take_control_drop(ControlMsg::kNextFree);
   std::vector<NodeId> repliers;
   for (auto it = pending_joins_.begin(); it != pending_joins_.end();) {
     // A pending joiner that re-entered through a ring re-formation no
@@ -1046,8 +1151,16 @@ void Engine::begin_rap(NodeId ingress) {
     }
   }
   for (auto& [joiner, join] : pending_joins_) {
-    if (!topology_->alive(joiner) ||
+    if (!station_active(joiner) ||
         !topology_->reachable(ingress, joiner)) {
+      continue;
+    }
+    // A joiner backing off after a lost handshake is not listening yet.
+    if (now_ < join.backoff_until) continue;
+    if (next_free_dropped ||
+        link_loss_.offer(fault::LossPurpose::kControl, ingress, joiner)) {
+      ++stats_.control_messages_lost;
+      WRT_COUNT(kControlMsgsLost);
       continue;
     }
     // "When the station receives another NEXT_FREE message from the same
@@ -1078,6 +1191,17 @@ void Engine::begin_rap(NodeId ingress) {
 
   const NodeId joiner = repliers.front();
   auto& join = pending_joins_.at(joiner);
+  // Earing slot 1: the JOIN_REQ travels joiner -> ingress and can be lost.
+  // The RAP then simply ends empty — the mutex is freed when the SAT
+  // completes its round as usual, nothing is half-inserted — and the joiner,
+  // seeing no acknowledged insertion, backs off before listening again.
+  if (take_control_drop(ControlMsg::kJoinReq) ||
+      link_loss_.offer(fault::LossPurpose::kControl, joiner, ingress)) {
+    ++stats_.control_messages_lost;
+    WRT_COUNT(kControlMsgsLost);
+    register_join_backoff(joiner);
+    return;
+  }
   // Slot 2: admission check + JOIN_ACK on code(ingress).
   if (!admission_allows(join.quota)) {
     ++stats_.joins_rejected;
@@ -1086,7 +1210,43 @@ void Engine::begin_rap(NodeId ingress) {
     pending_joins_.erase(joiner);
     return;
   }
+  // The JOIN_ACK travels ingress -> joiner and can die too.  The update
+  // phase only ever runs for an acknowledged joiner, so a lost ACK leaves
+  // the ring untouched; the joiner retries like a lost JOIN_REQ.
+  if (take_control_drop(ControlMsg::kJoinAck) ||
+      link_loss_.offer(fault::LossPurpose::kControl, ingress, joiner)) {
+    ++stats_.control_messages_lost;
+    WRT_COUNT(kControlMsgsLost);
+    register_join_backoff(joiner);
+    return;
+  }
   rap_accepted_joiner_ = joiner;
+}
+
+void Engine::register_join_backoff(NodeId joiner) {
+  const auto it = pending_joins_.find(joiner);
+  if (it == pending_joins_.end()) return;
+  PendingJoin& join = it->second;
+  ++join.attempts;
+  ++stats_.join_retries;
+  WRT_COUNT(kJoinRetries);
+  journal_record(joiner, telemetry::JournalKind::kControlLost, join.attempts);
+  if (join.attempts >= config_.join_max_attempts) {
+    ++stats_.joins_abandoned;
+    trace_.record(sim::EventKind::kJoinRejected, now_, joiner, rap_ingress_);
+    pending_joins_.erase(it);
+    return;
+  }
+  const std::uint32_t exponent =
+      std::min(join.attempts - 1, config_.join_backoff_exp_cap);
+  join.backoff_until =
+      now_ +
+      slots_to_ticks(config_.join_backoff_base_slots << exponent);
+  // The ring may look completely different by the time the backoff expires;
+  // restart the NEXT_FREE table from scratch.
+  join.heard.clear();
+  join.table_complete = false;
+  join.chosen_ingress = kInvalidNode;
 }
 
 void Engine::rap_step() {

@@ -73,7 +73,15 @@ struct EngineStats {
   std::uint64_t data_transmissions = 0;  ///< local injections
   std::uint64_t transit_forwards = 0;
   std::uint64_t frames_lost_link = 0;    ///< frames dropped on a broken hop
+  /// In-flight frames discarded when a re-formation (join update phase,
+  /// cut-out, ring rebuild) resets the data plane — kept apart from
+  /// frames_lost_link so link-quality metrics aren't inflated by
+  /// membership churn.
+  std::uint64_t frames_lost_rebuild = 0;
   std::uint64_t frames_dropped_stale = 0;///< destination left the ring
+  std::uint64_t control_messages_lost = 0;  ///< NEXT_FREE/JOIN_REQ/JOIN_ACK
+  std::uint64_t join_retries = 0;        ///< backoffs after a lost handshake
+  std::uint64_t joins_abandoned = 0;     ///< gave up after max attempts
   std::uint64_t sat_losses_detected = 0;
   std::uint64_t sat_recoveries = 0;      ///< successful SAT_REC cut-outs
   std::uint64_t ring_rebuilds = 0;
@@ -161,8 +169,41 @@ class Engine final {
   /// everything; detection happens via SAT_TIMER (Section 2.5).
   void kill_station(NodeId node);
 
+  /// Wedges a station (hung process, stuck radio): unlike kill_station it
+  /// stays alive in the topology but forwards neither frames nor the SAT,
+  /// so the ring sees the same symptoms as a crash — until resume_station.
+  void stall_station(NodeId node);
+
+  /// Un-wedges a stalled station.  If the ring cut it out in the meantime
+  /// and auto_rejoin is on, it re-enters through the normal join procedure.
+  void resume_station(NodeId node);
+  [[nodiscard]] bool station_stalled(NodeId node) const noexcept {
+    return node < stalled_.size() && stalled_[node] != 0;
+  }
+
   /// Drops the SAT the next time it crosses a link (transient control loss).
   void drop_sat_once() noexcept { drop_sat_pending_ = true; }
+
+  /// Join-handshake messages (Section 2.4.1) that the fault plane can kill.
+  enum class ControlMsg : std::uint8_t {
+    kNextFree = 0,
+    kJoinReq = 1,
+    kJoinAck = 2,
+  };
+
+  /// Drops the next transmission of the given handshake message (one-shot,
+  /// like drop_sat_once).  The affected joiner backs off and retries.
+  void drop_control_once(ControlMsg which) noexcept {
+    drop_control_pending_[static_cast<std::size_t>(which)] = true;
+  }
+
+  /// Overrides the Gilbert–Elliott loss process on the (undirected) link
+  /// a <-> b for every purpose — data frames, SAT hops, and control
+  /// messages all degrade together, as a fading radio link would.
+  void degrade_link(NodeId a, NodeId b, const fault::GeParams& params);
+
+  /// Removes a degrade_link override; the link reverts to channel defaults.
+  void heal_link(NodeId a, NodeId b);
 
   // -- observers ------------------------------------------------------------
 
@@ -247,9 +288,16 @@ class Engine final {
   /// evaluation; Journal::set_meta + save make a self-contained artifact.
   [[nodiscard]] telemetry::RingMeta journal_meta() const;
 
+  /// Frames currently travelling ring links (plus any busy transit
+  /// register).  Closes the accounting identity the chaos soak asserts:
+  /// data_transmissions == delivered + frames_lost_link +
+  /// frames_lost_rebuild + frames_dropped_stale + frames_in_flight().
+  [[nodiscard]] std::uint64_t frames_in_flight() const noexcept;
+
   /// Internal-consistency audit (counters within quotas, ring/link/station
-  /// structures aligned, SAT state coherent).  Returns the first violation
-  /// found; tests and the monkey harness call this between steps.
+  /// structures aligned, SAT state coherent, frame accounting leak-free).
+  /// Returns the first violation found; tests and the monkey harness call
+  /// this between steps.
   [[nodiscard]] util::Status check_invariants() const;
 
   /// External audit hook (see check::InvariantAuditor).  Invoked with an
@@ -330,6 +378,10 @@ class Engine final {
     util::FlatMap<NodeId, NodeId> heard;
     NodeId chosen_ingress = kInvalidNode;
     bool table_complete = false;
+    // Lossy-handshake retry state: `attempts` counts lost JOIN_REQ/ACK
+    // exchanges; until `backoff_until` the joiner ignores NEXT_FREE.
+    std::uint32_t attempts = 0;
+    Tick backoff_until = 0;
   };
 
   struct PerStationControl {
@@ -373,6 +425,22 @@ class Engine final {
   void maybe_sample_queues();
   void maybe_periodic_audit();
   void drop_in_flight_frames();
+  /// Alive in the topology and not wedged — the liveness test every plane
+  /// applies (a stalled station is present but silent).
+  [[nodiscard]] bool station_active(NodeId node) const noexcept {
+    return topology_->alive(node) &&
+           (node >= stalled_.size() || stalled_[node] == 0);
+  }
+  /// Consumes a one-shot drop_control_once flag.
+  [[nodiscard]] bool take_control_drop(ControlMsg which) noexcept {
+    bool& flag = drop_control_pending_[static_cast<std::size_t>(which)];
+    const bool armed = flag;
+    flag = false;
+    return armed;
+  }
+  /// Lost JOIN_REQ/JOIN_ACK bookkeeping: bump the retry counter, enter
+  /// exponential backoff, abandon cleanly past the attempt budget.
+  void register_join_backoff(NodeId joiner);
   [[nodiscard]] std::int64_t effective_sat_timeout(NodeId node) const;
   [[nodiscard]] Quota quota_for_position(std::size_t position) const;
   void record_rotation(std::size_t position, Tick arrival);
@@ -470,9 +538,12 @@ class Engine final {
   std::vector<BoundTrace> traces_;
   std::vector<traffic::Packet> arrival_scratch_;
 
-  // Fault injection.
+  // Fault plane.  link_loss_ owns every loss draw (per purpose, per
+  // directed link); stalled_ is indexed by NodeId and grown on demand.
   bool drop_sat_pending_ = false;
-  util::RngStream loss_rng_;
+  bool drop_control_pending_[3] = {false, false, false};
+  fault::LinkLossField link_loss_;
+  std::vector<std::uint8_t> stalled_;
 
   // Admission.
   std::int64_t max_sat_time_goal_ = 0;

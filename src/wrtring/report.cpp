@@ -86,6 +86,18 @@ util::Table resilience_report(const Engine& engine) {
                      : 0.0});
   table.add_row({std::string("joins rejected"),
                  static_cast<std::int64_t>(stats.joins_rejected), 0.0, 0.0});
+  table.add_row({std::string("control messages lost"),
+                 static_cast<std::int64_t>(stats.control_messages_lost), 0.0,
+                 0.0});
+  table.add_row({std::string("join retries (backoff)"),
+                 static_cast<std::int64_t>(stats.join_retries), 0.0, 0.0});
+  table.add_row({std::string("joins abandoned"),
+                 static_cast<std::int64_t>(stats.joins_abandoned), 0.0, 0.0});
+  table.add_row({std::string("frames lost (links)"),
+                 static_cast<std::int64_t>(stats.frames_lost_link), 0.0, 0.0});
+  table.add_row({std::string("frames lost (teardowns)"),
+                 static_cast<std::int64_t>(stats.frames_lost_rebuild), 0.0,
+                 0.0});
   table.add_row({std::string("graceful leaves"),
                  static_cast<std::int64_t>(stats.leaves_completed), 0.0,
                  0.0});

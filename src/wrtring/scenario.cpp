@@ -5,46 +5,203 @@
 namespace wrt::wrtring {
 
 Scenario& Scenario::join_at(std::int64_t slot, NodeId node, Quota quota) {
-  actions_.push_back({slot, Action::Kind::kJoin, node, kInvalidNode, quota,
-                      "join request station " + std::to_string(node)});
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kJoin;
+  action.a = node;
+  action.quota = quota;
+  action.label = "join request station " + std::to_string(node);
+  actions_.push_back(std::move(action));
   return *this;
 }
 
 Scenario& Scenario::leave_at(std::int64_t slot, NodeId node) {
-  actions_.push_back({slot, Action::Kind::kLeave, node, kInvalidNode, {},
-                      "graceful leave station " + std::to_string(node)});
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kLeave;
+  action.a = node;
+  action.label = "graceful leave station " + std::to_string(node);
+  actions_.push_back(std::move(action));
   return *this;
 }
 
 Scenario& Scenario::kill_at(std::int64_t slot, NodeId node) {
-  actions_.push_back({slot, Action::Kind::kKill, node, kInvalidNode, {},
-                      "kill station " + std::to_string(node)});
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kKill;
+  action.a = node;
+  action.label = "kill station " + std::to_string(node);
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
+Scenario& Scenario::stall_at(std::int64_t slot, NodeId node) {
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kStall;
+  action.a = node;
+  action.label = "stall station " + std::to_string(node);
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
+Scenario& Scenario::resume_at(std::int64_t slot, NodeId node) {
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kResume;
+  action.a = node;
+  action.label = "resume station " + std::to_string(node);
+  actions_.push_back(std::move(action));
   return *this;
 }
 
 Scenario& Scenario::drop_sat_at(std::int64_t slot) {
-  actions_.push_back({slot, Action::Kind::kDropSat, kInvalidNode,
-                      kInvalidNode, {}, "drop SAT"});
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kDropSat;
+  action.label = "drop SAT";
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
+Scenario& Scenario::drop_control_at(std::int64_t slot,
+                                    Engine::ControlMsg which) {
+  static const char* kNames[] = {"NEXT_FREE", "JOIN_REQ", "JOIN_ACK"};
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kDropControl;
+  action.control_msg = which;
+  action.label =
+      std::string("drop ") + kNames[static_cast<std::size_t>(which)];
+  actions_.push_back(std::move(action));
   return *this;
 }
 
 Scenario& Scenario::fail_link_at(std::int64_t slot, NodeId a, NodeId b) {
-  actions_.push_back({slot, Action::Kind::kFailLink, a, b, {},
-                      "fail link " + std::to_string(a) + "-" +
-                          std::to_string(b)});
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kFailLink;
+  action.a = a;
+  action.b = b;
+  action.label =
+      "fail link " + std::to_string(a) + "-" + std::to_string(b);
+  actions_.push_back(std::move(action));
   return *this;
 }
 
 Scenario& Scenario::restore_link_at(std::int64_t slot, NodeId a, NodeId b) {
-  actions_.push_back({slot, Action::Kind::kRestoreLink, a, b, {},
-                      "restore link " + std::to_string(a) + "-" +
-                          std::to_string(b)});
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kRestoreLink;
+  action.a = a;
+  action.b = b;
+  action.label =
+      "restore link " + std::to_string(a) + "-" + std::to_string(b);
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
+Scenario& Scenario::degrade_link_at(std::int64_t slot, NodeId a, NodeId b,
+                                    const fault::GeParams& params) {
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kDegradeLink;
+  action.a = a;
+  action.b = b;
+  action.ge = params;
+  action.label =
+      "degrade link " + std::to_string(a) + "-" + std::to_string(b);
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
+Scenario& Scenario::heal_link_at(std::int64_t slot, NodeId a, NodeId b) {
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kHealLink;
+  action.a = a;
+  action.b = b;
+  action.label =
+      "heal link " + std::to_string(a) + "-" + std::to_string(b);
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
+Scenario& Scenario::partition_at(std::int64_t slot,
+                                 std::vector<std::vector<NodeId>> groups) {
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kPartition;
+  action.groups = std::move(groups);
+  action.label =
+      "partition into " + std::to_string(action.groups.size()) + " groups";
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
+Scenario& Scenario::heal_partition_at(std::int64_t slot) {
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kHealPartition;
+  action.label = "heal partition";
+  actions_.push_back(std::move(action));
   return *this;
 }
 
 Scenario& Scenario::mark_at(std::int64_t slot, std::string label) {
-  actions_.push_back({slot, Action::Kind::kMark, kInvalidNode, kInvalidNode,
-                      {}, std::move(label)});
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kMark;
+  action.label = std::move(label);
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
+Scenario& Scenario::apply_plan(const fault::FaultPlan& plan) {
+  for (const fault::FaultEvent& event : plan.events) {
+    switch (event.kind) {
+      case fault::FaultKind::kCrash:
+        kill_at(event.slot, event.a);
+        break;
+      case fault::FaultKind::kStall:
+        stall_at(event.slot, event.a);
+        break;
+      case fault::FaultKind::kResume:
+        resume_at(event.slot, event.a);
+        break;
+      case fault::FaultKind::kLeave:
+        leave_at(event.slot, event.a);
+        break;
+      case fault::FaultKind::kLinkDegrade:
+        degrade_link_at(event.slot, event.a, event.b, event.ge);
+        break;
+      case fault::FaultKind::kLinkBreak:
+        fail_link_at(event.slot, event.a, event.b);
+        break;
+      case fault::FaultKind::kLinkHeal:
+        heal_link_at(event.slot, event.a, event.b);
+        break;
+      case fault::FaultKind::kPartition:
+        partition_at(event.slot, event.groups);
+        break;
+      case fault::FaultKind::kHealPartition:
+        heal_partition_at(event.slot);
+        break;
+      case fault::FaultKind::kDropSat:
+        drop_sat_at(event.slot);
+        break;
+      case fault::FaultKind::kDropControl:
+        drop_control_at(event.slot,
+                        static_cast<Engine::ControlMsg>(event.control_msg));
+        break;
+      case fault::FaultKind::kJoin:
+        join_at(event.slot, event.a, event.quota);
+        break;
+      case fault::FaultKind::kMark:
+        mark_at(event.slot, event.label);
+        break;
+    }
+  }
   return *this;
 }
 
@@ -72,6 +229,9 @@ std::vector<Scenario::LogEntry> Scenario::run(
       const Action& action = actions_[next_action];
       switch (action.kind) {
         case Action::Kind::kJoin:
+          // A scripted join means the station has arrived / powered on;
+          // chaos plans park joiner candidates as dead nodes until then.
+          topology.set_alive(action.a, true);
           engine.request_join(action.a, action.quota);
           break;
         case Action::Kind::kLeave: {
@@ -84,14 +244,38 @@ std::vector<Scenario::LogEntry> Scenario::run(
         case Action::Kind::kKill:
           engine.kill_station(action.a);
           break;
+        case Action::Kind::kStall:
+          engine.stall_station(action.a);
+          break;
+        case Action::Kind::kResume:
+          engine.resume_station(action.a);
+          break;
         case Action::Kind::kDropSat:
           engine.drop_sat_once();
+          break;
+        case Action::Kind::kDropControl:
+          engine.drop_control_once(action.control_msg);
           break;
         case Action::Kind::kFailLink:
           topology.fail_link(action.a, action.b);
           break;
         case Action::Kind::kRestoreLink:
           topology.restore_link(action.a, action.b);
+          break;
+        case Action::Kind::kDegradeLink:
+          engine.degrade_link(action.a, action.b, action.ge);
+          break;
+        case Action::Kind::kHealLink:
+          // A FaultPlan's link-heal undoes whichever hit the link: the GE
+          // override, the hard break, or both.
+          engine.heal_link(action.a, action.b);
+          topology.restore_link(action.a, action.b);
+          break;
+        case Action::Kind::kPartition:
+          topology.set_partition(action.groups);
+          break;
+        case Action::Kind::kHealPartition:
+          topology.clear_partition();
           break;
         case Action::Kind::kMark:
           break;

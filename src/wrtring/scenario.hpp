@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "phy/mobility.hpp"
 #include "wrtring/engine.hpp"
 
@@ -21,11 +22,26 @@ class Scenario {
   Scenario& join_at(std::int64_t slot, NodeId node, Quota quota);
   Scenario& leave_at(std::int64_t slot, NodeId node);
   Scenario& kill_at(std::int64_t slot, NodeId node);
+  Scenario& stall_at(std::int64_t slot, NodeId node);
+  Scenario& resume_at(std::int64_t slot, NodeId node);
   Scenario& drop_sat_at(std::int64_t slot);
+  Scenario& drop_control_at(std::int64_t slot, Engine::ControlMsg which);
   Scenario& fail_link_at(std::int64_t slot, NodeId a, NodeId b);
   Scenario& restore_link_at(std::int64_t slot, NodeId a, NodeId b);
+  /// Gilbert–Elliott override on link a <-> b (all purposes).
+  Scenario& degrade_link_at(std::int64_t slot, NodeId a, NodeId b,
+                            const fault::GeParams& params);
+  /// Undoes both degrade_link_at and fail_link_at on the link.
+  Scenario& heal_link_at(std::int64_t slot, NodeId a, NodeId b);
+  Scenario& partition_at(std::int64_t slot,
+                         std::vector<std::vector<NodeId>> groups);
+  Scenario& heal_partition_at(std::int64_t slot);
   /// Free-form marker copied into the log (phase labels).
   Scenario& mark_at(std::int64_t slot, std::string label);
+
+  /// Appends every event of a FaultPlan; this is how scripted/randomized
+  /// plans (tools/wrt_chaos, tests) become live engine faults.
+  Scenario& apply_plan(const fault::FaultPlan& plan);
 
   struct LogEntry {
     std::int64_t slot = 0;
@@ -49,9 +65,16 @@ class Scenario {
       kJoin,
       kLeave,
       kKill,
+      kStall,
+      kResume,
       kDropSat,
+      kDropControl,
       kFailLink,
       kRestoreLink,
+      kDegradeLink,
+      kHealLink,
+      kPartition,
+      kHealPartition,
       kMark,
     };
     std::int64_t slot = 0;
@@ -59,6 +82,9 @@ class Scenario {
     NodeId a = kInvalidNode;
     NodeId b = kInvalidNode;
     Quota quota{1, 1};
+    fault::GeParams ge{};
+    Engine::ControlMsg control_msg = Engine::ControlMsg::kNextFree;
+    std::vector<std::vector<NodeId>> groups;
     std::string label;
   };
 

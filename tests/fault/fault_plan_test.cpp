@@ -1,0 +1,182 @@
+// FaultPlan tests: text grammar round-trips, parse diagnostics, and the
+// survivability guarantees of randomly generated plans.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+
+namespace wrt::fault {
+namespace {
+
+FaultPlan sample_plan() {
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.slot = 100;
+  crash.kind = FaultKind::kCrash;
+  crash.a = 3;
+  plan.add(crash);
+
+  FaultEvent degrade;
+  degrade.slot = 50;
+  degrade.kind = FaultKind::kLinkDegrade;
+  degrade.a = 1;
+  degrade.b = 2;
+  degrade.ge = GeParams::bursty(0.2, 16.0);
+  plan.add(degrade);
+
+  FaultEvent partition;
+  partition.slot = 200;
+  partition.kind = FaultKind::kPartition;
+  partition.groups = {{0, 1, 2}, {3, 4, 5}};
+  plan.add(partition);
+
+  FaultEvent heal;
+  heal.slot = 300;
+  heal.kind = FaultKind::kHealPartition;
+  plan.add(heal);
+
+  FaultEvent drop;
+  drop.slot = 400;
+  drop.kind = FaultKind::kDropControl;
+  drop.control_msg = kCtrlJoinAck;
+  plan.add(drop);
+
+  FaultEvent join;
+  join.slot = 500;
+  join.kind = FaultKind::kJoin;
+  join.a = 9;
+  join.quota = {2, 1};
+  plan.add(join);
+
+  FaultEvent mark;
+  mark.slot = 600;
+  mark.kind = FaultKind::kMark;
+  mark.label = "storm over";
+  plan.add(mark);
+  return plan;
+}
+
+TEST(FaultPlan, AddKeepsEventsSortedBySlot) {
+  const FaultPlan plan = sample_plan();
+  ASSERT_EQ(plan.events.size(), 7u);
+  for (std::size_t i = 1; i < plan.events.size(); ++i) {
+    EXPECT_LE(plan.events[i - 1].slot, plan.events[i].slot);
+  }
+  EXPECT_EQ(plan.last_slot(), 600);
+}
+
+TEST(FaultPlan, TextRoundTrips) {
+  const FaultPlan plan = sample_plan();
+  const std::string text = plan.to_text();
+  const auto reparsed = FaultPlan::parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().message;
+  EXPECT_EQ(reparsed.value().to_text(), text);
+  ASSERT_EQ(reparsed.value().events.size(), plan.events.size());
+  EXPECT_EQ(reparsed.value().events[1].kind, FaultKind::kCrash);
+  EXPECT_EQ(reparsed.value().events[2].groups,
+            (std::vector<std::vector<NodeId>>{{0, 1, 2}, {3, 4, 5}}));
+  EXPECT_NEAR(reparsed.value().events[0].ge.average_loss(), 0.2, 1e-6);
+}
+
+TEST(FaultPlan, ParseSkipsCommentsAndBlankLines) {
+  const auto plan = FaultPlan::parse(
+      "# a comment\n"
+      "\n"
+      "@10 crash 2\n"
+      "@20 drop-sat\n");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().events.size(), 2u);
+  EXPECT_EQ(plan.value().events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.value().events[1].kind, FaultKind::kDropSat);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(FaultPlan::parse("crash 2").ok());
+  EXPECT_FALSE(FaultPlan::parse("@x crash 2").ok());
+  EXPECT_FALSE(FaultPlan::parse("@-5 crash 2").ok());
+  EXPECT_FALSE(FaultPlan::parse("@10 explode 2").ok());
+  EXPECT_FALSE(FaultPlan::parse("@10 crash").ok());
+  EXPECT_FALSE(FaultPlan::parse("@10 link-degrade 1").ok());
+  EXPECT_FALSE(FaultPlan::parse("@10 link-degrade 1 2 avg=2.0").ok());
+  EXPECT_FALSE(FaultPlan::parse("@10 partition 0 1 2").ok());
+  EXPECT_FALSE(FaultPlan::parse("@10 partition 0 |").ok());
+  EXPECT_FALSE(FaultPlan::parse("@10 drop-control maybe").ok());
+}
+
+TEST(FaultPlan, SaveLoadRoundTrips) {
+  const FaultPlan plan = sample_plan();
+  const std::string path =
+      ::testing::TempDir() + "/fault_plan_roundtrip.fplan";
+  ASSERT_TRUE(plan.save(path).ok());
+  const auto loaded = FaultPlan::load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value().to_text(), plan.to_text());
+  std::remove(path.c_str());
+  EXPECT_FALSE(FaultPlan::load(path).ok());
+}
+
+TEST(FaultPlanRandom, DeterministicPerSeed) {
+  FaultPlan::RandomOptions options;
+  options.parked = {12, 13};
+  EXPECT_EQ(FaultPlan::random(7, options).to_text(),
+            FaultPlan::random(7, options).to_text());
+  EXPECT_NE(FaultPlan::random(7, options).to_text(),
+            FaultPlan::random(8, options).to_text());
+}
+
+TEST(FaultPlanRandom, EveryDisturbanceHealsBeforeTheTail) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    FaultPlan::RandomOptions options;
+    options.events = 10;
+    options.parked = {12, 13, 14};
+    const FaultPlan plan = FaultPlan::random(seed, options);
+    // The final tenth of the horizon is quiet so recovery can be asserted.
+    EXPECT_LE(plan.last_slot(), options.horizon_slots * 9 / 10)
+        << "seed " << seed;
+
+    int stalled = 0;
+    int broken_or_degraded = 0;
+    int partitions = 0;
+    std::size_t dead = 0;
+    for (const FaultEvent& event : plan.events) {
+      switch (event.kind) {
+        case FaultKind::kStall: ++stalled; break;
+        case FaultKind::kResume: --stalled; break;
+        case FaultKind::kLinkDegrade:
+        case FaultKind::kLinkBreak: ++broken_or_degraded; break;
+        case FaultKind::kLinkHeal: --broken_or_degraded; break;
+        case FaultKind::kPartition: ++partitions; break;
+        case FaultKind::kHealPartition: --partitions; break;
+        case FaultKind::kCrash:
+        case FaultKind::kLeave: ++dead; break;
+        default: break;
+      }
+    }
+    EXPECT_EQ(stalled, 0) << "seed " << seed << ": unresumed stall";
+    EXPECT_EQ(broken_or_degraded, 0) << "seed " << seed << ": unhealed link";
+    EXPECT_EQ(partitions, 0) << "seed " << seed << ": unhealed partition";
+    EXPECT_LE(dead, options.n_stations - options.min_alive)
+        << "seed " << seed << ": plan kills below min_alive";
+  }
+}
+
+TEST(FaultPlanRandom, ParkedJoinersJoinAtMostOnce) {
+  FaultPlan::RandomOptions options;
+  options.events = 20;
+  options.parked = {12, 13};
+  const FaultPlan plan = FaultPlan::random(3, options);
+  int joins_12 = 0;
+  int joins_13 = 0;
+  for (const FaultEvent& event : plan.events) {
+    if (event.kind != FaultKind::kJoin) continue;
+    if (event.a == 12) ++joins_12;
+    if (event.a == 13) ++joins_13;
+  }
+  EXPECT_LE(joins_12, 1);
+  EXPECT_LE(joins_13, 1);
+}
+
+}  // namespace
+}  // namespace wrt::fault

@@ -1,0 +1,193 @@
+// Gilbert–Elliott channel unit tests: parameter algebra, chain statistics,
+// burstiness, and the LinkLossField determinism contract (per-purpose,
+// per-link streams; zero draws when disabled).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/gilbert_elliott.hpp"
+
+namespace wrt::fault {
+namespace {
+
+TEST(GeParams, DefaultIsDisabledAndValid) {
+  const GeParams params;
+  EXPECT_FALSE(params.enabled());
+  EXPECT_DOUBLE_EQ(params.average_loss(), 0.0);
+  EXPECT_TRUE(params.validate().ok());
+}
+
+TEST(GeParams, IidIsTheDegenerateCase) {
+  const GeParams params = GeParams::iid(0.25);
+  EXPECT_TRUE(params.enabled());
+  EXPECT_DOUBLE_EQ(params.average_loss(), 0.25);
+  EXPECT_TRUE(params.validate().ok());
+  EXPECT_FALSE(GeParams::iid(0.0).enabled());
+}
+
+TEST(GeParams, BurstyHitsTargetStationaryLoss) {
+  for (const double avg : {0.01, 0.1, 0.4}) {
+    for (const double dwell : {1.0, 4.0, 32.0}) {
+      const GeParams params = GeParams::bursty(avg, dwell);
+      ASSERT_TRUE(params.validate().ok())
+          << "avg=" << avg << " dwell=" << dwell;
+      EXPECT_NEAR(params.average_loss(), avg, 1e-9)
+          << "avg=" << avg << " dwell=" << dwell;
+      EXPECT_NEAR(1.0 / params.p_bad_to_good, dwell, 1e-9);
+    }
+  }
+}
+
+TEST(GeParams, ValidateRejectsNonProbabilities) {
+  GeParams params;
+  params.loss_good = 1.5;
+  EXPECT_FALSE(params.validate().ok());
+  params = GeParams{};
+  params.p_good_to_bad = -0.1;
+  EXPECT_FALSE(params.validate().ok());
+}
+
+TEST(GeProcess, EmpiricalLossMatchesStationaryRate) {
+  GeProcess process(GeParams::bursty(0.2, 8.0), 42, 7);
+  std::size_t lost = 0;
+  constexpr std::size_t kOffers = 200000;
+  for (std::size_t i = 0; i < kOffers; ++i) {
+    if (process.offer()) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / kOffers, 0.2, 0.01);
+}
+
+TEST(GeProcess, SameSeedSameSequence) {
+  GeProcess a(GeParams::bursty(0.3, 4.0), 99, 5);
+  GeProcess b(GeParams::bursty(0.3, 4.0), 99, 5);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.offer(), b.offer()) << "diverged at offer " << i;
+  }
+}
+
+/// Same average loss, longer Bad dwell => longer loss bursts.  This is the
+/// property the i.i.d. knobs cannot express.
+TEST(GeProcess, DwellControlsBurstLength) {
+  const auto mean_burst = [](double dwell) {
+    GeProcess process(GeParams::bursty(0.1, dwell), 4242, 1);
+    std::size_t bursts = 0;
+    std::size_t lost = 0;
+    bool in_burst = false;
+    for (std::size_t i = 0; i < 300000; ++i) {
+      const bool loss = process.offer();
+      if (loss) {
+        ++lost;
+        if (!in_burst) ++bursts;
+      }
+      in_burst = loss;
+    }
+    return static_cast<double>(lost) / static_cast<double>(bursts);
+  };
+  const double short_dwell = mean_burst(1.0);
+  const double long_dwell = mean_burst(32.0);
+  EXPECT_LT(short_dwell, 2.0);
+  EXPECT_GT(long_dwell, 4.0 * short_dwell);
+}
+
+TEST(ChannelConfig, AnyEnabledAndValidate) {
+  ChannelConfig config;
+  EXPECT_FALSE(config.any_enabled());
+  EXPECT_TRUE(config.validate().ok());
+  config.sat = GeParams::iid(0.01);
+  EXPECT_TRUE(config.any_enabled());
+  config.data.loss_good = 2.0;
+  EXPECT_FALSE(config.validate().ok());
+}
+
+TEST(LinkLossField, DisabledPurposeNeverLoses) {
+  LinkLossField field;
+  ChannelConfig config;
+  config.data = GeParams::iid(1.0);
+  field.configure(config, 1);
+  EXPECT_TRUE(field.enabled(LossPurpose::kData));
+  EXPECT_FALSE(field.enabled(LossPurpose::kSat));
+  EXPECT_FALSE(field.enabled(LossPurpose::kControl));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(field.offer(LossPurpose::kData, 0, 1));
+    EXPECT_FALSE(field.offer(LossPurpose::kSat, 0, 1));
+    EXPECT_FALSE(field.offer(LossPurpose::kControl, 0, 1));
+  }
+}
+
+TEST(LinkLossField, SameSeedSameOfferSequence) {
+  ChannelConfig config;
+  config.data = GeParams::bursty(0.2, 8.0);
+  config.sat = GeParams::iid(0.05);
+  LinkLossField a;
+  LinkLossField b;
+  a.configure(config, 77);
+  b.configure(config, 77);
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId from = static_cast<NodeId>(i % 5);
+    const NodeId to = static_cast<NodeId>((i + 1) % 5);
+    ASSERT_EQ(a.offer(LossPurpose::kData, from, to),
+              b.offer(LossPurpose::kData, from, to));
+    ASSERT_EQ(a.offer(LossPurpose::kSat, from, to),
+              b.offer(LossPurpose::kSat, from, to));
+  }
+}
+
+/// The per-purpose stream isolation contract: interleaving draws for one
+/// purpose must not perturb another purpose's sequence.
+TEST(LinkLossField, PurposesDrawFromIndependentStreams) {
+  ChannelConfig sat_only;
+  sat_only.sat = GeParams::iid(0.3);
+  ChannelConfig sat_and_data = sat_only;
+  sat_and_data.data = GeParams::bursty(0.4, 4.0);
+
+  LinkLossField a;
+  LinkLossField b;
+  a.configure(sat_only, 123);
+  b.configure(sat_and_data, 123);
+  for (int i = 0; i < 2000; ++i) {
+    (void)b.offer(LossPurpose::kData, 2, 3);  // extra draws on b only
+    ASSERT_EQ(a.offer(LossPurpose::kSat, 2, 3),
+              b.offer(LossPurpose::kSat, 2, 3))
+        << "data draws perturbed the SAT stream at offer " << i;
+  }
+}
+
+TEST(LinkLossField, LinksDrawFromIndependentStreams) {
+  ChannelConfig config;
+  config.data = GeParams::iid(0.5);
+  LinkLossField a;
+  LinkLossField b;
+  a.configure(config, 9);
+  b.configure(config, 9);
+  // Interleave offers on another link in b only: link 0->1's sequence must
+  // be unaffected.
+  for (int i = 0; i < 2000; ++i) {
+    (void)b.offer(LossPurpose::kData, 7, 8);
+    ASSERT_EQ(a.offer(LossPurpose::kData, 0, 1),
+              b.offer(LossPurpose::kData, 0, 1));
+  }
+}
+
+TEST(LinkLossField, PerLinkOverrideIsDirectedAndRevertible) {
+  LinkLossField field;
+  field.configure(ChannelConfig{}, 5);
+  EXPECT_FALSE(field.enabled(LossPurpose::kData));
+
+  field.set_link_params(LossPurpose::kData, 1, 2, GeParams::iid(1.0));
+  EXPECT_TRUE(field.enabled(LossPurpose::kData));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(field.offer(LossPurpose::kData, 1, 2));
+    EXPECT_FALSE(field.offer(LossPurpose::kData, 2, 1))
+        << "override must be directed";
+    EXPECT_FALSE(field.offer(LossPurpose::kData, 3, 4));
+  }
+
+  field.clear_link_params(LossPurpose::kData, 1, 2);
+  EXPECT_FALSE(field.enabled(LossPurpose::kData));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(field.offer(LossPurpose::kData, 1, 2));
+  }
+}
+
+}  // namespace
+}  // namespace wrt::fault

@@ -103,5 +103,109 @@ TEST_P(ChurnTest, RingAlwaysRecovers) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChurnTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
 
+class LossyChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// The same churn storm over a bursty Gilbert–Elliott channel that also
+/// nibbles at the SAT and the join handshake.  Because losses keep coming,
+/// "circulating at the epoch boundary" is too strict — the liveness promise
+/// under ambient loss is recovery within the analytic deadline.
+TEST_P(LossyChurnTest, RingRecoversUnderBurstyLoss) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::size_t kInitial = 12;
+
+  phy::Topology topology = testing::circle_topology(kInitial, 2.4);
+  std::vector<NodeId> parked;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const phy::Vec2 base = topology.position(static_cast<NodeId>(
+        (i * 3) % kInitial));
+    const NodeId id = topology.add_node(base * 1.08);
+    topology.set_alive(id, false);
+    parked.push_back(id);
+  }
+
+  Config config;
+  config.rap_policy = RapPolicy::kRotating;
+  config.auto_rejoin = true;
+  config.channel.data = fault::GeParams::bursty(0.05, 8.0);
+  config.channel.sat = fault::GeParams::iid(0.002);
+  config.channel.control = fault::GeParams::iid(0.05);
+  Engine engine(&topology, config, seed);
+  ASSERT_TRUE(engine.init().ok());
+  for (NodeId n = 0; n < kInitial; ++n) {
+    engine.add_source(testing::rt_flow(n, n, kInitial, 40.0));
+  }
+
+  const std::int64_t deadline =
+      4 * analysis::sat_time_bound(engine.ring_params()) +
+      config.rebuild_base_slots +
+      config.rebuild_per_station_slots * static_cast<std::int64_t>(
+          kInitial + parked.size());
+
+  util::RngStream rng(seed, 0xC4u);
+  std::size_t next_parked = 0;
+  for (int epoch = 0; epoch < 15; ++epoch) {
+    const std::uint64_t dice = rng.uniform_int(std::uint64_t{5});
+    const std::size_t ring_size = engine.virtual_ring().size();
+    switch (dice) {
+      case 0:
+        if (next_parked < parked.size()) {
+          const NodeId joiner = parked[next_parked++];
+          topology.set_alive(joiner, true);
+          engine.request_join(joiner, {1, 1});
+        }
+        break;
+      case 1:
+        if (ring_size > 5) {
+          (void)engine.request_leave(engine.virtual_ring().station_at(
+              static_cast<std::size_t>(rng.uniform_int(
+                  static_cast<std::uint64_t>(ring_size)))));
+        }
+        break;
+      case 2:
+        if (ring_size > 5) {
+          engine.kill_station(engine.virtual_ring().station_at(
+              static_cast<std::size_t>(rng.uniform_int(
+                  static_cast<std::uint64_t>(ring_size)))));
+        }
+        break;
+      case 3:
+        engine.drop_sat_once();
+        break;
+      default:
+        break;
+    }
+    engine.run_slots(2000);
+
+    bool circulating = engine.sat_state() == SatState::kInTransit ||
+                       engine.sat_state() == SatState::kHeld;
+    for (std::int64_t i = 0; i < deadline && !circulating; ++i) {
+      engine.step();
+      circulating = engine.sat_state() == SatState::kInTransit ||
+                    engine.sat_state() == SatState::kHeld;
+    }
+    if (!circulating) {
+      const auto attempt = ring::build_ring_over(
+          topology, ring::largest_component(topology));
+      EXPECT_FALSE(attempt.ok())
+          << "epoch " << epoch << " seed " << seed
+          << ": a ring exists but the SAT did not recover within "
+          << deadline << " slots";
+    }
+  }
+
+  const auto& stats = engine.stats();
+  EXPECT_GT(stats.sink.total_delivered(), 0u);
+  EXPECT_GT(stats.frames_lost_link, 0u);
+  // Frame conservation across the whole lossy, churny horizon.
+  EXPECT_EQ(stats.data_transmissions,
+            stats.sink.total_delivered() + stats.frames_lost_link +
+                stats.frames_lost_rebuild + stats.frames_dropped_stale +
+                engine.frames_in_flight());
+  EXPECT_TRUE(engine.check_invariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyChurnTest,
+                         ::testing::Values(11u, 12u, 13u, 14u));
+
 }  // namespace
 }  // namespace wrt::wrtring

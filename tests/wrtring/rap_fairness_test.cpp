@@ -78,5 +78,114 @@ TEST(RapFairness, DisabledPolicyNeverRaps) {
       h.engine.event_trace().of_kind(EventKind::kRapStarted).empty());
 }
 
+/// A 7-node topology ringing only stations 0..5, leaving node 6 as a live
+/// joiner candidate for the lossy-handshake tests.
+Harness harness_with_joiner(Config config, std::uint64_t seed) {
+  config.members = {0, 1, 2, 3, 4, 5};
+  return Harness(7, std::move(config), seed);
+}
+
+/// Section 2.4.1 under loss: whichever single handshake message is lost
+/// (NEXT_FREE, JOIN_REQ, or JOIN_ACK), the join must still complete — via
+/// simply hearing the next broadcast, or via the retry/backoff path — and
+/// nothing may be half-inserted meanwhile.
+TEST(LossyJoin, SingleMessageLossAtEveryPositionStillJoins) {
+  for (const auto msg :
+       {Engine::ControlMsg::kNextFree, Engine::ControlMsg::kJoinReq,
+        Engine::ControlMsg::kJoinAck}) {
+    SCOPED_TRACE(static_cast<int>(msg));
+    Harness h = harness_with_joiner(rap_config(), 41);
+    h.engine.run_slots(100);
+    h.engine.request_join(6, {1, 1});
+    h.engine.drop_control_once(msg);
+    h.engine.run_slots(8000);
+    const auto& stats = h.engine.stats();
+    EXPECT_GE(stats.control_messages_lost, 1u);
+    EXPECT_EQ(stats.joins_completed, 1u);
+    EXPECT_EQ(stats.joins_abandoned, 0u);
+    EXPECT_TRUE(h.engine.virtual_ring().contains(6));
+    EXPECT_EQ(h.engine.virtual_ring().size(), 7u);
+    if (msg != Engine::ControlMsg::kNextFree) {
+      // A joiner that sent JOIN_REQ and saw no acknowledged insertion
+      // backs off; a lost NEXT_FREE is invisible to it (no retry charged).
+      EXPECT_GE(stats.join_retries, 1u);
+    }
+    EXPECT_TRUE(h.engine.check_invariants().ok());
+  }
+}
+
+/// Losing the handshake every single time must end in a clean abandonment
+/// after join_max_attempts: nothing half-inserted, RAP_mutex free, and a
+/// later retry under a clean channel succeeds.
+TEST(LossyJoin, PersistentLossAbandonsCleanlyWithoutWedgingTheRap) {
+  Config config = rap_config();
+  config.join_max_attempts = 5;
+  Harness h = harness_with_joiner(config, 43);
+  h.engine.run_slots(100);
+  h.engine.request_join(6, {1, 1});
+  // Re-arm the drop the moment each one is consumed, so every attempt of
+  // the backoff ladder loses its JOIN_REQ (backoff >= base slots keeps the
+  // re-arm ahead of the next attempt).
+  std::uint64_t seen = 0;
+  while (h.engine.stats().joins_abandoned == 0 &&
+         h.engine.now_slots() < 60000) {
+    h.engine.drop_control_once(Engine::ControlMsg::kJoinReq);
+    while (h.engine.stats().control_messages_lost == seen &&
+           h.engine.now_slots() < 60000) {
+      h.engine.run_slots(1);
+    }
+    seen = h.engine.stats().control_messages_lost;
+  }
+  const auto& stats = h.engine.stats();
+  EXPECT_EQ(stats.joins_abandoned, 1u);
+  EXPECT_EQ(stats.join_retries, config.join_max_attempts);
+  EXPECT_EQ(stats.joins_completed, 0u);
+  EXPECT_FALSE(h.engine.virtual_ring().contains(6));
+  EXPECT_EQ(h.engine.virtual_ring().size(), 6u);
+  EXPECT_TRUE(h.engine.check_invariants().ok());
+
+  // The RAP machinery survived: a fresh, loss-free join goes through.
+  const auto raps_before = h.engine.stats().raps_started;
+  h.engine.request_join(6, {1, 1});
+  h.engine.run_slots(4000);
+  EXPECT_GT(h.engine.stats().raps_started, raps_before);
+  EXPECT_EQ(h.engine.stats().joins_completed, 1u);
+  EXPECT_TRUE(h.engine.virtual_ring().contains(6));
+}
+
+/// Exponential backoff must actually space the retries out: with the
+/// channel losing every control message, later attempts are further apart.
+TEST(LossyJoin, BackoffDelaysGrow) {
+  Config config = rap_config();
+  config.join_max_attempts = 4;
+  // Large enough base that the exponential ladder dominates the RAP
+  // cadence quantisation by the final attempt.
+  config.join_backoff_base_slots = 256;
+  Harness h = harness_with_joiner(config, 47);
+  h.engine.run_slots(100);
+  h.engine.request_join(6, {1, 1});
+  std::vector<std::int64_t> loss_slots;
+  std::uint64_t seen = 0;
+  while (h.engine.stats().joins_abandoned == 0 &&
+         h.engine.now_slots() < 40000) {
+    h.engine.drop_control_once(Engine::ControlMsg::kJoinReq);
+    while (h.engine.stats().control_messages_lost == seen &&
+           h.engine.now_slots() < 40000) {
+      h.engine.run_slots(1);
+    }
+    if (h.engine.stats().control_messages_lost > seen) {
+      seen = h.engine.stats().control_messages_lost;
+      loss_slots.push_back(h.engine.now_slots());
+    }
+  }
+  ASSERT_EQ(loss_slots.size(), 4u);
+  // Attempt 3 -> 4 waits at least base << 2 slots; attempt 1 -> 2 only
+  // base << 0 plus RAP cadence, so the last gap dominates the first.
+  const auto first_gap = loss_slots[1] - loss_slots[0];
+  const auto last_gap = loss_slots[3] - loss_slots[2];
+  EXPECT_GE(last_gap, config.join_backoff_base_slots << 2);
+  EXPECT_GT(last_gap, first_gap);
+}
+
 }  // namespace
 }  // namespace wrt::wrtring

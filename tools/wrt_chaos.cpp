@@ -1,0 +1,392 @@
+// wrt_chaos: randomized fault-plan soak with a recovery SLO.
+//
+// For each seed this runner builds a 2-hop-range circle network plus a pool
+// of parked joiner candidates, attaches a seed-randomized bursty
+// Gilbert–Elliott channel (data + SAT + control), generates a survivable
+// random FaultPlan (crashes, stalls, leaves, link degrades/breaks,
+// partitions, one-shot SAT/handshake drops, forced joins — all healed
+// before the final tenth of the horizon), applies it through the Scenario
+// layer with the invariant auditor installed, and then holds the run to a
+// recovery service-level objective:
+//
+//   * liveness   — at the horizon the SAT circulates, or the alive
+//                  connectivity graph provably admits no ring;
+//   * SLO        — detection latency (MTTD) stays within the analytic
+//                  SAT_TIMER window (staleness + Theorem-1 timeout), and
+//                  after forced rejoins every alive, reachable station is
+//                  back in the ring within a bounded number of RAP rounds;
+//   * integrity  — the auditor records zero violations, Engine::
+//                  check_invariants() holds (including the frame-accounting
+//                  identity: transmissions == delivered + losses + drops +
+//                  in-flight), so nothing leaks across the fault storm.
+//
+//   $ build/tools/wrt_chaos                       # default 16-seed matrix
+//   $ build/tools/wrt_chaos --seeds 7 --print-plan
+//   $ build/tools/wrt_chaos --plan storm.fplan --seeds 1,2,3
+//   $ build/tools/wrt_chaos --json > chaos.json
+//
+// Exit status: 0 when every seed meets the SLO, 1 otherwise, 2 on usage
+// errors.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "check/invariants.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/gilbert_elliott.hpp"
+#include "phy/topology.hpp"
+#include "ring/virtual_ring.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "wrtring/engine.hpp"
+#include "wrtring/scenario.hpp"
+
+namespace wrt {
+namespace {
+
+struct SeedResult {
+  std::uint64_t seed = 0;
+  bool passed = true;
+  std::vector<std::string> failures;
+
+  // Recovery metrics.
+  double mttd_mean_slots = 0.0;
+  double mttd_max_slots = 0.0;
+  double mttr_mean_slots = 0.0;
+  double mttr_max_slots = 0.0;
+  std::uint64_t sat_losses = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t rebuilds = 0;
+  std::uint64_t control_lost = 0;
+  std::uint64_t join_retries = 0;
+  std::uint64_t joins_abandoned = 0;
+  std::uint64_t frames_lost_link = 0;
+  std::uint64_t frames_lost_rebuild = 0;
+  std::uint64_t auditor_violations = 0;
+  std::int64_t reconverge_slots = -1;  ///< horizon -> full membership
+};
+
+struct Options {
+  std::vector<std::int64_t> seeds;
+  std::size_t n = 12;
+  std::size_t parked = 4;
+  std::int64_t horizon_slots = 8000;
+  std::size_t plan_events = 8;
+  std::string plan_path;  ///< non-empty: fixed plan instead of random
+  bool print_plan = false;
+  bool json = false;
+};
+
+phy::Topology circle_topology(std::size_t n) {
+  const double radius = 10.0;
+  const double chord =
+      2.0 * radius * std::sin(std::numbers::pi / static_cast<double>(n));
+  return phy::Topology(phy::placement::circle(n, radius),
+                       phy::RadioParams{chord * 2.4, 0.0});
+}
+
+traffic::FlowSpec rt_flow(FlowId id, NodeId src, std::size_t n) {
+  traffic::FlowSpec spec;
+  spec.id = id;
+  spec.src = src;
+  spec.dst = static_cast<NodeId>((src + n / 2) % n);
+  spec.cls = TrafficClass::kRealTime;
+  spec.kind = traffic::ArrivalKind::kCbr;
+  spec.period_slots = 40.0;
+  return spec;
+}
+
+/// Seed-randomized ambient channel: mild bursty data loss everywhere, a
+/// whiff of SAT and control loss so every recovery path stays exercised.
+fault::ChannelConfig random_channel(std::uint64_t seed) {
+  util::RngStream rng(seed, 0xC0FFEEu);
+  fault::ChannelConfig channel;
+  channel.data = fault::GeParams::bursty(
+      0.005 + 0.02 * rng.uniform(),
+      1.0 + std::floor(rng.uniform() * 16.0));
+  channel.sat = fault::GeParams::iid(0.002 + 0.006 * rng.uniform());
+  channel.control = fault::GeParams::iid(0.01 + 0.05 * rng.uniform());
+  return channel;
+}
+
+SeedResult run_seed(std::uint64_t seed, const Options& options,
+                    const fault::FaultPlan* fixed_plan) {
+  SeedResult result;
+  result.seed = seed;
+  const auto fail = [&](std::string why) {
+    result.passed = false;
+    result.failures.push_back(std::move(why));
+  };
+
+  phy::Topology topology = circle_topology(options.n);
+  std::vector<NodeId> parked;
+  for (std::size_t i = 0; i < options.parked; ++i) {
+    const phy::Vec2 base =
+        topology.position(static_cast<NodeId>((i * 3) % options.n));
+    const NodeId id = topology.add_node(base * 1.08);
+    topology.set_alive(id, false);  // parked until the plan joins them
+    parked.push_back(id);
+  }
+
+  wrtring::Config config;
+  config.rap_policy = wrtring::RapPolicy::kRotating;
+  config.auto_rejoin = true;
+  config.channel = random_channel(seed);
+  wrtring::Engine engine(&topology, config, seed);
+  const auto init = engine.init();
+  if (!init.ok()) {
+    fail("init: " + init.error().message);
+    return result;
+  }
+  for (NodeId n = 0; n < static_cast<NodeId>(options.n); ++n) {
+    engine.add_source(rt_flow(n, n, options.n));
+  }
+
+  // The analytic recovery deadline for the largest ring this run can have:
+  // SAT_TIMER staleness + Theorem-1 timeout, plus the modelled re-formation
+  // downtime, plus one RAP.  Everything the SLO asserts scales from this.
+  const std::int64_t bound0 = analysis::sat_time_bound(engine.ring_params());
+  const std::int64_t rebuild_cost =
+      config.rebuild_base_slots +
+      config.rebuild_per_station_slots *
+          static_cast<std::int64_t>(options.n + options.parked);
+  const std::int64_t deadline_slots =
+      4 * bound0 + rebuild_cost + config.t_rap_slots();
+
+  fault::FaultPlan plan;
+  if (fixed_plan != nullptr) {
+    plan = *fixed_plan;
+  } else {
+    fault::FaultPlan::RandomOptions plan_options;
+    plan_options.n_stations = options.n;
+    plan_options.parked = parked;
+    plan_options.horizon_slots = options.horizon_slots;
+    plan_options.events = options.plan_events;
+    plan = fault::FaultPlan::random(seed, plan_options);
+  }
+  if (options.print_plan && !options.json) {
+    std::printf("# seed %llu\n%s\n",
+                static_cast<unsigned long long>(seed),
+                plan.to_text().c_str());
+  }
+
+  check::InvariantAuditor auditor(engine);
+  auditor.install(engine, 64);
+
+  wrtring::Scenario scenario;
+  scenario.apply_plan(plan);
+  (void)scenario.run(engine, topology, options.horizon_slots);
+
+  // Liveness at the horizon: the plan healed every disturbance by 9/10 of
+  // the horizon, so either the SAT circulates or no ring is possible.
+  // The ambient channel keeps losing SATs forever, so a point-in-time state
+  // sample can land mid-recovery; the SLO is "circulates again within the
+  // analytic deadline", not "circulating at this exact slot".
+  const auto circulating = [&] {
+    return engine.sat_state() == wrtring::SatState::kInTransit ||
+           engine.sat_state() == wrtring::SatState::kHeld;
+  };
+  const auto circulates_within = [&](std::int64_t budget) {
+    for (std::int64_t i = 0; i < budget && !circulating(); ++i) {
+      engine.step();
+    }
+    return circulating();
+  };
+  if (!circulates_within(deadline_slots)) {
+    const auto attempt =
+        ring::build_ring_over(topology, ring::largest_component(topology));
+    if (attempt.ok()) {
+      fail("SAT did not recover within " + std::to_string(deadline_slots) +
+           " slots of the horizon despite a buildable ring");
+    }
+  }
+
+  // Forced reconvergence: every alive station re-enters the ring (or
+  // legitimately exhausts its join attempts) within a bounded number of
+  // deadline windows.
+  const std::int64_t reconverge_start = engine.now_slots();
+  for (int round = 0; round < 8; ++round) {
+    std::vector<NodeId> missing;
+    for (NodeId n = 0; n < topology.node_count(); ++n) {
+      if (topology.alive(n) && !engine.station_stalled(n) &&
+          !engine.virtual_ring().contains(n)) {
+        missing.push_back(n);
+      }
+    }
+    if (missing.empty()) break;
+    for (const NodeId n : missing) engine.request_join(n, {1, 1});
+    engine.run_slots(deadline_slots);
+  }
+  result.reconverge_slots = engine.now_slots() - reconverge_start;
+  for (NodeId n = 0; n < topology.node_count(); ++n) {
+    if (topology.alive(n) && !engine.station_stalled(n) &&
+        !engine.virtual_ring().contains(n)) {
+      fail("station " + std::to_string(n) +
+           " still outside the ring after forced rejoins");
+    }
+  }
+  if (!circulates_within(deadline_slots)) {
+    fail("SAT not circulating within " + std::to_string(deadline_slots) +
+         " slots after the reconvergence tail");
+  }
+
+  // Detection SLO: a SAT_TIMER can be stale by up to one full rotation when
+  // the loss happens, so MTTD is bounded by twice the Theorem-1 window
+  // (plus the hop granularity).
+  const auto& stats = engine.stats();
+  result.sat_losses = stats.sat_losses_detected;
+  result.recoveries = stats.sat_recoveries;
+  result.rebuilds = stats.ring_rebuilds;
+  result.control_lost = stats.control_messages_lost;
+  result.join_retries = stats.join_retries;
+  result.joins_abandoned = stats.joins_abandoned;
+  result.frames_lost_link = stats.frames_lost_link;
+  result.frames_lost_rebuild = stats.frames_lost_rebuild;
+  if (stats.sat_loss_detection_slots.count() > 0) {
+    result.mttd_mean_slots = stats.sat_loss_detection_slots.mean();
+    result.mttd_max_slots = stats.sat_loss_detection_slots.max();
+    if (result.mttd_max_slots > static_cast<double>(2 * bound0 + 8)) {
+      fail("MTTD " + std::to_string(result.mttd_max_slots) +
+           " slots exceeds the analytic window " +
+           std::to_string(2 * bound0 + 8));
+    }
+  }
+  if (stats.recovery_total_slots.count() > 0) {
+    result.mttr_mean_slots = stats.recovery_total_slots.mean();
+    result.mttr_max_slots = stats.recovery_total_slots.max();
+  }
+
+  // Integrity: auditor clean, invariants (incl. the accounting identity).
+  result.auditor_violations = auditor.total_violations();
+  if (!auditor.clean()) {
+    fail("auditor recorded " + std::to_string(auditor.total_violations()) +
+         " violations (first: " + auditor.violations().front().check + ": " +
+         auditor.violations().front().detail + ")");
+  }
+  if (const auto status = engine.check_invariants(); !status.ok()) {
+    fail("check_invariants: " + status.error().message);
+  }
+  return result;
+}
+
+void print_text(const SeedResult& r) {
+  std::printf("seed %-4llu %s  mttd %6.1f/%6.1f  mttr %6.1f/%6.1f  "
+              "losses %llu rec %llu rebuilds %llu ctrl-lost %llu "
+              "retries %llu abandoned %llu reconverge %lld\n",
+              static_cast<unsigned long long>(r.seed),
+              r.passed ? "PASS" : "FAIL", r.mttd_mean_slots, r.mttd_max_slots,
+              r.mttr_mean_slots, r.mttr_max_slots,
+              static_cast<unsigned long long>(r.sat_losses),
+              static_cast<unsigned long long>(r.recoveries),
+              static_cast<unsigned long long>(r.rebuilds),
+              static_cast<unsigned long long>(r.control_lost),
+              static_cast<unsigned long long>(r.join_retries),
+              static_cast<unsigned long long>(r.joins_abandoned),
+              static_cast<long long>(r.reconverge_slots));
+  for (const std::string& why : r.failures) {
+    std::printf("         !! %s\n", why.c_str());
+  }
+}
+
+void print_json(const std::vector<SeedResult>& results) {
+  std::printf("{\n  \"seeds\": [");
+  bool first = true;
+  for (const SeedResult& r : results) {
+    std::printf("%s\n    {\"seed\": %llu, \"passed\": %s, "
+                "\"mttd_mean_slots\": %.2f, \"mttd_max_slots\": %.2f, "
+                "\"mttr_mean_slots\": %.2f, \"mttr_max_slots\": %.2f, "
+                "\"sat_losses\": %llu, \"recoveries\": %llu, "
+                "\"rebuilds\": %llu, \"control_lost\": %llu, "
+                "\"join_retries\": %llu, \"joins_abandoned\": %llu, "
+                "\"frames_lost_link\": %llu, \"frames_lost_rebuild\": %llu, "
+                "\"auditor_violations\": %llu, \"reconverge_slots\": %lld}",
+                first ? "" : ",",
+                static_cast<unsigned long long>(r.seed),
+                r.passed ? "true" : "false", r.mttd_mean_slots,
+                r.mttd_max_slots, r.mttr_mean_slots, r.mttr_max_slots,
+                static_cast<unsigned long long>(r.sat_losses),
+                static_cast<unsigned long long>(r.recoveries),
+                static_cast<unsigned long long>(r.rebuilds),
+                static_cast<unsigned long long>(r.control_lost),
+                static_cast<unsigned long long>(r.join_retries),
+                static_cast<unsigned long long>(r.joins_abandoned),
+                static_cast<unsigned long long>(r.frames_lost_link),
+                static_cast<unsigned long long>(r.frames_lost_rebuild),
+                static_cast<unsigned long long>(r.auditor_violations),
+                static_cast<long long>(r.reconverge_slots));
+    first = false;
+  }
+  std::printf("\n  ]\n}\n");
+}
+
+}  // namespace
+}  // namespace wrt
+
+int main(int argc, char** argv) {
+  wrt::util::Args args(argc, argv);
+  if (args.has("help")) {
+    std::puts(
+        "usage: wrt_chaos [--seeds 1,2,...] [--n 12] [--parked 4]\n"
+        "                 [--slots 8000] [--events 8] [--plan file]\n"
+        "                 [--print-plan] [--json]");
+    return 0;
+  }
+  wrt::Options options;
+  options.seeds = args.get_int_list(
+      "seeds", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  options.n = static_cast<std::size_t>(args.get_int("n", 12));
+  options.parked = static_cast<std::size_t>(args.get_int("parked", 4));
+  options.horizon_slots = args.get_int("slots", 8000);
+  options.plan_events = static_cast<std::size_t>(args.get_int("events", 8));
+  options.plan_path = args.get_string("plan", "");
+  options.print_plan = args.has("print-plan");
+  options.json = args.has("json");
+  for (const std::string& flag : args.unknown_flags()) {
+    std::fprintf(stderr, "wrt_chaos: unknown flag --%s\n", flag.c_str());
+    return 2;
+  }
+  if (options.n < 5) {
+    std::fprintf(stderr, "wrt_chaos: --n must be >= 5\n");
+    return 2;
+  }
+
+  wrt::fault::FaultPlan fixed_plan;
+  bool have_fixed_plan = false;
+  if (!options.plan_path.empty()) {
+    auto loaded = wrt::fault::FaultPlan::load(options.plan_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "wrt_chaos: %s\n",
+                   loaded.error().message.c_str());
+      return 2;
+    }
+    fixed_plan = std::move(loaded.value());
+    have_fixed_plan = true;
+  }
+
+  std::vector<wrt::SeedResult> results;
+  bool all_passed = true;
+  for (const std::int64_t seed : options.seeds) {
+    wrt::SeedResult result =
+        wrt::run_seed(static_cast<std::uint64_t>(seed), options,
+                      have_fixed_plan ? &fixed_plan : nullptr);
+    all_passed = all_passed && result.passed;
+    if (!options.json) wrt::print_text(result);
+    results.push_back(std::move(result));
+  }
+  if (options.json) {
+    wrt::print_json(results);
+  } else {
+    std::printf("%zu/%zu seeds passed\n",
+                results.size() -
+                    static_cast<std::size_t>(std::count_if(
+                        results.begin(), results.end(),
+                        [](const wrt::SeedResult& r) { return !r.passed; })),
+                results.size());
+  }
+  return all_passed ? 0 : 1;
+}

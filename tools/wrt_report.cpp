@@ -66,6 +66,10 @@ struct StationReport {
   std::uint64_t cut_outs = 0;
   std::uint64_t sat_rec_started = 0;
   std::uint64_t sat_rec_done = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t control_losses = 0;
+  std::uint64_t rebuild_drop_frames = 0;  ///< in-flight frames torn down here
   std::uint64_t dropped = 0;
   bool rotation_within_bound = true;
 };
@@ -108,6 +112,12 @@ StationReport analyze_station(const Journal& journal, wrt::NodeId station,
       case JournalKind::kCutOut: ++report.cut_outs; break;
       case JournalKind::kSatRecStart: ++report.sat_rec_started; break;
       case JournalKind::kSatRecDone: ++report.sat_rec_done; break;
+      case JournalKind::kStall: ++report.stalls; break;
+      case JournalKind::kResume: ++report.resumes; break;
+      case JournalKind::kControlLost: ++report.control_losses; break;
+      case JournalKind::kRebuildDrop:
+        report.rebuild_drop_frames += event.value;
+        break;
       case JournalKind::kSatRelease:
       case JournalKind::kQueueDepth:
       case JournalKind::kSnapshot:
@@ -182,6 +192,17 @@ void print_text(std::ostream& out, const Journal& journal,
       out << "  SAT_REC: started " << r.sat_rec_started << ", completed "
           << r.sat_rec_done << '\n';
     }
+    if (r.stalls + r.resumes != 0) {
+      out << "  faults: stalled " << r.stalls << ", resumed " << r.resumes
+          << '\n';
+    }
+    if (r.control_losses != 0) {
+      out << "  lost join-handshake messages " << r.control_losses << '\n';
+    }
+    if (r.rebuild_drop_frames != 0) {
+      out << "  frames torn down by re-formations " << r.rebuild_drop_frames
+          << '\n';
+    }
     if (r.dropped != 0) {
       out << "  journal ring overwrote " << r.dropped
           << " events (oldest history truncated)\n";
@@ -215,6 +236,9 @@ void print_json(std::ostream& out, const Journal& journal,
         << ", \"leaves\": " << r.leaves << ", \"cut_outs\": " << r.cut_outs
         << ", \"sat_rec_started\": " << r.sat_rec_started
         << ", \"sat_rec_done\": " << r.sat_rec_done
+        << ", \"stalls\": " << r.stalls << ", \"resumes\": " << r.resumes
+        << ", \"control_losses\": " << r.control_losses
+        << ", \"rebuild_drop_frames\": " << r.rebuild_drop_frames
         << ", \"journal_dropped\": " << r.dropped << ", \"classes\": {";
     bool first_class = true;
     for (std::size_t cls = 0; cls < r.by_class.size(); ++cls) {
