@@ -51,7 +51,13 @@ void BM_HotPathSteadyState(benchmark::State& state) {
   for (auto _ : state) engine.step();
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_HotPathSteadyState)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_HotPathSteadyState)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096);
 
 /// Mixed CBR + Poisson load (the common experiment shape) rather than full
 /// saturation: stresses poll_traffic()'s bound-source cache.
@@ -137,11 +143,13 @@ int run_digest() {
               static_cast<unsigned long long>(stats.transit_forwards));
   std::printf("delivered=%llu\n",
               static_cast<unsigned long long>(stats.sink.total_delivered()));
-  // The digest line predates the link/teardown loss split; printing the sum
-  // keeps it comparable across that accounting change (same total frames).
+  // The digest line predates the link/teardown/churn loss splits; printing
+  // the sum keeps it comparable across those accounting changes (same total
+  // frames).
   std::printf("frames_lost_link=%llu\n",
               static_cast<unsigned long long>(stats.frames_lost_link +
-                                              stats.frames_lost_rebuild));
+                                              stats.frames_lost_rebuild +
+                                              stats.frames_lost_churn));
   std::printf("leaves_completed=%llu\n",
               static_cast<unsigned long long>(stats.leaves_completed));
   std::printf("sat_recoveries=%llu\n",

@@ -129,25 +129,26 @@ void InvariantAuditor::observe_disturbances() {
 void InvariantAuditor::check_ring_lockstep(Details& out) const {
   const wrtring::Engine& e = engine_;
   const std::size_t R = e.ring_.size();
-  if (e.stations_.size() != R || e.control_.size() != R) {
-    out.push_back("station/control vectors out of lockstep with ring: ring=" +
+  const wrtring::SlotKernel& k = e.kernel_;
+  if (k.ids_.size() != R || k.last_sat_arrival_.size() != R) {
+    out.push_back("station/control columns out of lockstep with ring: ring=" +
                   std::to_string(R) + " stations=" +
-                  std::to_string(e.stations_.size()) + " control=" +
-                  std::to_string(e.control_.size()));
+                  std::to_string(k.ids_.size()) + " control=" +
+                  std::to_string(k.last_sat_arrival_.size()));
     return;  // positional comparison below would be meaningless
   }
-  if (e.links_.size() != R || e.transit_regs_.size() != R) {
+  if (k.link_columns() != R || k.transit_.size() != R) {
     out.push_back("link structures out of lockstep with ring: ring=" +
                   std::to_string(R) + " links=" +
-                  std::to_string(e.links_.size()) + " transit=" +
-                  std::to_string(e.transit_regs_.size()));
+                  std::to_string(k.link_columns()) + " transit=" +
+                  std::to_string(k.transit_.size()));
   }
   for (std::size_t p = 0; p < R; ++p) {
     const NodeId expected = e.ring_.station_at(p);
-    if (e.stations_[p].id() != expected) {
-      out.push_back("station vector misaligned at position " +
+    if (k.ids_[p] != expected) {
+      out.push_back("station column misaligned at position " +
                     std::to_string(p) + ": holds " +
-                    node_str(e.stations_[p].id()) + ", ring says " +
+                    node_str(k.ids_[p]) + ", ring says " +
                     node_str(expected));
     }
   }
@@ -252,22 +253,22 @@ void InvariantAuditor::check_rap_mutex(Details& out) const {
 
 void InvariantAuditor::check_quota_conservation(Details& out) const {
   const wrtring::Engine& e = engine_;
-  for (std::size_t p = 0; p < e.stations_.size(); ++p) {
-    const wrtring::Station& st = e.stations_[p];
-    if (st.rt_pck() > st.quota().l) {
-      out.push_back("station " + node_str(st.id()) + " RT_PCK=" +
-                    std::to_string(st.rt_pck()) + " exceeds l=" +
-                    std::to_string(st.quota().l));
+  const wrtring::SlotKernel& k = e.kernel_;
+  for (std::size_t p = 0; p < k.ids_.size(); ++p) {
+    if (k.rt_pck_[p] > k.quota_[p].l) {
+      out.push_back("station " + node_str(k.ids_[p]) + " RT_PCK=" +
+                    std::to_string(k.rt_pck_[p]) + " exceeds l=" +
+                    std::to_string(k.quota_[p].l));
     }
-    if (st.nrt_pck() > st.quota().k) {
-      out.push_back("station " + node_str(st.id()) + " NRT_PCK=" +
-                    std::to_string(st.nrt_pck()) + " exceeds k=" +
-                    std::to_string(st.quota().k));
+    if (k.nrt_pck_[p] > k.quota_[p].k) {
+      out.push_back("station " + node_str(k.ids_[p]) + " NRT_PCK=" +
+                    std::to_string(k.nrt_pck_[p]) + " exceeds k=" +
+                    std::to_string(k.quota_[p].k));
     }
-    if (st.k1_assured() > st.quota().k) {
-      out.push_back("station " + node_str(st.id()) + " k1=" +
-                    std::to_string(st.k1_assured()) + " exceeds k=" +
-                    std::to_string(st.quota().k));
+    if (k.k1_assured_[p] > k.quota_[p].k) {
+      out.push_back("station " + node_str(k.ids_[p]) + " k1=" +
+                    std::to_string(k.k1_assured_[p]) + " exceeds k=" +
+                    std::to_string(k.quota_[p].k));
     }
   }
   if (e.stats_.sink.total_delivered() > e.stats_.data_transmissions) {
@@ -280,35 +281,40 @@ void InvariantAuditor::check_quota_conservation(Details& out) const {
 
 void InvariantAuditor::check_link_pipeline(Details& out) const {
   const wrtring::Engine& e = engine_;
+  // Frame hops/arrival fields lag behind the engine's rotation fast regime;
+  // materialize them before reading (no-op outside that regime).
+  e.sync_frame_view();
+  const wrtring::SlotKernel& k = e.kernel_;
   const auto depth = static_cast<std::size_t>(e.config_.hop_latency_slots);
-  for (std::size_t p = 0; p < e.links_.size(); ++p) {
-    const auto& link = e.links_[p];
-    if (link.depth() != depth) {
+  // The depth is one shared column attribute in the SoA layout, but the
+  // per-link message shape is kept for continuity with recorded violations.
+  for (std::size_t p = 0; p < k.link_columns(); ++p) {
+    if (k.link_depth() != depth) {
       out.push_back("link " + std::to_string(p) + " pipeline depth " +
-                    std::to_string(link.depth()) + " != hop latency " +
+                    std::to_string(k.link_depth()) + " != hop latency " +
                     std::to_string(depth));
     }
-    if (link.size() > link.depth()) {
+    if (k.link_size(p) > k.link_depth()) {
       out.push_back("link " + std::to_string(p) + " overfull: " +
-                    std::to_string(link.size()) + " frames in depth " +
-                    std::to_string(link.depth()));
+                    std::to_string(k.link_size(p)) + " frames in depth " +
+                    std::to_string(k.link_depth()));
     }
-    if (!link.empty()) {
-      if (!link.front().busy) {
+    if (!k.link_empty(p)) {
+      if (!k.link_front(p).busy) {
         out.push_back("link " + std::to_string(p) +
                       " front frame is not marked busy");
-      } else if (link.front().arrival < e.now_) {
+      } else if (k.link_front(p).arrival < e.now_) {
         out.push_back("link " + std::to_string(p) +
                       " front frame arrival " +
-                      std::to_string(link.front().arrival) +
+                      std::to_string(k.link_front(p).arrival) +
                       " is in the past (now=" + std::to_string(e.now_) + ")");
       }
     }
   }
   // Transit registers are filled and drained within the same slot; a busy
   // one between slots means a frame was parked and never forwarded.
-  for (std::size_t p = 0; p < e.transit_regs_.size(); ++p) {
-    if (e.transit_regs_[p].busy) {
+  for (std::size_t p = 0; p < k.transit_.size(); ++p) {
+    if (k.transit_[p].busy) {
       out.push_back("transit register " + std::to_string(p) +
                     " busy between slots");
     }
@@ -319,8 +325,8 @@ void InvariantAuditor::check_theorem1_oracle(Details& out) const {
   const wrtring::Engine& e = engine_;
   const Tick bound_ticks =
       slots_to_ticks(analysis::sat_time_bound(e.ring_params()));
-  for (std::size_t p = 0; p < e.control_.size(); ++p) {
-    const std::vector<Tick>& history = e.control_[p].arrival_history;
+  for (std::size_t p = 0; p < e.kernel_.arrival_history_.size(); ++p) {
+    const std::vector<Tick>& history = e.kernel_.arrival_history_[p];
     for (std::size_t i = 1; i < history.size(); ++i) {
       // Only spans recorded entirely after the last disturbance are covered
       // by the current ring's bound (strict >: an arrival at the
@@ -345,8 +351,8 @@ void InvariantAuditor::check_theorem2_oracle(Details& out) const {
   const Tick bound_ticks = slots_to_ticks(
       analysis::sat_time_n_rounds_bound(e.ring_params(), window));
   const auto v = static_cast<std::size_t>(window);
-  for (std::size_t p = 0; p < e.control_.size(); ++p) {
-    const std::vector<Tick>& history = e.control_[p].arrival_history;
+  for (std::size_t p = 0; p < e.kernel_.arrival_history_.size(); ++p) {
+    const std::vector<Tick>& history = e.kernel_.arrival_history_[p];
     if (history.size() <= v) continue;
     for (std::size_t i = 0; i + v < history.size(); ++i) {
       if (history[i] <= oracle_horizon_) continue;

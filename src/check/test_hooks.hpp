@@ -37,9 +37,25 @@ struct EngineTestHook {
 
   // --- ring-lockstep ------------------------------------------------------
   /// Swaps two adjacent station slots without touching the ring order.
+  /// Mirrors the old Station-object swap: identity, quotas, Send-algorithm
+  /// counters and queues move; the control-plane timer columns stay put.
   static void swap_adjacent_stations(wrtring::Engine& engine,
                                      std::size_t position) {
-    std::swap(engine.stations_[position], engine.stations_[position + 1]);
+    wrtring::SlotKernel& k = engine.kernel_;
+    const std::size_t a = position;
+    const std::size_t b = position + 1;
+    std::swap(k.ids_[a], k.ids_[b]);
+    std::swap(k.quota_[a], k.quota_[b]);
+    std::swap(k.k1_assured_[a], k.k1_assured_[b]);
+    std::swap(k.rt_pck_[a], k.rt_pck_[b]);
+    std::swap(k.nrt_pck_[a], k.nrt_pck_[b]);
+    std::swap(k.assured_sent_[a], k.assured_sent_[b]);
+    std::swap(k.drops_[a], k.drops_[b]);
+    for (auto& column : k.queues_) std::swap(column[a], column[b]);
+    // Send state moved behind the mutators' backs: keep the eligibility
+    // bitmap coherent for the engine's fast injection scan.
+    k.refresh_eligible(a);
+    k.refresh_eligible(b);
   }
 
   // --- single-sat ---------------------------------------------------------
@@ -81,15 +97,15 @@ struct EngineTestHook {
   static void force_over_quota(wrtring::Engine& engine, NodeId node) {
     const auto position =
         static_cast<std::size_t>(engine.station_position(node));
-    wrtring::Station& station = engine.stations_[position];
-    station.rt_pck_ = station.quota_.l + 1;
+    engine.kernel_.rt_pck_[position] = engine.kernel_.quota_[position].l + 1;
+    engine.kernel_.refresh_eligible(position);
   }
 
   // --- link-pipeline ------------------------------------------------------
   /// Parks a phantom frame in a transit register between slots.
   static void mark_transit_busy(wrtring::Engine& engine,
                                 std::size_t position) {
-    engine.transit_regs_[position].busy = true;
+    engine.kernel_.transit_[position].busy = true;
   }
 
   // --- theorem1-oracle / theorem2-oracle ----------------------------------
@@ -99,7 +115,7 @@ struct EngineTestHook {
                                 std::vector<Tick> arrivals) {
     const auto position =
         static_cast<std::size_t>(engine.station_position(node));
-    engine.control_[position].arrival_history = std::move(arrivals);
+    engine.kernel_.arrival_history_[position] = std::move(arrivals);
   }
 };
 

@@ -29,26 +29,31 @@ Vec2 Topology::position(NodeId node) const {
 
 void Topology::set_position(NodeId node, Vec2 pos) {
   positions_.at(node) = pos;
+  ++version_;
 }
 
 NodeId Topology::add_node(Vec2 pos) {
   positions_.push_back(pos);
   alive_.push_back(true);
+  ++version_;
   return static_cast<NodeId>(positions_.size() - 1);
 }
 
 void Topology::set_alive(NodeId node, bool is_alive) {
   alive_.at(node) = is_alive;
+  ++version_;
 }
 
 bool Topology::alive(NodeId node) const { return alive_.at(node); }
 
 void Topology::fail_link(NodeId a, NodeId b) {
   failed_links_.insert(ordered(a, b));
+  ++version_;
 }
 
 void Topology::restore_link(NodeId a, NodeId b) {
   failed_links_.erase(ordered(a, b));
+  ++version_;
 }
 
 void Topology::set_partition(const std::vector<std::vector<NodeId>>& groups) {
@@ -61,6 +66,7 @@ void Topology::set_partition(const std::vector<std::vector<NodeId>>& groups) {
     }
     ++id;
   }
+  ++version_;
 }
 
 double Topology::effective_range(NodeId a, NodeId b) const {

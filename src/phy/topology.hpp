@@ -50,14 +50,20 @@ class Topology {
   /// Forces a specific link down regardless of distance (failure injection).
   void fail_link(NodeId a, NodeId b);
   void restore_link(NodeId a, NodeId b);
-  void clear_failed_links() { failed_links_.clear(); }
+  void clear_failed_links() {
+    failed_links_.clear();
+    ++version_;
+  }
 
   /// Splits the network into isolated groups (a wall slides in / the
   /// spectrum is jammed between rooms): nodes in different groups are
   /// unreachable regardless of distance until clear_partition().  Nodes not
   /// named in any group share an implicit group of their own.
   void set_partition(const std::vector<std::vector<NodeId>>& groups);
-  void clear_partition() { partition_group_.clear(); }
+  void clear_partition() {
+    partition_group_.clear();
+    ++version_;
+  }
   [[nodiscard]] bool partitioned() const noexcept {
     return !partition_group_.empty();
   }
@@ -81,6 +87,12 @@ class Topology {
 
   [[nodiscard]] const RadioParams& radio() const noexcept { return radio_; }
 
+  /// Monotonic change counter, bumped by every mutator (positions, liveness,
+  /// link failures, partitions).  Connectivity queries are pure functions of
+  /// the topology state, so callers may cache reachable()/alive() results
+  /// keyed on this version and stay exact.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
  private:
   [[nodiscard]] double effective_range(NodeId a, NodeId b) const;
 
@@ -90,6 +102,7 @@ class Topology {
   std::set<std::pair<NodeId, NodeId>> failed_links_;
   std::vector<std::int32_t> partition_group_;  ///< empty = no partition
   std::uint64_t seed_;
+  std::uint64_t version_ = 0;
 };
 
 /// Deterministic placements used across tests/benches/examples.

@@ -40,6 +40,7 @@ enum class CounterId : std::uint16_t {
   kDeliveries,            ///< frames absorbed by their destination
   kFramesLost,            ///< frames dropped on a broken/lossy hop
   kFramesLostRebuild,     ///< in-flight frames discarded by a teardown
+  kFramesLostChurn,       ///< in-flight frames discarded by a join update
   kControlMsgsLost,       ///< lost NEXT_FREE / JOIN_REQ / JOIN_ACK
   kJoinRetries,           ///< joiner backoffs after a lost handshake
   kJoins,                 ///< completed join handshakes

@@ -1,5 +1,6 @@
 #include "telemetry/registry.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace wrt::telemetry {
@@ -17,6 +18,7 @@ const char* counter_name(CounterId id) noexcept {
     case CounterId::kDeliveries: return "deliveries";
     case CounterId::kFramesLost: return "frames_lost";
     case CounterId::kFramesLostRebuild: return "frames_lost_rebuild";
+    case CounterId::kFramesLostChurn: return "frames_lost_churn";
     case CounterId::kControlMsgsLost: return "control_msgs_lost";
     case CounterId::kJoinRetries: return "join_retries";
     case CounterId::kJoins: return "joins";
@@ -142,7 +144,25 @@ void TelemetryBatch::flush() noexcept {
   }
 }
 
+void MetricRegistry::add_flush_source(TelemetryBatch* batch) {
+  if (batch == nullptr) return;
+  const std::lock_guard<std::mutex> lock(sources_mutex_);
+  if (std::find(sources_.begin(), sources_.end(), batch) == sources_.end()) {
+    sources_.push_back(batch);
+  }
+}
+
+void MetricRegistry::remove_flush_source(TelemetryBatch* batch) noexcept {
+  const std::lock_guard<std::mutex> lock(sources_mutex_);
+  sources_.erase(std::remove(sources_.begin(), sources_.end(), batch),
+                 sources_.end());
+}
+
 RegistrySnapshot MetricRegistry::snapshot() const {
+  {
+    const std::lock_guard<std::mutex> lock(sources_mutex_);
+    for (TelemetryBatch* source : sources_) source->flush();
+  }
   RegistrySnapshot snap;
   snap.counters.reserve(kCounterCount);
   for (std::size_t i = 0; i < kCounterCount; ++i) {

@@ -13,12 +13,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "telemetry/metrics.hpp"
 
 namespace wrt::telemetry {
+
+class TelemetryBatch;
 
 /// Fixed-point scale for histogram running sums: atomic doubles would need
 /// a CAS loop, a 1/1024th-scaled integer keeps the hot path to one add.
@@ -84,8 +87,22 @@ class MetricRegistry {
         std::memory_order_relaxed);
   }
 
-  /// Copies every metric out (advisory while writers run).
+  /// Copies every metric out (advisory while writers run).  Registered
+  /// flush sources are drained first, so totals include deltas an engine
+  /// has staged but not yet batch-flushed (see add_flush_source).
   [[nodiscard]] RegistrySnapshot snapshot() const;
+
+  /// Registers a staging batch to be drained by every snapshot().  An
+  /// engine driven by bare step() calls flushes its batch only every
+  /// kTelemetryFlushSlots slots; without this hook a snapshot taken
+  /// between flushes under-reports by up to one flush interval.  The
+  /// caller must remove_flush_source() before the batch is destroyed.
+  /// Contract: a registered batch must only be written from the thread
+  /// that takes snapshots (the single-threaded driver pattern) — batches
+  /// owned by replication worker threads must NOT be registered.
+  void add_flush_source(TelemetryBatch* batch);
+
+  void remove_flush_source(TelemetryBatch* batch) noexcept;
 
   /// Zeroes everything.  For tests and bench isolation only — production
   /// consumers difference successive snapshots instead.
@@ -114,6 +131,11 @@ class MetricRegistry {
 
   std::array<PaddedCounter, kCounterCount> counters_{};
   std::array<PaddedHistogram, kHistogramCount> histograms_{};
+  // Flush-source list: cold (mutated on engine construction/destruction,
+  // walked per snapshot), so a mutex-guarded vector is plenty.  mutable
+  // because snapshot() is logically const but must drain the sources.
+  mutable std::mutex sources_mutex_;
+  mutable std::vector<TelemetryBatch*> sources_;
 };
 
 /// Single-writer staging area for a hot loop (one per engine).  Events bump

@@ -90,6 +90,12 @@ void TrafficSource::poll(Tick now, std::vector<Packet>& out) {
 std::vector<Packet> SaturatedSource::take(Tick now, std::size_t count) {
   std::vector<Packet> packets;
   packets.reserve(count);
+  take_into(now, count, packets);
+  return packets;
+}
+
+void SaturatedSource::take_into(Tick now, std::size_t count,
+                                std::vector<Packet>& out) {
   for (std::size_t i = 0; i < count; ++i) {
     Packet packet;
     packet.flow = spec_.id;
@@ -102,9 +108,8 @@ std::vector<Packet> SaturatedSource::take(Tick now, std::size_t count) {
                               spec_.deadline_slots > 0
                           ? now + slots_to_ticks(spec_.deadline_slots)
                           : kNeverTick;
-    packets.push_back(packet);
+    out.push_back(packet);
   }
-  return packets;
 }
 
 void Sink::record_delivery(const Packet& packet, Tick now) {

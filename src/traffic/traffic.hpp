@@ -30,6 +30,54 @@ struct Packet {
   std::uint64_t sequence = 0;
 };
 
+/// Growable circular FIFO of packets.  Class queues sit on the per-slot hot
+/// path (empty/front checks every slot, pop/push on every transmission), so
+/// they are ring buffers over one contiguous allocation: steady-state
+/// enqueue/dequeue never allocates and never shifts elements, unlike a
+/// std::deque's chunk churn.  Capacity doubles on overflow (amortised O(1)).
+class PacketRing {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] Packet& front() noexcept { return slots_[head_]; }
+  [[nodiscard]] const Packet& front() const noexcept { return slots_[head_]; }
+
+  void pop_front() noexcept {
+    head_ = head_ + 1 == slots_.size() ? 0 : head_ + 1;
+    --count_;
+  }
+
+  void push_back(Packet&& packet) {
+    if (count_ == slots_.size()) grow();
+    std::size_t tail = head_ + count_;
+    if (tail >= slots_.size()) tail -= slots_.size();
+    slots_[tail] = std::move(packet);
+    ++count_;
+  }
+  void push_back(const Packet& packet) { push_back(Packet(packet)); }
+
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void grow() {
+    std::vector<Packet> bigger(slots_.empty() ? 8 : slots_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      std::size_t at = head_ + i;
+      if (at >= slots_.size()) at -= slots_.size();
+      bigger[i] = std::move(slots_[at]);
+    }
+    slots_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<Packet> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
 enum class ArrivalKind : std::uint8_t {
   kCbr,      ///< one packet every `period_slots` slots (jitter-free)
   kPoisson,  ///< exponential inter-arrivals with mean 1/`rate_per_slot`
@@ -90,6 +138,11 @@ class SaturatedSource {
 
   /// Produces up to `count` packets stamped at `now`.
   [[nodiscard]] std::vector<Packet> take(Tick now, std::size_t count);
+
+  /// Allocation-free variant: appends the packets to `out` instead of
+  /// returning a fresh vector.  The engine polls saturated sources every
+  /// slot, so topping up a queue must not cost a heap allocation per slot.
+  void take_into(Tick now, std::size_t count, std::vector<Packet>& out);
 
   [[nodiscard]] const FlowSpec& spec() const noexcept { return spec_; }
 

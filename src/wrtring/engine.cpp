@@ -1,6 +1,7 @@
 #include "wrtring/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <string>
 
@@ -24,6 +25,17 @@ Engine::Engine(phy::Topology* topology, Config config, std::uint64_t seed)
     : topology_(topology), config_(std::move(config)), seed_(seed) {
   assert(topology_ != nullptr);
   assert(config_.hop_latency_slots >= 1);
+#if WRT_TELEMETRY_LEVEL
+  // Snapshots drain this batch, so registry totals stay exact even for
+  // drivers that call bare step() between flush boundaries.
+  telemetry::MetricRegistry::instance().add_flush_source(&telem_batch_);
+#endif
+}
+
+Engine::~Engine() {
+#if WRT_TELEMETRY_LEVEL
+  telemetry::MetricRegistry::instance().remove_flush_source(&telem_batch_);
+#endif
 }
 
 util::Status Engine::init() {
@@ -59,14 +71,11 @@ util::Status Engine::init() {
         "CDMA code assignment violates the distance-2 condition");
   }
 
-  stations_.clear();
-  control_.clear();
-  stations_.reserve(ring_.size());
-  control_.reserve(ring_.size());
+  kernel_.clear();
+  kernel_.configure(config_.queue_capacity);
   for (std::size_t p = 0; p < ring_.size(); ++p) {
-    stations_.push_back(
-        make_station(ring_.station_at(p), quota_for_position(p)));
-    control_.push_back(make_control());
+    kernel_.push_station(ring_.station_at(p), quota_for_position(p),
+                         config_.k1_assured, now_);
   }
   rebuild_position_index();
   reset_data_plane();
@@ -97,16 +106,6 @@ Quota Engine::quota_for_position(std::size_t position) const {
   return config_.default_quota;
 }
 
-Station Engine::make_station(NodeId node, Quota quota) const {
-  return Station(node, quota, config_.k1_assured, config_.queue_capacity);
-}
-
-Engine::PerStationControl Engine::make_control() const {
-  PerStationControl control;
-  control.last_sat_arrival = now_;
-  return control;
-}
-
 // ---------------------------------------------------------------------------
 // Position-indexed membership maintenance
 // ---------------------------------------------------------------------------
@@ -123,24 +122,22 @@ void Engine::rebuild_position_index() {
   }
   ++membership_epoch_;
   sat_timeout_dirty_ = true;
+  sat_timer_guard_valid_ = false;
 }
 
 void Engine::reset_data_plane() {
-  const std::size_t R = ring_.size();
-  links_.resize(R);
-  for (auto& link : links_) {
-    link.reset(static_cast<std::size_t>(config_.hop_latency_slots));
-  }
-  transit_regs_.assign(R, LinkFrame{});
+  kernel_.reset_links(static_cast<std::size_t>(config_.hop_latency_slots));
+  // Every teardown funnels through here: the slot calendar now describes
+  // frames that no longer exist.
+  fast_valid_ = false;
+  frames_view_stale_ = false;
+  fast_in_flight_ = 0;
 }
 
 void Engine::insert_member(NodeId ingress, NodeId joiner, Quota quota) {
   const std::size_t position = ring_.position_of(ingress) + 1;
   ring_.insert_after(ingress, joiner);
-  stations_.insert(stations_.begin() + static_cast<std::ptrdiff_t>(position),
-                   make_station(joiner, quota));
-  control_.insert(control_.begin() + static_cast<std::ptrdiff_t>(position),
-                  make_control());
+  kernel_.insert_station(position, joiner, quota, config_.k1_assured, now_);
   rebuild_position_index();
 }
 
@@ -148,10 +145,7 @@ void Engine::erase_member(std::size_t position) {
   assert(position < ring_.size());
   const NodeId node = ring_.station_at(position);
   ring_.remove(node);
-  auto& station = stations_[position];
-  station.clear_queues();
-  stations_.erase(stations_.begin() + static_cast<std::ptrdiff_t>(position));
-  control_.erase(control_.begin() + static_cast<std::ptrdiff_t>(position));
+  kernel_.erase_station(position);
   // A departing RAP-round owner would leave the mutex flag dangling forever
   // (the flag is cleared only when the SAT completes a round back at the
   // owner), permanently blocking every future RAP.
@@ -160,14 +154,12 @@ void Engine::erase_member(std::size_t position) {
 }
 
 template <typename Bound>
-Station* Engine::bound_station(Bound& bound) {
+std::int32_t Engine::bound_position(Bound& bound) {
   if (bound.epoch != membership_epoch_) {
     bound.position = station_position(bound.station);
     bound.epoch = membership_epoch_;
   }
-  return bound.position < 0
-             ? nullptr
-             : &stations_[static_cast<std::size_t>(bound.position)];
+  return bound.position;
 }
 
 CdmaCode Engine::allocate_code_for(NodeId node) const {
@@ -186,12 +178,15 @@ CdmaCode Engine::allocate_code_for(NodeId node) const {
   return code;
 }
 
-const Station& Engine::station(NodeId node) const {
+Station Engine::station(NodeId node) const {
   const std::int32_t position = station_position(node);
   if (position < 0) {
     throw std::out_of_range("Engine::station: node not in ring");
   }
-  return stations_[static_cast<std::size_t>(position)];
+  // The view is handed out for reading; Station's mutators exist for the
+  // engine's own paths and the unit tests, which hold non-const kernels.
+  return Station(const_cast<SlotKernel*>(&kernel_),
+                 static_cast<std::uint32_t>(position));
 }
 
 void Engine::set_station_quota(NodeId node, Quota quota) {
@@ -199,8 +194,9 @@ void Engine::set_station_quota(NodeId node, Quota quota) {
   if (position < 0) {
     throw std::out_of_range("Engine::set_station_quota: node not in ring");
   }
-  stations_[static_cast<std::size_t>(position)].set_quota(quota);
+  kernel_.set_quota(static_cast<std::size_t>(position), quota);
   sat_timeout_dirty_ = true;
+  sat_timer_guard_valid_ = false;
 }
 
 void Engine::set_station_split(NodeId node, std::uint32_t k1_assured) {
@@ -208,12 +204,12 @@ void Engine::set_station_split(NodeId node, std::uint32_t k1_assured) {
   if (position < 0) {
     throw std::out_of_range("Engine::set_station_split: node not in ring");
   }
-  Station& station = stations_[static_cast<std::size_t>(position)];
-  if (k1_assured > station.quota().k) {
+  const auto p = static_cast<std::size_t>(position);
+  if (k1_assured > kernel_.quotas()[p].k) {
     throw std::invalid_argument(
         "Engine::set_station_split: k1 exceeds the station's k quota");
   }
-  station.set_k1_assured(k1_assured);
+  kernel_.set_k1_assured(p, k1_assured);
 }
 
 analysis::RingParams Engine::ring_params() const {
@@ -221,10 +217,7 @@ analysis::RingParams Engine::ring_params() const {
   params.ring_latency_slots = static_cast<std::int64_t>(ring_.size()) *
                               config_.effective_sat_hop_latency();
   params.t_rap_slots = config_.t_rap_slots();
-  params.quotas.reserve(ring_.size());
-  for (const Station& station : stations_) {
-    params.quotas.push_back(station.quota());
-  }
+  params.quotas = kernel_.quotas();
   return params;
 }
 
@@ -235,7 +228,7 @@ telemetry::RingMeta Engine::journal_meta() const {
   meta.t_rap_slots = config_.t_rap_slots();
   meta.quotas.reserve(ring_.size());
   for (std::size_t p = 0; p < ring_.size(); ++p) {
-    meta.quotas.emplace_back(ring_.station_at(p), stations_[p].quota());
+    meta.quotas.emplace_back(ring_.station_at(p), kernel_.quotas()[p]);
   }
   return meta;
 }
@@ -245,7 +238,7 @@ const std::vector<Tick>& Engine::sat_arrival_history(NodeId node) const {
   const std::int32_t position = station_position(node);
   return position < 0
              ? kEmpty
-             : control_[static_cast<std::size_t>(position)].arrival_history;
+             : kernel_.arrival_history_[static_cast<std::size_t>(position)];
 }
 
 bool Engine::admission_allows(Quota extra) const {
@@ -268,7 +261,13 @@ void Engine::add_source(const traffic::FlowSpec& spec) {
 
 void Engine::add_saturated_source(const traffic::FlowSpec& spec,
                                   std::size_t backlog) {
+  for (const auto& other : saturated_) {
+    // Two bounds on one station would need a per-position refill *list*;
+    // keep the drained-position fast poll for the common one-bound shape.
+    if (other.station == spec.src) saturated_fast_ok_ = false;
+  }
   saturated_.push_back({traffic::SaturatedSource(spec), spec.src, backlog});
+  full_poll_pending_ = true;
 }
 
 void Engine::add_trace_source(traffic::Trace trace, FlowId flow, NodeId src,
@@ -282,8 +281,8 @@ void Engine::add_trace_source(traffic::Trace trace, FlowId flow, NodeId src,
 bool Engine::inject_packet(traffic::Packet packet) {
   const std::int32_t position = station_position(packet.src);
   if (position < 0) return false;
-  return stations_[static_cast<std::size_t>(position)].enqueue(
-      std::move(packet));
+  return kernel_.enqueue(static_cast<std::size_t>(position),
+                         std::move(packet));
 }
 
 void Engine::poll_traffic() {
@@ -291,11 +290,13 @@ void Engine::poll_traffic() {
     arrival_scratch_.clear();
     bound.source.poll(now_, arrival_scratch_);
     if (arrival_scratch_.empty()) continue;
-    Station* station = bound_station(bound);
+    const std::int32_t position = bound_position(bound);
     for (auto& packet : arrival_scratch_) {
       // enqueue() moves only on acceptance, so a rejected (queue-full)
       // packet is still intact for drop attribution.
-      if (station == nullptr || !station->enqueue(std::move(packet))) {
+      if (position < 0 ||
+          !kernel_.enqueue(static_cast<std::size_t>(position),
+                           std::move(packet))) {
         stats_.sink.record_drop(packet);
       }
     }
@@ -304,22 +305,65 @@ void Engine::poll_traffic() {
     arrival_scratch_.clear();
     bound.source.poll(now_, arrival_scratch_);
     if (arrival_scratch_.empty()) continue;
-    Station* station = bound_station(bound);
+    const std::int32_t position = bound_position(bound);
     for (auto& packet : arrival_scratch_) {
-      if (station == nullptr || !station->enqueue(std::move(packet))) {
+      if (position < 0 ||
+          !kernel_.enqueue(static_cast<std::size_t>(position),
+                           std::move(packet))) {
         stats_.sink.record_drop(packet);
       }
     }
   }
-  for (auto& bound : saturated_) {
-    Station* station = bound_station(bound);
-    if (station == nullptr) continue;
-    const std::size_t depth = station->queue_depth(bound.source.spec().cls);
-    if (depth < bound.backlog) {
-      for (auto& packet : bound.source.take(now_, bound.backlog - depth)) {
-        (void)station->enqueue(std::move(packet));
-      }
+  if (saturated_.empty()) return;
+  // A saturated bound needs a refill exactly when its queue depth dropped
+  // below the backlog, and the only depth-reducing operation on the data
+  // path is take_for_transmit — which both data-plane regimes record into
+  // drained_positions_.  So after one full pass has verified every bound is
+  // topped up, later slots refill just the drained stations.  Any escape
+  // hatch (membership change, new bound, a refill that could not reach the
+  // backlog, two bounds on one station) re-arms the full pass.
+  if (!saturated_fast_ok_ || full_poll_pending_ ||
+      poll_epoch_ != membership_epoch_) {
+    poll_epoch_ = membership_epoch_;
+    position_to_saturated_.assign(ring_.size(), -1);
+    bool all_full = true;
+    for (std::size_t i = 0; i < saturated_.size(); ++i) {
+      auto& bound = saturated_[i];
+      const std::int32_t position32 = bound_position(bound);
+      if (position32 < 0) continue;
+      const auto position = static_cast<std::size_t>(position32);
+      position_to_saturated_[position] = static_cast<std::int32_t>(i);
+      refill_saturated(bound, position);
+      all_full = all_full &&
+                 kernel_.queue_depth(position, bound.source.spec().cls) >=
+                     bound.backlog;
     }
+    full_poll_pending_ = !all_full;
+    drained_positions_.clear();
+    return;
+  }
+  for (const std::uint32_t position : drained_positions_) {
+    if (position >= position_to_saturated_.size()) continue;
+    const std::int32_t i = position_to_saturated_[position];
+    if (i < 0) continue;
+    auto& bound = saturated_[static_cast<std::size_t>(i)];
+    refill_saturated(bound, position);
+    if (kernel_.queue_depth(position, bound.source.spec().cls) <
+        bound.backlog) {
+      full_poll_pending_ = true;  // queue at capacity: fall back next slot
+    }
+  }
+  drained_positions_.clear();
+}
+
+void Engine::refill_saturated(BoundSaturated& bound, std::size_t position) {
+  const std::size_t depth =
+      kernel_.queue_depth(position, bound.source.spec().cls);
+  if (depth >= bound.backlog) return;
+  arrival_scratch_.clear();
+  bound.source.take_into(now_, bound.backlog - depth, arrival_scratch_);
+  for (auto& packet : arrival_scratch_) {
+    (void)kernel_.enqueue(position, std::move(packet));
   }
 }
 
@@ -355,14 +399,13 @@ void Engine::step() {
 
 void Engine::maybe_sample_queues() {
   if (now_slots() % journal_queue_sample_slots_ != 0) return;
-  for (std::size_t p = 0; p < stations_.size(); ++p) {
-    const Station& station = stations_[p];
+  for (std::size_t p = 0; p < kernel_.size(); ++p) {
     const std::size_t depth =
-        station.queue_depth(TrafficClass::kRealTime) +
-        station.queue_depth(TrafficClass::kAssured) +
-        station.queue_depth(TrafficClass::kBestEffort);
+        kernel_.queue_depth(p, TrafficClass::kRealTime) +
+        kernel_.queue_depth(p, TrafficClass::kAssured) +
+        kernel_.queue_depth(p, TrafficClass::kBestEffort);
     WRT_BATCH_OBSERVE(telem_batch_, kQueueDepth, depth);
-    journal_record(station.id(), telemetry::JournalKind::kQueueDepth, 0,
+    journal_record(kernel_.ids()[p], telemetry::JournalKind::kQueueDepth, 0,
                    static_cast<std::uint64_t>(depth));
   }
 }
@@ -398,11 +441,66 @@ void Engine::deliver(LinkFrame& frame, NodeId at) {
   journal_record(at, telemetry::JournalKind::kDeliver, frame.packet.src);
 }
 
+void Engine::refresh_hot_caches() {
+  const std::uint64_t topology_version = topology_->version();
+  if (cache_topology_version_ == topology_version &&
+      cache_membership_epoch_ == membership_epoch_ &&
+      cache_stall_epoch_ == stall_epoch_) {
+    return;
+  }
+  const std::size_t R = ring_.size();
+  const std::vector<NodeId>& order = ring_.order();
+  active_cache_.resize(R);
+  link_ok_cache_.resize(R);
+  bool all_active = true;
+  bool all_links = true;
+  for (std::size_t p = 0; p < R; ++p) {
+    active_cache_[p] = station_active(order[p]) ? 1 : 0;
+    link_ok_cache_[p] =
+        topology_->reachable(order[p], order[p + 1 == R ? 0 : p + 1]) ? 1 : 0;
+    all_active = all_active && active_cache_[p] != 0;
+    all_links = all_links && link_ok_cache_[p] != 0;
+  }
+  all_active_ok_ = all_active;
+  all_links_ok_ = all_links;
+  cache_topology_version_ = topology_version;
+  cache_membership_epoch_ = membership_epoch_;
+  cache_stall_epoch_ = stall_epoch_;
+}
+
 void Engine::data_plane_step() {
   const std::size_t R = ring_.size();
   if (R == 0) return;
   const Tick hop_ticks = slots_to_ticks(config_.hop_latency_slots);
   const std::vector<NodeId>& order = ring_.order();
+  refresh_hot_caches();
+  // Hoisted per slot: with the data-loss purpose entirely disabled, offer()
+  // makes no RNG draw, so skipping the call is behaviour-identical.
+  const bool data_loss_possible =
+      link_loss_.enabled(fault::LossPurpose::kData);
+
+  // Event-driven fast regime: with no fault machinery armed and a one-slot
+  // hop, every clean slot is a pure rotation plus its scheduled events —
+  // see the comment at the private method block.  Any premise breaking
+  // falls through to the literal per-position loops below.
+  const bool fast_ok = !config_.cdma_fidelity && !data_loss_possible &&
+                       all_active_ok_ && all_links_ok_ &&
+                       config_.hop_latency_slots == 1 &&
+                       kernel_.link_depth() == 1 && kernel_.link_columns() == R;
+  if (fast_ok) {
+    if (!fast_valid_ || fast_membership_epoch_ != membership_epoch_ ||
+        fast_topology_version_ != cache_topology_version_ ||
+        fast_stall_epoch_ != stall_epoch_) {
+      build_fast_plan();
+    }
+    if (fast_valid_) {
+      fast_data_plane_step();
+      return;
+    }
+  } else if (fast_valid_) {
+    materialize_frame_view();
+    fast_valid_ = false;
+  }
 
   if (config_.cdma_fidelity) channel_->begin_slot(now_);
 
@@ -412,18 +510,19 @@ void Engine::data_plane_step() {
   std::uint64_t delivered_now = 0;
   for (std::size_t p = 0; p < R; ++p) {
     const std::size_t upstream = p == 0 ? R - 1 : p - 1;
-    auto& link = links_[upstream];
-    if (link.empty() || link.front().arrival > now_) continue;
-    LinkFrame frame = std::move(link.front());
-    link.pop_front();
-    const NodeId here = order[p];
-    if (!station_active(here)) {
+    if (kernel_.link_empty(upstream)) continue;
+    LinkFrame& frame = kernel_.link_front(upstream);
+    if (frame.arrival > now_) continue;
+    if (!active_cache_[p]) {
+      kernel_.link_pop(upstream);
       ++stats_.frames_lost_link;
       continue;
     }
+    const NodeId here = order[p];
     if (frame.packet.dst == here) {
       deliver(frame, here);
       ++delivered_now;
+      kernel_.link_pop(upstream);
       continue;
     }
     ++frame.hops;
@@ -431,10 +530,14 @@ void Engine::data_plane_step() {
       // Destination is no longer a ring member; purge the stale frame.
       ++stats_.frames_dropped_stale;
       stats_.sink.record_drop(frame.packet);
+      kernel_.link_pop(upstream);
       continue;
     }
-    transit_regs_[p] = std::move(frame);
-    transit_regs_[p].busy = true;
+    // One move, link slot -> transit register; the pop only rewinds the
+    // cursor of the (now moved-from) slot.
+    kernel_.transit(p) = std::move(frame);
+    kernel_.transit(p).busy = true;
+    kernel_.link_pop(upstream);
   }
 
   // Phase 2: transmissions.  A slot carrying transit is forwarded in the
@@ -446,18 +549,19 @@ void Engine::data_plane_step() {
   // instead of one per transmission (dead code when WRT_TELEMETRY=OFF).
   std::uint64_t tx_by_class[3] = {0, 0, 0};
   std::uint64_t transit_now = 0;
+  LinkFrame inject_scratch;
   for (std::size_t p = 0; p < R; ++p) {
-    const NodeId sender = order[p];
-    LinkFrame out;
-    if (transit_regs_[p].busy) {
-      out = std::move(transit_regs_[p]);
-      transit_regs_[p].busy = false;
+    LinkFrame* out = nullptr;
+    if (kernel_.transit(p).busy) {
+      out = &kernel_.transit(p);
       ++stats_.transit_forwards;
       ++transit_now;
-    } else if (injection_allowed && station_active(sender)) {
-      Station& station = stations_[p];
-      if (const auto cls = station.eligible_class()) {
-        traffic::Packet packet = station.take_for_transmit(*cls);
+    } else if (injection_allowed && active_cache_[p]) {
+      if (const auto cls = kernel_.eligible_class(p)) {
+        traffic::Packet packet = kernel_.take_for_transmit(p, *cls);
+        if (!saturated_.empty()) {
+          drained_positions_.push_back(static_cast<std::uint32_t>(p));
+        }
         const double delay = ticks_to_slots_real(now_ - packet.created);
         stats_.access_delay_slots.add(delay);
         if (packet.cls == TrafficClass::kRealTime) {
@@ -467,25 +571,30 @@ void Engine::data_plane_step() {
           WRT_BATCH_OBSERVE(telem_batch_, kBeAccessDelaySlots, delay);
         }
         ++tx_by_class[static_cast<std::size_t>(packet.cls)];
-        journal_record(sender, telemetry::JournalKind::kTransmit,
+        journal_record(order[p], telemetry::JournalKind::kTransmit,
                        static_cast<std::uint32_t>(packet.cls),
                        static_cast<std::uint64_t>(now_ - packet.created));
         ++stats_.data_transmissions;
-        out.packet = std::move(packet);
-        out.entered_ring = now_;
-        out.hops = 0;
-        out.busy = true;
+        inject_scratch.packet = std::move(packet);
+        inject_scratch.entered_ring = now_;
+        inject_scratch.hops = 0;
+        inject_scratch.busy = true;
+        out = &inject_scratch;
       }
     }
-    if (!out.busy) continue;
+    if (out == nullptr) continue;
 
-    const NodeId receiver = order[p + 1 == R ? 0 : p + 1];
-    if (!topology_->reachable(sender, receiver)) {
+    if (!link_ok_cache_[p]) {
+      out->busy = false;
       ++stats_.frames_lost_link;
       WRT_BATCH_COUNT(telem_batch_, kFramesLost);
       continue;
     }
-    if (link_loss_.offer(fault::LossPurpose::kData, sender, receiver)) {
+    const NodeId sender = order[p];
+    const NodeId receiver = order[p + 1 == R ? 0 : p + 1];
+    if (data_loss_possible &&
+        link_loss_.offer(fault::LossPurpose::kData, sender, receiver)) {
+      out->busy = false;
       ++stats_.frames_lost_link;
       WRT_BATCH_COUNT(telem_batch_, kFramesLost);
       continue;
@@ -494,16 +603,20 @@ void Engine::data_plane_step() {
       // Fidelity mode also exercises the wire format: every hop's header
       // is serialised and re-parsed exactly as a receiver would.
       const auto decoded =
-          ring::decode_header(ring::encode_packet_header(out.packet));
+          ring::decode_header(ring::encode_packet_header(out->packet));
       if (!decoded.has_value()) ++stats_.header_decode_failures;
-      channel_->transmit(sender, codes_[receiver], out.packet);
+      channel_->transmit(sender, codes_[receiver], out->packet);
     }
-    out.arrival = now_ + hop_ticks;
-    if (!links_[p].push_back(std::move(out))) {
+    out->arrival = now_ + hop_ticks;
+    // One move into the link column; the frame keeps busy=true there and
+    // the moved-from register/scratch is cleared right after.
+    if (!kernel_.link_push(p, std::move(*out))) {
       // Unreachable while the depth invariant holds; account, don't corrupt.
+      out->busy = false;
       ++stats_.frames_lost_link;
       continue;
     }
+    out->busy = false;
     ++busy_links_now;
   }
   stats_.busy_links.update(
@@ -520,6 +633,224 @@ void Engine::data_plane_step() {
 }
 
 // ---------------------------------------------------------------------------
+// Data plane, event-driven fast regime
+//
+// Premise (checked every slot): hop latency one slot, depth-1 links, every
+// member active, every hop reachable, no data-loss process, no fidelity
+// channel.  Then each slot the slow loops above do exactly three things:
+// advance every in-flight frame one link, absorb the frames whose terminal
+// event (delivery, stale purge) falls due, and inject per the Send
+// algorithm.  The advance becomes one rotation of the kernel's
+// logical->physical column map; the terminal events were precomputed into
+// calendar_ when the frame entered the ring (its physical column never
+// changes under the rotation, so the event can name it years in advance);
+// injections walk the kernel's Send-eligibility bitmap.  Per-slot work is
+// O(deliveries + injections), independent of ring size and in-flight count.
+//
+// Digest equivalence is structural, not approximate: the fast step performs
+// the same stats/journal/telemetry mutations in the same order as the slow
+// loops (deliveries in ascending arrival-position order, then injections in
+// ascending position order), makes zero RNG draws — just like the slow path
+// under the same premises — and every slot where a premise fails runs the
+// literal loops.  Frame hops/arrival fields are not maintained while the
+// regime is active; materialize_frame_view() restores them (they are pure
+// functions of entered_ring and now_) before anyone looks.
+// ---------------------------------------------------------------------------
+
+void Engine::build_fast_plan() {
+  fast_valid_ = false;
+  // Frames' cached view must be consistent before (or after) any regime
+  // change; cheap no-op unless a fast regime just ended.
+  materialize_frame_view();
+  const std::size_t R = ring_.size();
+  // A busy transit register between slots only exists via test-hook state
+  // corruption; the rotation regime cannot represent it, so stay slow.
+  for (std::size_t p = 0; p < R; ++p) {
+    if (kernel_.transit_[p].busy) return;
+  }
+  const std::size_t buckets = R + 3;
+  if (calendar_.size() != buckets) calendar_.resize(buckets);
+  for (auto& bucket : calendar_) bucket.clear();
+
+  const std::int64_t now_slot = now_slots();
+  const auto sr = static_cast<std::int64_t>(R);
+  fast_in_flight_ = 0;
+  for (std::size_t p = 0; p < R; ++p) {
+    if (kernel_.link_empty(p)) continue;
+    const LinkFrame& frame = kernel_.link_front(p);
+    // The frame on logical link p arrives at position p+1 this slot; that
+    // arrival is its number `age` (it entered the ring `age` slots ago and
+    // advances one link per slot).  The slow loop purges a frame at arrival
+    // R+2 (hops would exceed R+1) and checks delivery before the hop count,
+    // so when both fall on the same arrival the delivery wins.
+    const std::int64_t arrive = p + 1 == R ? 0 : static_cast<std::int64_t>(p) + 1;
+    const std::int64_t age = now_slot - ticks_to_slots(frame.entered_ring);
+    std::int64_t j_stale = sr + 2 - age;
+    if (j_stale < 0) j_stale = 0;
+    const std::int32_t pd = station_position(frame.packet.dst);
+    std::int64_t j;
+    bool stale;
+    if (pd >= 0 && (j = (pd - arrive + sr) % sr) <= j_stale) {
+      stale = false;
+    } else {
+      j = j_stale;
+      stale = true;
+    }
+    calendar_[static_cast<std::size_t>((now_slot + j) %
+                                       static_cast<std::int64_t>(buckets))]
+        .push_back({static_cast<std::uint32_t>(kernel_.link_col(p)),
+                    static_cast<std::uint32_t>((arrive + j) % sr), stale});
+    ++fast_in_flight_;
+  }
+  if (kernel_.eligible_bits_dirty_) kernel_.rebuild_eligible();
+  fast_membership_epoch_ = membership_epoch_;
+  fast_topology_version_ = cache_topology_version_;
+  fast_stall_epoch_ = stall_epoch_;
+  fast_valid_ = true;
+}
+
+void Engine::fast_data_plane_step() {
+  const std::size_t R = ring_.size();
+  const std::vector<NodeId>& order = ring_.order();
+  const std::size_t buckets = R + 3;
+  const std::int64_t now_slot = now_slots();
+
+  // Every in-flight frame advances one link: rotate the column map.
+  kernel_.rotate_links_one();
+
+  // Terminal events due this slot.  Arrival positions within a slot are
+  // unique (each column feeds one position), and the slow loop visits
+  // arrivals in ascending position order — sort to reproduce its stats and
+  // journal ordering exactly.
+  std::uint64_t delivered_now = 0;
+  auto& bucket =
+      calendar_[static_cast<std::size_t>(now_slot) % buckets];
+  if (!bucket.empty()) {
+    std::sort(bucket.begin(), bucket.end(),
+              [](const DataEvent& a, const DataEvent& b) {
+                return a.position < b.position;
+              });
+    for (const DataEvent& ev : bucket) {
+      LinkFrame& frame = kernel_.link_slots_[ev.column];  // depth 1
+      if (ev.stale) {
+        ++stats_.frames_dropped_stale;
+        stats_.sink.record_drop(frame.packet);
+      } else {
+        deliver(frame, order[ev.position]);
+        ++delivered_now;
+      }
+      frame.busy = false;
+      kernel_.link_count_[ev.column] = 0;
+      --fast_in_flight_;
+    }
+    bucket.clear();
+  }
+
+  // Every surviving frame was forwarded by the station it just reached.
+  stats_.transit_forwards += fast_in_flight_;
+  const std::uint64_t transit_now = fast_in_flight_;
+
+  // Injections: walk the Send-eligibility bitmap in ascending position
+  // order (word snapshot; set bits are re-verified so a stale bit can only
+  // cost a check, never a wrong transmission).
+  std::uint64_t tx_by_class[3] = {0, 0, 0};
+  std::uint64_t injected_now = 0;
+  if (data_allowed()) {
+    auto& bits = kernel_.eligible_bits_;
+    for (std::size_t w = 0; w < bits.size(); ++w) {
+      std::uint64_t word = bits[w];
+      while (word != 0) {
+        const std::size_t p =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        if (p >= R) break;
+        const std::size_t c = kernel_.link_col(p);
+        if (kernel_.link_count_[c] != 0) continue;  // carrying transit
+        const auto cls = kernel_.eligible_class(p);
+        if (!cls) {
+          // Stale bit (test hooks mutate Send state behind the mutators).
+          bits[w] &= ~(std::uint64_t{1} << (p & 63));
+          continue;
+        }
+        traffic::Packet packet = kernel_.take_for_transmit(p, *cls);
+        if (!saturated_.empty()) {
+          drained_positions_.push_back(static_cast<std::uint32_t>(p));
+        }
+        const double delay = ticks_to_slots_real(now_ - packet.created);
+        stats_.access_delay_slots.add(delay);
+        if (packet.cls == TrafficClass::kRealTime) {
+          stats_.rt_access_delay_slots.add(delay);
+          WRT_BATCH_OBSERVE(telem_batch_, kRtAccessDelaySlots, delay);
+        } else {
+          WRT_BATCH_OBSERVE(telem_batch_, kBeAccessDelaySlots, delay);
+        }
+        ++tx_by_class[static_cast<std::size_t>(packet.cls)];
+        journal_record(order[p], telemetry::JournalKind::kTransmit,
+                       static_cast<std::uint32_t>(packet.cls),
+                       static_cast<std::uint64_t>(now_ - packet.created));
+        ++stats_.data_transmissions;
+        const std::int32_t pd = station_position(packet.dst);
+        LinkFrame& slot = kernel_.link_slots_[c];
+        slot.packet = std::move(packet);
+        slot.entered_ring = now_;
+        slot.hops = 0;
+        slot.arrival = now_ + kTicksPerSlot;
+        slot.busy = true;
+        kernel_.link_count_[c] = 1;
+        ++fast_in_flight_;
+        ++injected_now;
+        // Schedule the frame's terminal event: delivery after the hop count
+        // to its destination (a full circle when dst == src), or the stale
+        // purge at arrival R+2 when the destination is not a member.
+        const auto sr = static_cast<std::int64_t>(R);
+        std::int64_t j;
+        bool stale_ev;
+        if (pd >= 0) {
+          j = (pd - static_cast<std::int64_t>(p) - 1 + sr) % sr + 1;
+          stale_ev = false;
+        } else {
+          j = sr + 2;
+          stale_ev = true;
+        }
+        calendar_[static_cast<std::size_t>(
+                      (now_slot + j) % static_cast<std::int64_t>(buckets))]
+            .push_back({static_cast<std::uint32_t>(c),
+                        static_cast<std::uint32_t>(
+                            (static_cast<std::int64_t>(p) + j) % sr),
+                        stale_ev});
+      }
+    }
+  }
+
+  stats_.busy_links.update(now_,
+                           static_cast<double>(transit_now + injected_now) /
+                               static_cast<double>(R));
+  WRT_BATCH_COUNT_N(telem_batch_, kTxRealTime, tx_by_class[0]);
+  WRT_BATCH_COUNT_N(telem_batch_, kTxAssured, tx_by_class[1]);
+  WRT_BATCH_COUNT_N(telem_batch_, kTxBestEffort, tx_by_class[2]);
+  WRT_BATCH_COUNT_N(telem_batch_, kTransitForwards, transit_now);
+  WRT_BATCH_COUNT_N(telem_batch_, kDeliveries, delivered_now);
+  frames_view_stale_ = true;
+}
+
+void Engine::materialize_frame_view() {
+  if (!frames_view_stale_) return;
+  frames_view_stale_ = false;
+  // Under the rotation regime a frame's hop count and arrival tick are pure
+  // functions of when it entered the ring: it advances one link per slot,
+  // so by `now_` it has completed (now - entered)/slot - 1 forwarding hops
+  // and its pending arrival is due now.
+  const std::size_t columns = kernel_.link_columns();
+  for (std::size_t c = 0; c < columns; ++c) {
+    if (kernel_.link_count_[c] == 0) continue;
+    LinkFrame& frame = kernel_.link_slots_[c];  // depth 1 in this regime
+    frame.hops = static_cast<std::uint32_t>(
+        ticks_to_slots(now_ - frame.entered_ring) - 1);
+    frame.arrival = now_;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // SAT plane
 // ---------------------------------------------------------------------------
 
@@ -528,30 +859,28 @@ void Engine::launch_sat(NodeId at) {
   sat_state_ = SatState::kHeld;
   sat_location_ = at;
   sat_lost_at_ = kNeverTick;
-  for (auto& control : control_) {
-    control.last_sat_arrival = now_;
-  }
+  for (Tick& arrival : kernel_.last_sat_arrival_) arrival = now_;
   trace_.record(sim::EventKind::kSatLaunched, now_, at);
   sat_arrive(at);
 }
 
 void Engine::record_rotation(std::size_t position, Tick arrival) {
-  auto& control = control_[position];
-  if (control.last_rotation_arrival != kNeverTick) {
-    const double rotation =
-        ticks_to_slots_real(arrival - control.last_rotation_arrival);
+  if (kernel_.last_rotation_arrival_[position] != kNeverTick) {
+    const double rotation = ticks_to_slots_real(
+        arrival - kernel_.last_rotation_arrival_[position]);
     stats_.sat_rotation_slots.add(rotation);
     WRT_BATCH_OBSERVE(telem_batch_, kSatRotationSlots, rotation);
   }
-  control.last_rotation_arrival = arrival;
-  control.arrival_history.push_back(arrival);
+  kernel_.last_rotation_arrival_[position] = arrival;
+  std::vector<Tick>& history = kernel_.arrival_history_[position];
+  history.push_back(arrival);
   WRT_BATCH_COUNT(telem_batch_, kSatArrivals);
-  if (control.arrival_history.size() > kArrivalHistoryCap) {
+  if (history.size() > kArrivalHistoryCap) {
     // Once per rotation per station: the 64-entry shift is cheaper than a
     // deque's allocation churn and keeps the history contiguous.
-    control.arrival_history.erase(control.arrival_history.begin());
+    history.erase(history.begin());
   }
-  if (stations_[position].id() == rotation_anchor_) ++stats_.sat_rounds;
+  if (kernel_.ids_[position] == rotation_anchor_) ++stats_.sat_rounds;
 }
 
 void Engine::sat_arrive(NodeId at) {
@@ -563,7 +892,7 @@ void Engine::sat_arrive(NodeId at) {
     return;
   }
   const auto position = static_cast<std::size_t>(position32);
-  control_[position].last_sat_arrival = now_;
+  kernel_.last_sat_arrival_[position] = now_;
   record_rotation(position, now_);
   journal_record(at, telemetry::JournalKind::kSatArrive);
 
@@ -623,7 +952,7 @@ void Engine::sat_arrive(NodeId at) {
 
   // SAT algorithm (Section 2.2): forward when satisfied, else hold.
   sat_location_ = at;
-  if (stations_[position].satisfied()) {
+  if (kernel_.satisfied(position)) {
     sat_release(at);
   } else {
     sat_state_ = SatState::kHeld;
@@ -638,15 +967,13 @@ void Engine::sat_release(NodeId from) {
     sat_hold_started_ = kNeverTick;
   }
   const auto from_position = static_cast<std::size_t>(ring_.position_of(from));
-  stations_[from_position].on_sat_release();
-  {
-    auto& control = control_[from_position];
-    control.last_sat_departure = now_;
-    ++control.rounds_since_rap;
-  }
+  kernel_.on_sat_release(from_position);
+  kernel_.last_sat_departure_[from_position] = now_;
+  ++kernel_.rounds_since_rap_[from_position];
 
   const std::size_t R = ring_.size();
   NodeId target = ring_.order()[(from_position + 1) % R];
+  bool rerouted = false;
 
   if (sat_.is_rec && target == sat_.rec_failed) {
     // This station plays the role of i-1: skip the failed station by
@@ -660,13 +987,14 @@ void Engine::sat_release(NodeId from) {
     }
     const NodeId failed = target;
     const std::size_t failed_position = (from_position + 1) % R;
-    const Quota failed_quota = stations_[failed_position].quota();
+    const Quota failed_quota = kernel_.quota_[failed_position];
     erase_member(failed_position);
     drop_in_flight_frames();
     // Re-anchor the round counter: a cut-out anchor would otherwise freeze
     // stats_.sat_rounds until a full rebuild.
     if (rotation_anchor_ == failed) rotation_anchor_ = beyond;
     target = beyond;
+    rerouted = true;
     util::log(util::LogLevel::kInfo,
               "WRT-Ring: cut out station " + std::to_string(failed));
     WRT_COUNT(kCutOuts);
@@ -692,8 +1020,20 @@ void Engine::sat_release(NodeId from) {
     trace_.record(sim::EventKind::kSatLost, now_, from, target);
     return;
   }
-  if (!topology_->reachable(from, target) ||
-      link_loss_.offer(fault::LossPurpose::kSat, from, target)) {
+  // The un-rerouted handoff is exactly the cached ring-successor hop; a
+  // cut-out reroute (rare) addresses a two-hop target the cache doesn't
+  // cover.  Gating offer() on the purpose being armed is draw-free: a
+  // disabled purpose makes zero RNG draws inside offer() anyway.
+  bool target_reachable;
+  if (rerouted) {
+    target_reachable = topology_->reachable(from, target);
+  } else {
+    refresh_hot_caches();
+    target_reachable = link_ok_cache_[from_position] != 0;
+  }
+  if (!target_reachable ||
+      (link_loss_.enabled(fault::LossPurpose::kSat) &&
+       link_loss_.offer(fault::LossPurpose::kSat, from, target))) {
     sat_state_ = SatState::kLost;
     if (sat_lost_at_ == kNeverTick) sat_lost_at_ = now_;
     trace_.record(sim::EventKind::kSatLost, now_, from, target);
@@ -722,7 +1062,7 @@ void Engine::sat_plane_step() {
         if (sat_lost_at_ == kNeverTick) sat_lost_at_ = now_;
         break;
       }
-      if (stations_[static_cast<std::size_t>(position)].satisfied()) {
+      if (kernel_.satisfied(static_cast<std::size_t>(position))) {
         sat_release(holder);
       }
       break;
@@ -753,6 +1093,13 @@ void Engine::check_sat_timers() {
   }
   if (sat_.is_rec) return;  // recovery already in progress
 
+  // Timer-scan guard: every last_sat_arrival_ write is `= now_` (monotone)
+  // and the timeout is constant while the guard is valid (invalidated with
+  // sat_timeout_dirty_), so the earliest possible expiry only moves later.
+  // Skipping the O(R) scan until the cached earliest expiry has passed is
+  // therefore exact, not an approximation.
+  if (sat_timer_guard_valid_ && now_ <= sat_timer_guard_) return;
+
   // Earliest-expiry station detects the loss.  Stations run their timers
   // independently; the first expiry wins and generates the SAT_REC (ties
   // break toward the lowest NodeId, matching the historical scan order).
@@ -761,19 +1108,27 @@ void Engine::check_sat_timers() {
   const std::vector<NodeId>& order = ring_.order();
   NodeId detector = kInvalidNode;
   Tick earliest = kNeverTick;
+  Tick next_expiry = kNeverTick;
   for (std::size_t p = 0; p < order.size(); ++p) {
     const NodeId node = order[p];
     // A wedged station's timer process is wedged with it — only active
     // stations can detect the loss.
     if (!station_active(node)) continue;
-    const Tick expiry = control_[p].last_sat_arrival + timeout_ticks;
+    const Tick expiry = kernel_.last_sat_arrival_[p] + timeout_ticks;
+    if (expiry < next_expiry) next_expiry = expiry;
     if (now_ > expiry &&
         (expiry < earliest || (expiry == earliest && node < detector))) {
       earliest = expiry;
       detector = node;
     }
   }
-  if (detector != kInvalidNode) start_recovery(detector);
+  if (detector != kInvalidNode) {
+    sat_timer_guard_valid_ = false;
+    start_recovery(detector);
+    return;
+  }
+  sat_timer_guard_ = next_expiry;
+  sat_timer_guard_valid_ = next_expiry != kNeverTick;
 }
 
 void Engine::start_recovery(NodeId detector) {
@@ -799,7 +1154,8 @@ void Engine::start_recovery(NodeId detector) {
   sat_.rec_failed = ring_.predecessor(detector);
   sat_.rap_owner = kInvalidNode;
   rec_deadline_ = now_ + slots_to_ticks(effective_sat_timeout(detector));
-  control_[ring_.position_of(detector)].last_sat_arrival = now_;
+  kernel_.last_sat_arrival_[static_cast<std::size_t>(
+      ring_.position_of(detector))] = now_;
   trace_.record(sim::EventKind::kSatRecStarted, now_, detector,
                 sat_.rec_failed);
   sat_state_ = SatState::kHeld;
@@ -808,17 +1164,19 @@ void Engine::start_recovery(NodeId detector) {
   sat_release(detector);
 }
 
-void Engine::drop_in_flight_frames() {
+void Engine::drop_in_flight_frames(TeardownCause cause) {
   // Frames abandoned by a ring teardown are a different casualty class than
-  // channel losses: they indict the recovery path, not the link quality.
-  std::size_t dropped = 0;
-  for (auto& link : links_) dropped += link.size();
-  for (auto& reg : transit_regs_) {
-    if (reg.busy) ++dropped;
-  }
+  // channel losses: they indict the recovery path (or, for a join's update
+  // phase, planned churn), not the link quality.
+  const std::uint64_t dropped = kernel_.frames_in_flight();
   if (dropped > 0) {
-    stats_.frames_lost_rebuild += dropped;
-    WRT_COUNT_N(kFramesLostRebuild, dropped);
+    if (cause == TeardownCause::kJoin) {
+      stats_.frames_lost_churn += dropped;
+      WRT_COUNT_N(kFramesLostChurn, dropped);
+    } else {
+      stats_.frames_lost_rebuild += dropped;
+      WRT_COUNT_N(kFramesLostRebuild, dropped);
+    }
     if (ring_.size() > 0) {
       journal_record(ring_.station_at(0), telemetry::JournalKind::kRebuildDrop,
                      static_cast<NodeId>(dropped));
@@ -870,10 +1228,8 @@ void Engine::finish_rebuild() {
   std::vector<NodeId> members = new_ring.order();
   std::sort(members.begin(), members.end());
   std::vector<NodeId> departed;
-  for (const Station& station : stations_) {
-    if (!sorted_contains(members, station.id())) {
-      departed.push_back(station.id());
-    }
+  for (const NodeId node : kernel_.ids()) {
+    if (!sorted_contains(members, node)) departed.push_back(node);
   }
   std::sort(departed.begin(), departed.end());
   if (membership_callback_) {
@@ -883,28 +1239,23 @@ void Engine::finish_rebuild() {
   // Re-pack the position-indexed vectors against the new ring order, moving
   // surviving stations' state (queues, quotas, splits) into place.  The old
   // position_index_ stays valid until rebuild_position_index() below.
-  std::vector<Station> new_stations;
-  std::vector<PerStationControl> new_control;
+  SlotKernel new_kernel;
+  new_kernel.configure(config_.queue_capacity);
   std::vector<NodeId> joined;
-  new_stations.reserve(new_ring.size());
-  new_control.reserve(new_ring.size());
   for (std::size_t p = 0; p < new_ring.size(); ++p) {
     const NodeId node = new_ring.station_at(p);
     const std::int32_t old_position = station_position(node);
     if (old_position >= 0) {
-      new_stations.push_back(
-          std::move(stations_[static_cast<std::size_t>(old_position)]));
-      new_control.push_back(
-          std::move(control_[static_cast<std::size_t>(old_position)]));
+      new_kernel.adopt_station(kernel_,
+                               static_cast<std::size_t>(old_position));
     } else {
-      new_stations.push_back(make_station(node, config_.default_quota));
-      new_control.push_back(make_control());
+      new_kernel.push_station(node, config_.default_quota,
+                              config_.k1_assured, now_);
       joined.push_back(node);
     }
   }
   ring_ = new_ring;
-  stations_ = std::move(new_stations);
-  control_ = std::move(new_control);
+  kernel_ = std::move(new_kernel);
   rebuild_position_index();
   if (membership_callback_) {
     for (const NodeId node : joined) membership_callback_(node, true);
@@ -918,10 +1269,8 @@ void Engine::finish_rebuild() {
     it = ring_.contains(it->first) ? pending_joins_.erase(it) : ++it;
   }
   // Rotation history across a rebuild would mix two different rings.
-  for (auto& control : control_) {
-    control.last_rotation_arrival = kNeverTick;
-    control.arrival_history.clear();
-  }
+  for (Tick& arrival : kernel_.last_rotation_arrival_) arrival = kNeverTick;
+  for (auto& history : kernel_.arrival_history_) history.clear();
   if (sat_lost_at_ != kNeverTick) {
     stats_.recovery_total_slots.add(ticks_to_slots_real(now_ - sat_lost_at_));
   }
@@ -934,17 +1283,16 @@ void Engine::finish_rebuild() {
 
 util::Status Engine::check_invariants() const {
   const std::size_t R = ring_.size();
-  if (stations_.size() != R || control_.size() != R) {
+  if (kernel_.size() != R || kernel_.last_sat_arrival_.size() != R) {
     return util::Error::protocol_violation(
-        "station/control vectors do not match ring size");
+        "station/control columns do not match ring size");
   }
-  if (links_.size() != R || transit_regs_.size() != R) {
+  if (kernel_.link_columns() != R || kernel_.transit_.size() != R) {
     return util::Error::protocol_violation("link structures out of sync");
   }
   for (std::size_t p = 0; p < R; ++p) {
     const NodeId node = ring_.station_at(p);
-    const Station& st = stations_[p];
-    if (st.id() != node) {
+    if (kernel_.ids_[p] != node) {
       return util::Error::protocol_violation(
           "station vector misaligned with ring order at position " +
           std::to_string(p));
@@ -953,18 +1301,19 @@ util::Status Engine::check_invariants() const {
       return util::Error::protocol_violation(
           "position index stale for station " + std::to_string(node));
     }
-    if (st.rt_pck() > st.quota().l || st.nrt_pck() > st.quota().k) {
+    if (kernel_.rt_pck_[p] > kernel_.quota_[p].l ||
+        kernel_.nrt_pck_[p] > kernel_.quota_[p].k) {
       return util::Error::protocol_violation(
           "quota counters exceed quotas at station " + std::to_string(node));
     }
-    if (st.k1_assured() > st.quota().k) {
+    if (kernel_.k1_assured_[p] > kernel_.quota_[p].k) {
       return util::Error::protocol_violation(
           "k1 split exceeds k at station " + std::to_string(node));
     }
     // Per-link pipeline depth is bounded by the hop latency.
-    if (links_[p].size() >
+    if (kernel_.link_size(p) >
             static_cast<std::size_t>(config_.hop_latency_slots) ||
-        links_[p].depth() !=
+        kernel_.link_depth() !=
             static_cast<std::size_t>(config_.hop_latency_slots)) {
       return util::Error::protocol_violation("link pipeline overfull");
     }
@@ -998,8 +1347,8 @@ util::Status Engine::check_invariants() const {
   // here means some fault path dropped frames without accounting for them.
   const std::uint64_t accounted =
       stats_.sink.total_delivered() + stats_.frames_lost_link +
-      stats_.frames_lost_rebuild + stats_.frames_dropped_stale +
-      frames_in_flight();
+      stats_.frames_lost_rebuild + stats_.frames_lost_churn +
+      stats_.frames_dropped_stale + frames_in_flight();
   if (accounted != stats_.data_transmissions) {
     return util::Error::protocol_violation(
         "frame accounting leak: " + std::to_string(stats_.data_transmissions) +
@@ -1019,7 +1368,7 @@ bool Engine::wants_rap(NodeId node) const {
   const std::int64_t min_rounds =
       config_.s_round_min > 0 ? config_.s_round_min
                               : static_cast<std::int64_t>(ring_.size());
-  return control_[static_cast<std::size_t>(position)].rounds_since_rap >=
+  return kernel_.rounds_since_rap_[static_cast<std::size_t>(position)] >=
          min_rounds;
 }
 
@@ -1063,6 +1412,7 @@ void Engine::stall_station(NodeId node) {
   }
   if (stalled_[node] != 0) return;
   stalled_[node] = 1;
+  ++stall_epoch_;
   journal_record(node, telemetry::JournalKind::kStall);
   trace_.record(sim::EventKind::kStationStalled, now_, node);
   // A wedged holder takes the SAT down with it, exactly like a crash —
@@ -1077,6 +1427,7 @@ void Engine::stall_station(NodeId node) {
 void Engine::resume_station(NodeId node) {
   if (!station_stalled(node)) return;
   stalled_[node] = 0;
+  ++stall_epoch_;
   journal_record(node, telemetry::JournalKind::kResume);
   trace_.record(sim::EventKind::kStationResumed, now_, node);
   const std::int32_t position = station_position(node);
@@ -1084,7 +1435,7 @@ void Engine::resume_station(NodeId node) {
     // Still a member: its SAT_TIMER slept through the wedge and would fire
     // immediately on wake; restart it instead of spuriously starting a
     // recovery against a healthy ring.
-    control_[static_cast<std::size_t>(position)].last_sat_arrival = now_;
+    kernel_.last_sat_arrival_[static_cast<std::size_t>(position)] = now_;
   } else if (config_.auto_rejoin && topology_->alive(node) &&
              config_.rap_policy != RapPolicy::kDisabled) {
     // The ring cut it out while it was wedged; re-enter via Section 2.4.1.
@@ -1112,12 +1463,7 @@ void Engine::heal_link(NodeId a, NodeId b) {
 }
 
 std::uint64_t Engine::frames_in_flight() const noexcept {
-  std::uint64_t in_flight = 0;
-  for (const auto& link : links_) in_flight += link.size();
-  for (const auto& reg : transit_regs_) {
-    if (reg.busy) ++in_flight;
-  }
-  return in_flight;
+  return kernel_.frames_in_flight();
 }
 
 void Engine::begin_rap(NodeId ingress) {
@@ -1131,7 +1477,8 @@ void Engine::begin_rap(NodeId ingress) {
   sat_.rap_owner = ingress;
   sat_state_ = SatState::kHeld;
   sat_location_ = ingress;
-  control_[ring_.position_of(ingress)].rounds_since_rap = 0;
+  kernel_.rounds_since_rap_[static_cast<std::size_t>(
+      ring_.position_of(ingress))] = 0;
 
   // Slot 0 of the earing phase: the ingress broadcasts NEXT_FREE with its
   // own address/code and its successor's (Section 2.4.1).
@@ -1266,7 +1613,7 @@ void Engine::finish_rap() {
   if (sat_state_ == SatState::kHeld && sat_location_ == ingress) {
     const std::int32_t position = station_position(ingress);
     if (position >= 0 &&
-        stations_[static_cast<std::size_t>(position)].satisfied()) {
+        kernel_.satisfied(static_cast<std::size_t>(position))) {
       sat_release(ingress);
     }
   }
@@ -1279,8 +1626,9 @@ void Engine::complete_join(NodeId joiner, NodeId ingress) {
   pending_joins_.erase(join_it);
 
   // Update phase: insert between the ingress and its successor, assign a
-  // fresh distance-2-safe code, and initialise MAC state.
-  drop_in_flight_frames();
+  // fresh distance-2-safe code, and initialise MAC state.  In-flight frames
+  // abandoned here are planned churn, not recovery casualties.
+  drop_in_flight_frames(TeardownCause::kJoin);
   insert_member(ingress, joiner, join.quota);
   if (codes_.size() <= joiner) codes_.resize(joiner + 1, kInvalidCode);
   codes_[joiner] = allocate_code_for(joiner);

@@ -19,17 +19,24 @@
 // The engine steps in MAC slots; one Engine instance is single-threaded and
 // owns all protocol state, so parallel replications each build their own.
 //
-// Storage layout: the per-slot hot path is position-indexed.  `stations_`,
-// `control_`, `links_` and `transit_regs_` are dense vectors indexed by ring
-// position — entry p always describes the station at ring_.station_at(p) and
-// the link from position p to p+1 — so data_plane_step() and poll_traffic()
-// never perform associative lookups.  Every membership path (init, join,
-// SAT_REC cut-out, graceful leave, ring re-formation) mutates the four
-// vectors and the ring order together and then refreshes `position_index_`
+// Storage layout: the per-slot hot path is position-indexed,
+// structure-of-arrays.  All per-station state — quota/split counters,
+// per-class backlog queues, link-pipeline cursors, transit registers, SAT
+// timers and rotation history — lives in `kernel_` (wrtring::SlotKernel),
+// one dense column per field, indexed by ring position: entry p always
+// describes the station at ring_.station_at(p) and the link from position p
+// to p+1.  data_plane_step() and check_sat_timers() are contiguous passes
+// over exactly the columns they touch, with no associative lookups and no
+// per-station object hops; the OO accessors (station(), Station) are views
+// into the same columns.  Every membership path (init, join, SAT_REC
+// cut-out, graceful leave, ring re-formation) mutates the kernel columns
+// and the ring order together and then refreshes `position_index_`
 // (NodeId -> position, -1 when not a member), which serves the by-NodeId
 // control-plane accessors.  `membership_epoch_` increments on each such
-// change; traffic sources cache their station's position keyed by the epoch,
-// so steady-state polling is lookup-free.
+// change; traffic sources cache their station's position keyed by the
+// epoch, and the per-position liveness/reachability caches are keyed by
+// (topology version, membership epoch, stall epoch), so steady-state
+// stepping is lookup-free.
 #pragma once
 
 #include <functional>
@@ -52,6 +59,7 @@
 #include "util/result.hpp"
 #include "util/rng.hpp"
 #include "wrtring/config.hpp"
+#include "wrtring/soa_kernel.hpp"
 #include "wrtring/station.hpp"
 
 namespace wrt::check {
@@ -78,6 +86,11 @@ struct EngineStats {
   /// frames_lost_link so link-quality metrics aren't inflated by
   /// membership churn.
   std::uint64_t frames_lost_rebuild = 0;
+  /// In-flight frames discarded by a *successful join's* update phase
+  /// (Section 2.4.1 resets the data plane when the ring gains a member).
+  /// Kept apart from frames_lost_rebuild so recovery-casualty metrics
+  /// aren't polluted by planned, healthy growth.
+  std::uint64_t frames_lost_churn = 0;
   std::uint64_t frames_dropped_stale = 0;///< destination left the ring
   std::uint64_t control_messages_lost = 0;  ///< NEXT_FREE/JOIN_REQ/JOIN_ACK
   std::uint64_t join_retries = 0;        ///< backoffs after a lost handshake
@@ -114,6 +127,8 @@ class Engine final {
   /// `topology` must outlive the engine; the engine mutates liveness when
   /// stations are killed and reads reachability every slot.
   Engine(phy::Topology* topology, Config config, std::uint64_t seed);
+
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -221,8 +236,10 @@ class Engine final {
   [[nodiscard]] SatState sat_state() const noexcept { return sat_state_; }
   [[nodiscard]] bool in_rap() const noexcept { return rap_end_ > now_; }
 
-  /// Station accessor (by node id); throws when not in the ring.
-  [[nodiscard]] const Station& station(NodeId node) const;
+  /// Station accessor (by node id); throws when not in the ring.  Returns a
+  /// value-type view into the slot kernel's arrays — valid until the next
+  /// membership change.
+  [[nodiscard]] Station station(NodeId node) const;
 
   /// Updates a station's quota at runtime (quota renegotiation after
   /// admissions, releases, or a cut-out's quota being re-assigned,
@@ -291,7 +308,8 @@ class Engine final {
   /// Frames currently travelling ring links (plus any busy transit
   /// register).  Closes the accounting identity the chaos soak asserts:
   /// data_transmissions == delivered + frames_lost_link +
-  /// frames_lost_rebuild + frames_dropped_stale + frames_in_flight().
+  /// frames_lost_rebuild + frames_lost_churn + frames_dropped_stale +
+  /// frames_in_flight().
   [[nodiscard]] std::uint64_t frames_in_flight() const noexcept;
 
   /// Internal-consistency audit (counters within quotas, ring/link/station
@@ -315,53 +333,6 @@ class Engine final {
  private:
   friend class ::wrt::check::InvariantAuditor;
   friend struct ::wrt::check::EngineTestHook;
-  struct LinkFrame {
-    traffic::Packet packet;
-    Tick entered_ring = 0;
-    Tick arrival = 0;
-    std::uint32_t hops = 0;
-    bool busy = false;
-  };
-
-  /// Fixed-depth FIFO of frames in flight on one ring link.  A link holds at
-  /// most `hop_latency_slots` frames (one transmission per slot, drained on
-  /// arrival — the invariant check_invariants() enforces), so the pipeline
-  /// is a ring buffer over preallocated slots: no per-frame allocation.
-  class LinkPipeline {
-   public:
-    void reset(std::size_t depth) {
-      slots_.assign(depth, LinkFrame{});
-      head_ = 0;
-      count_ = 0;
-    }
-    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
-    [[nodiscard]] std::size_t size() const noexcept { return count_; }
-    [[nodiscard]] std::size_t depth() const noexcept { return slots_.size(); }
-    [[nodiscard]] LinkFrame& front() noexcept { return slots_[head_]; }
-    [[nodiscard]] const LinkFrame& front() const noexcept {
-      return slots_[head_];
-    }
-    void pop_front() noexcept {
-      slots_[head_].busy = false;
-      head_ = head_ + 1 == slots_.size() ? 0 : head_ + 1;
-      --count_;
-    }
-    /// False when the pipeline is full (cannot happen while the depth
-    /// invariant holds; callers treat it as a lost frame defensively).
-    [[nodiscard]] bool push_back(LinkFrame&& frame) noexcept {
-      if (count_ == slots_.size()) return false;
-      std::size_t tail = head_ + count_;
-      if (tail >= slots_.size()) tail -= slots_.size();
-      slots_[tail] = std::move(frame);
-      ++count_;
-      return true;
-    }
-
-   private:
-    std::vector<LinkFrame> slots_;
-    std::size_t head_ = 0;
-    std::size_t count_ = 0;
-  };
 
   struct SatSignal {
     bool is_rec = false;          ///< SAT_REC rather than plain SAT
@@ -384,20 +355,41 @@ class Engine final {
     Tick backoff_until = 0;
   };
 
-  struct PerStationControl {
-    Tick last_sat_arrival = kNeverTick;  ///< for SAT_TIMER
-    Tick last_sat_departure = kNeverTick;
-    Tick last_rotation_arrival = kNeverTick;  ///< for rotation statistics
-    std::int64_t rounds_since_rap = 0;
-    std::vector<Tick> arrival_history;  ///< bounded, oldest first
-  };
-
   // --- slot phases ---
   void poll_traffic();
   void data_plane_step();
   void sat_plane_step();
   void rap_step();
   void check_sat_timers();
+
+  // --- event-driven data-plane fast regime ---
+  //
+  // While the data plane is fault-free (every member active, every hop
+  // reachable, no data-loss process armed, no fidelity channel) and the hop
+  // latency is one slot, "every in-flight frame advances one link per slot"
+  // is a global rotation: rotating the kernel's logical->physical column
+  // map stands in for moving the frames, and the only per-slot work left is
+  // the slot's events — deliveries/stale purges (precomputed into a slot
+  // calendar at injection time) and Send-algorithm injections (walked off
+  // the kernel's eligibility bitmap).  Per-slot cost is O(events), not
+  // O(ring + in-flight).  Any premise breaking (fault, stall, churn,
+  // depth > 1) falls back to the per-position loops below, which reproduce
+  // the protocol literally — so fault slots are byte-identical by
+  // construction, and clean slots are checked against the same --digest
+  // oracle.
+  void fast_data_plane_step();
+  /// (Re)derives the slot calendar and eligibility bitmap from the current
+  /// in-flight frames; stamps the epoch key the fast regime is valid for.
+  void build_fast_plan();
+  /// Restores per-frame hops/arrival (not maintained while the rotation
+  /// regime is active) from entered_ring and now_; idempotent, called when
+  /// falling back to the per-position loops and before any external
+  /// observer reads frame state.
+  void materialize_frame_view();
+  /// Observer-facing materialization (see check::InvariantAuditor).
+  void sync_frame_view() const {
+    const_cast<Engine*>(this)->materialize_frame_view();
+  }
 
   // --- SAT handling ---
   void sat_arrive(NodeId at);
@@ -424,7 +416,14 @@ class Engine final {
   }
   void maybe_sample_queues();
   void maybe_periodic_audit();
-  void drop_in_flight_frames();
+  /// Rebuilds the per-position liveness/reachability caches when their
+  /// (topology version, membership epoch, stall epoch) key went stale.
+  void refresh_hot_caches();
+  /// Which casualty counter a data-plane teardown charges its in-flight
+  /// frames to: recovery paths (cut-out, ring re-formation) indict the
+  /// failure machinery, a join's update phase is planned churn.
+  enum class TeardownCause : std::uint8_t { kRecovery, kJoin };
+  void drop_in_flight_frames(TeardownCause cause = TeardownCause::kRecovery);
   /// Alive in the topology and not wedged — the liveness test every plane
   /// applies (a stalled station is present but silent).
   [[nodiscard]] bool station_active(NodeId node) const noexcept {
@@ -444,8 +443,6 @@ class Engine final {
   [[nodiscard]] std::int64_t effective_sat_timeout(NodeId node) const;
   [[nodiscard]] Quota quota_for_position(std::size_t position) const;
   void record_rotation(std::size_t position, Tick arrival);
-  [[nodiscard]] Station make_station(NodeId node, Quota quota) const;
-  [[nodiscard]] PerStationControl make_control() const;
   [[nodiscard]] CdmaCode allocate_code_for(NodeId node) const;
   void assign_codes();
   void deliver(LinkFrame& frame, NodeId at);
@@ -459,13 +456,14 @@ class Engine final {
   /// Resizes links_/transit_regs_ to the ring and empties them.
   void reset_data_plane();
   /// Inserts `joiner` (with its station/control state) right after
-  /// `ingress`, keeping vectors and ring order aligned.
+  /// `ingress`, keeping kernel columns and ring order aligned.
   void insert_member(NodeId ingress, NodeId joiner, Quota quota);
-  /// Removes the member at `position` from the ring and all vectors.
+  /// Removes the member at `position` from the ring and all kernel columns.
   void erase_member(std::size_t position);
-  /// Cached station slot for a bound traffic source (epoch-validated).
+  /// Cached ring position for a bound traffic source (epoch-validated);
+  /// -1 when the source's station is not a member.
   template <typename Bound>
-  [[nodiscard]] Station* bound_station(Bound& bound);
+  [[nodiscard]] std::int32_t bound_position(Bound& bound);
 
   phy::Topology* topology_;
   Config config_;
@@ -476,20 +474,57 @@ class Engine final {
   ring::VirtualRing ring_;
   cdma::CodeMap codes_;
 
-  // Position-indexed dense storage (see the header comment): entry p of
-  // stations_/control_/links_/transit_regs_ belongs to the station at ring
-  // position p; all four are resized together by the membership paths.
-  std::vector<Station> stations_;
-  std::vector<PerStationControl> control_;
+  // Structure-of-arrays per-position storage (see the header comment):
+  // station counters, class queues, SAT timers, link pipelines and transit
+  // registers, one dense column per field, all kept in lockstep with the
+  // ring order by the membership paths.
+  SlotKernel kernel_;
   std::vector<std::int32_t> position_index_;  ///< NodeId -> position, -1 out
   std::uint64_t membership_epoch_ = 1;
 
-  // Data plane: links_[p] is the FIFO pipeline of frames in flight from the
-  // station at ring position p to position p+1; transit_regs_[p] holds the
-  // frame station p must forward next slot (transit has absolute priority
-  // over local injection, which is what makes slots "busy").
-  std::vector<LinkPipeline> links_;
-  std::vector<LinkFrame> transit_regs_;
+  // Per-position liveness and next-hop reachability, cached off the
+  // topology so the data plane does not re-derive unit-disk geometry and
+  // failed-link sets every slot.  Exact: keyed on (topology version,
+  // membership epoch, stall epoch), all of which bump on every mutation
+  // the cached predicates depend on.
+  std::vector<std::uint8_t> active_cache_;
+  std::vector<std::uint8_t> link_ok_cache_;
+  std::uint64_t cache_topology_version_ = ~std::uint64_t{0};
+  std::uint64_t cache_membership_epoch_ = 0;
+  std::uint64_t cache_stall_epoch_ = ~std::uint64_t{0};
+  std::uint64_t stall_epoch_ = 0;  ///< bumped by stall/resume
+  bool all_active_ok_ = false;     ///< refresh_hot_caches: no stalled/dead member
+  bool all_links_ok_ = false;      ///< refresh_hot_caches: every hop reachable
+
+  // Event-driven fast regime (see the private-method comment block).
+  // calendar_[slot % (R + 3)] holds the frames whose one terminal event
+  // (delivery at the destination, or stale purge after R + 1 hops) lands in
+  // that slot; `column` is the frame's physical link column, fixed for its
+  // whole flight under the rotation representation.
+  struct DataEvent {
+    std::uint32_t column;
+    std::uint32_t position;  ///< arrival position (slow-loop visit order)
+    bool stale;
+  };
+  std::vector<std::vector<DataEvent>> calendar_;
+  std::uint64_t fast_in_flight_ = 0;
+  bool fast_valid_ = false;
+  /// True while frames' hops/arrival fields lag behind the rotation regime.
+  bool frames_view_stale_ = false;
+  std::uint64_t fast_topology_version_ = 0;
+  std::uint64_t fast_membership_epoch_ = 0;
+  std::uint64_t fast_stall_epoch_ = 0;
+
+  // Saturated-source fast poll: a bound needs a refill only after its
+  // station transmitted, so the data plane records drained positions and
+  // poll_traffic() visits just those — after one full pass has verified
+  // every bound is topped up (and falls back whenever that base case or the
+  // position map goes stale).
+  std::vector<std::uint32_t> drained_positions_;
+  std::vector<std::int32_t> position_to_saturated_;
+  bool full_poll_pending_ = true;
+  bool saturated_fast_ok_ = true;  ///< false: two bounds share a station
+  std::uint64_t poll_epoch_ = 0;
 
   // SAT state.
   SatState sat_state_ = SatState::kLost;
@@ -533,6 +568,9 @@ class Engine final {
     std::int32_t position = -1;
     std::uint64_t epoch = 0;
   };
+  /// Tops the bound's class queue back up to its backlog.
+  void refill_saturated(BoundSaturated& bound, std::size_t position);
+
   std::vector<BoundSource> sources_;
   std::vector<BoundSaturated> saturated_;
   std::vector<BoundTrace> traces_;
@@ -559,6 +597,15 @@ class Engine final {
   // by every membership change and by quota renegotiation.
   mutable std::int64_t sat_timeout_cache_ = 0;
   mutable bool sat_timeout_dirty_ = true;
+
+  // SAT-timer scan guard: the earliest expiry found by the last full
+  // check_sat_timers() sweep.  last_sat_arrival only ever advances to now_
+  // and the timeout is constant while the guard is valid, so no station can
+  // expire before this tick and the O(R) sweep is skipped until it passes.
+  // Invalidated whenever the effective timeout may change (membership
+  // change, quota renegotiation).
+  Tick sat_timer_guard_ = kNeverTick;
+  bool sat_timer_guard_valid_ = false;
 
   // CDMA fidelity channel (allocated only when config_.cdma_fidelity).
   std::unique_ptr<cdma::Channel<traffic::Packet>> channel_;

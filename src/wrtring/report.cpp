@@ -98,6 +98,9 @@ util::Table resilience_report(const Engine& engine) {
   table.add_row({std::string("frames lost (teardowns)"),
                  static_cast<std::int64_t>(stats.frames_lost_rebuild), 0.0,
                  0.0});
+  table.add_row({std::string("frames lost (join churn)"),
+                 static_cast<std::int64_t>(stats.frames_lost_churn), 0.0,
+                 0.0});
   table.add_row({std::string("graceful leaves"),
                  static_cast<std::int64_t>(stats.leaves_completed), 0.0,
                  0.0});

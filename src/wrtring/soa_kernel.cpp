@@ -1,0 +1,224 @@
+#include "wrtring/soa_kernel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace wrt::wrtring {
+
+void SlotKernel::clear() {
+  ids_.clear();
+  quota_.clear();
+  k1_assured_.clear();
+  rt_pck_.clear();
+  nrt_pck_.clear();
+  assured_sent_.clear();
+  drops_.clear();
+  for (auto& column : queues_) column.clear();
+  last_sat_arrival_.clear();
+  last_sat_departure_.clear();
+  last_rotation_arrival_.clear();
+  rounds_since_rap_.clear();
+  arrival_history_.clear();
+  link_slots_.clear();
+  link_head_.clear();
+  link_count_.clear();
+  transit_.clear();
+  link_depth_ = 0;
+  rot_ = 0;
+  eligible_bits_.clear();
+  eligible_bits_dirty_ = true;
+}
+
+void SlotKernel::push_station(NodeId id, Quota quota, std::uint32_t k1,
+                              Tick now) {
+  assert(k1 <= quota.k);
+  ids_.push_back(id);
+  quota_.push_back(quota);
+  k1_assured_.push_back(k1);
+  rt_pck_.push_back(0);
+  nrt_pck_.push_back(0);
+  assured_sent_.push_back(0);
+  drops_.push_back(0);
+  for (auto& column : queues_) column.emplace_back();
+  last_sat_arrival_.push_back(now);
+  last_sat_departure_.push_back(kNeverTick);
+  last_rotation_arrival_.push_back(kNeverTick);
+  rounds_since_rap_.push_back(0);
+  arrival_history_.emplace_back();
+  eligible_bits_dirty_ = true;
+}
+
+void SlotKernel::insert_station(std::size_t position, NodeId id, Quota quota,
+                                std::uint32_t k1, Tick now) {
+  assert(position <= size());
+  assert(k1 <= quota.k);
+  const auto at = static_cast<std::ptrdiff_t>(position);
+  ids_.insert(ids_.begin() + at, id);
+  quota_.insert(quota_.begin() + at, quota);
+  k1_assured_.insert(k1_assured_.begin() + at, k1);
+  rt_pck_.insert(rt_pck_.begin() + at, 0);
+  nrt_pck_.insert(nrt_pck_.begin() + at, 0);
+  assured_sent_.insert(assured_sent_.begin() + at, 0);
+  drops_.insert(drops_.begin() + at, 0);
+  for (auto& column : queues_) {
+    column.insert(column.begin() + at, traffic::PacketRing{});
+  }
+  last_sat_arrival_.insert(last_sat_arrival_.begin() + at, now);
+  last_sat_departure_.insert(last_sat_departure_.begin() + at, kNeverTick);
+  last_rotation_arrival_.insert(last_rotation_arrival_.begin() + at,
+                                kNeverTick);
+  rounds_since_rap_.insert(rounds_since_rap_.begin() + at, 0);
+  arrival_history_.insert(arrival_history_.begin() + at, std::vector<Tick>{});
+  eligible_bits_dirty_ = true;
+}
+
+void SlotKernel::erase_station(std::size_t position) {
+  assert(position < size());
+  const auto at = static_cast<std::ptrdiff_t>(position);
+  ids_.erase(ids_.begin() + at);
+  quota_.erase(quota_.begin() + at);
+  k1_assured_.erase(k1_assured_.begin() + at);
+  rt_pck_.erase(rt_pck_.begin() + at);
+  nrt_pck_.erase(nrt_pck_.begin() + at);
+  assured_sent_.erase(assured_sent_.begin() + at);
+  drops_.erase(drops_.begin() + at);
+  for (auto& column : queues_) column.erase(column.begin() + at);
+  last_sat_arrival_.erase(last_sat_arrival_.begin() + at);
+  last_sat_departure_.erase(last_sat_departure_.begin() + at);
+  last_rotation_arrival_.erase(last_rotation_arrival_.begin() + at);
+  rounds_since_rap_.erase(rounds_since_rap_.begin() + at);
+  arrival_history_.erase(arrival_history_.begin() + at);
+  eligible_bits_dirty_ = true;
+}
+
+void SlotKernel::adopt_station(SlotKernel& other, std::size_t from) {
+  assert(from < other.size());
+  ids_.push_back(other.ids_[from]);
+  quota_.push_back(other.quota_[from]);
+  k1_assured_.push_back(other.k1_assured_[from]);
+  rt_pck_.push_back(other.rt_pck_[from]);
+  nrt_pck_.push_back(other.nrt_pck_[from]);
+  assured_sent_.push_back(other.assured_sent_[from]);
+  drops_.push_back(other.drops_[from]);
+  for (std::size_t cls = 0; cls < 3; ++cls) {
+    queues_[cls].push_back(std::move(other.queues_[cls][from]));
+  }
+  last_sat_arrival_.push_back(other.last_sat_arrival_[from]);
+  last_sat_departure_.push_back(other.last_sat_departure_[from]);
+  last_rotation_arrival_.push_back(other.last_rotation_arrival_[from]);
+  rounds_since_rap_.push_back(other.rounds_since_rap_[from]);
+  arrival_history_.push_back(std::move(other.arrival_history_[from]));
+  eligible_bits_dirty_ = true;
+}
+
+void SlotKernel::reset_links(std::size_t depth) {
+  const std::size_t R = size();
+  link_depth_ = depth;
+  link_slots_.assign(R * depth, LinkFrame{});
+  link_head_.assign(R, 0);
+  link_count_.assign(R, 0);
+  transit_.assign(R, LinkFrame{});
+  rot_ = 0;
+}
+
+void SlotKernel::rebuild_eligible() {
+  eligible_bits_.assign((size() + 63) / 64, 0);
+  for (std::size_t p = 0; p < size(); ++p) {
+    if (eligible_class(p).has_value()) {
+      eligible_bits_[p >> 6] |= std::uint64_t{1} << (p & 63);
+    }
+  }
+  eligible_bits_dirty_ = false;
+}
+
+std::optional<TrafficClass> SlotKernel::eligible_class(std::size_t p) const {
+  const Quota quota = quota_[p];
+  // Send rule 1: real-time while RT_PCK has not reached l.
+  if (!queues_[0][p].empty() && rt_pck_[p] < quota.l) {
+    return TrafficClass::kRealTime;
+  }
+  // Send rule 2: non-real-time only when the real-time buffer is empty or
+  // the real-time quota is exhausted, and NRT_PCK has not reached k.
+  const bool rt_gate = queues_[0][p].empty() || rt_pck_[p] == quota.l;
+  if (!rt_gate || nrt_pck_[p] >= quota.k) return std::nullopt;
+
+  // Diffserv split (Section 2.3): Assured traffic draws on the k1 share
+  // with priority over best-effort; best-effort uses the remainder.  With
+  // k1 = 0 the assured queue competes as plain best-effort-priority class.
+  const std::uint32_t k1 = k1_assured_[p];
+  const bool assured_allowed =
+      !queues_[1][p].empty() && (k1 == 0 || assured_sent_[p] < k1);
+  if (assured_allowed) return TrafficClass::kAssured;
+
+  // With the split enabled, leftover k1 authorizations are a reservation for
+  // Assured traffic and are not usable by best-effort.
+  const std::uint32_t k2 = quota.k - k1;
+  const std::uint32_t be_sent = nrt_pck_[p] - assured_sent_[p];
+  if (!queues_[2][p].empty() && (k1 == 0 || be_sent < k2)) {
+    return TrafficClass::kBestEffort;
+  }
+  return std::nullopt;
+}
+
+traffic::Packet SlotKernel::take_for_transmit(std::size_t p,
+                                              TrafficClass cls) {
+  traffic::PacketRing& queue = queues_[static_cast<std::size_t>(cls)][p];
+  assert(!queue.empty());
+  traffic::Packet packet = std::move(queue.front());
+  queue.pop_front();
+  if (cls == TrafficClass::kRealTime) {
+    assert(rt_pck_[p] < quota_[p].l);
+    ++rt_pck_[p];
+  } else {
+    assert(nrt_pck_[p] < quota_[p].k);
+    ++nrt_pck_[p];
+    if (cls == TrafficClass::kAssured) ++assured_sent_[p];
+  }
+  refresh_eligible(p);
+  return packet;
+}
+
+bool SlotKernel::enqueue(std::size_t p, traffic::Packet&& packet) {
+  traffic::PacketRing& queue =
+      queues_[static_cast<std::size_t>(packet.cls)][p];
+  if (queue.size() >= queue_capacity_) {
+    ++drops_[p];
+    return false;
+  }
+  queue.push_back(std::move(packet));
+  refresh_eligible(p);
+  return true;
+}
+
+const traffic::Packet* SlotKernel::peek(std::size_t p,
+                                        TrafficClass cls) const {
+  const traffic::PacketRing& queue =
+      queues_[static_cast<std::size_t>(cls)][p];
+  return queue.empty() ? nullptr : &queue.front();
+}
+
+void SlotKernel::clear_queues(std::size_t p) {
+  for (auto& column : queues_) column[p].clear();
+  refresh_eligible(p);
+}
+
+void SlotKernel::set_quota(std::size_t p, Quota quota) noexcept {
+  quota_[p] = quota;
+  rt_pck_[p] = std::min(rt_pck_[p], quota.l);
+  nrt_pck_[p] = std::min(nrt_pck_[p], quota.k);
+  assured_sent_[p] = std::min(assured_sent_[p], nrt_pck_[p]);
+  k1_assured_[p] = std::min(k1_assured_[p], quota.k);
+  refresh_eligible(p);
+}
+
+std::uint64_t SlotKernel::frames_in_flight() const noexcept {
+  std::uint64_t in_flight = 0;
+  for (const std::uint32_t count : link_count_) in_flight += count;
+  for (const LinkFrame& reg : transit_) {
+    if (reg.busy) ++in_flight;
+  }
+  return in_flight;
+}
+
+}  // namespace wrt::wrtring

@@ -1,0 +1,278 @@
+// Structure-of-arrays slot kernel: the dense per-position state the per-slot
+// hot path sweeps over.
+//
+// One engine slot touches every ring position a handful of times — arrival
+// check, transit forward, Send-algorithm gate, SAT-timer expiry — and the
+// old layout paid for that with an array-of-structs walk (one Station, one
+// PerStationControl, one heap-backed LinkPipeline per position), so each
+// pass hopped between allocations and dragged cold fields through the
+// cache.  SlotKernel flips the layout: every per-station field lives in its
+// own dense vector indexed by ring position, so each pass of
+// data_plane_step() / check_sat_timers() streams exactly the arrays it
+// needs and nothing else.
+//
+// The OO surface survives as views: wrtring::Station is a (kernel,
+// position) handle whose accessors read/write these arrays, so tests and
+// cold-path callers keep the Section-2.2 vocabulary while the hot path
+// indexes the arrays directly.
+//
+// Position discipline: entry p of every array describes the station at ring
+// position p; the link arrays describe the link from position p to p+1.
+// Membership paths (join, cut-out, leave, re-formation) mutate the arrays
+// and the ring order together — push/insert/erase/adopt keep all columns in
+// lockstep, and reset_links() re-sizes the link columns to the current
+// station count.  The link columns deliberately keep their previous length
+// until reset_links() runs so a teardown can still count the in-flight
+// frames of the outgoing ring.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "traffic/traffic.hpp"
+#include "util/types.hpp"
+
+namespace wrt::check {
+class InvariantAuditor;   // runtime invariant auditor (src/check/)
+struct EngineTestHook;    // test-only state corruption (src/check/)
+}  // namespace wrt::check
+
+namespace wrt::wrtring {
+
+class Engine;
+class Station;
+
+/// One data frame in flight on a ring link, or parked in a transit register
+/// within the current slot.
+struct LinkFrame {
+  traffic::Packet packet;
+  Tick entered_ring = 0;
+  Tick arrival = 0;
+  std::uint32_t hops = 0;
+  bool busy = false;
+};
+
+class SlotKernel final {
+ public:
+  SlotKernel() = default;
+
+  /// Sets the shared per-class queue capacity (uniform across stations).
+  void configure(std::size_t queue_capacity) noexcept {
+    queue_capacity_ = queue_capacity;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  void clear();
+
+  // --- membership (cold path; keeps every column in lockstep) -------------
+
+  /// Appends a station slot with fresh MAC counters and control state; the
+  /// SAT timer starts from `now`.
+  void push_station(NodeId id, Quota quota, std::uint32_t k1, Tick now);
+
+  /// Inserts a fresh station slot at `position`, shifting later slots up.
+  void insert_station(std::size_t position, NodeId id, Quota quota,
+                      std::uint32_t k1, Tick now);
+
+  /// Removes the slot at `position` (its queued packets are discarded).
+  void erase_station(std::size_t position);
+
+  /// Appends slot `from` of `other`, moving its queues, counters and
+  /// control state (ring re-formation re-pack).
+  void adopt_station(SlotKernel& other, std::size_t from);
+
+  /// Re-sizes the link columns to the current station count with `depth`
+  /// slots per link, emptying every pipeline and transit register.
+  void reset_links(std::size_t depth);
+
+  // --- Send / SAT algorithms (Section 2.2/2.3), by position ---------------
+
+  /// Send algorithm: the class this station would inject into an empty slot
+  /// right now (quota counters, class priority, Diffserv k1/k2 split);
+  /// nullopt when nothing may be sent.  Does not pop.
+  [[nodiscard]] std::optional<TrafficClass> eligible_class(
+      std::size_t p) const;
+
+  /// Pops and returns the head packet of `cls`, updating RT_PCK/NRT_PCK.
+  /// Precondition: eligible_class(p) returned `cls`.
+  traffic::Packet take_for_transmit(std::size_t p, TrafficClass cls);
+
+  /// SAT predicate: satisfied iff RT_PCK == l or the RT queue is empty.
+  [[nodiscard]] bool satisfied(std::size_t p) const noexcept {
+    return rt_pck_[p] == quota_[p].l || queues_[0][p].empty();
+  }
+
+  /// SAT release: clears the round's RT_PCK/NRT_PCK authorizations.
+  void on_sat_release(std::size_t p) noexcept {
+    rt_pck_[p] = 0;
+    nrt_pck_[p] = 0;
+    assured_sent_[p] = 0;
+    refresh_eligible(p);
+  }
+
+  /// Enqueues into the packet's class queue; false (and a counted drop)
+  /// when the queue is full.  The move commits only on acceptance.
+  bool enqueue(std::size_t p, traffic::Packet&& packet);
+
+  [[nodiscard]] const traffic::Packet* peek(std::size_t p,
+                                            TrafficClass cls) const;
+  void clear_queues(std::size_t p);
+
+  /// Clamps counters when the quota shrinks below what was already
+  /// transmitted this round (otherwise RT_PCK == l could never fire).
+  void set_quota(std::size_t p, Quota quota) noexcept;
+  void set_k1_assured(std::size_t p, std::uint32_t k1) noexcept {
+    k1_assured_[p] = k1;
+    refresh_eligible(p);
+  }
+
+  // --- Send-eligibility bitmap (event-driven injection scan) --------------
+  //
+  // Bit p mirrors eligible_class(p).has_value().  Every mutator that can
+  // change the Send algorithm's answer (enqueue, take_for_transmit,
+  // on_sat_release, set_quota, set_k1_assured, clear_queues) refreshes its
+  // own bit, so the engine's fast injection scan walks set bits instead of
+  // evaluating every position each slot.  Membership ops invalidate the
+  // whole map; rebuild_eligible() recomputes it in one pass.
+
+  /// Recomputes bit `p` from eligible_class(p).  No-op while the map is
+  /// marked dirty (a full rebuild is pending anyway).
+  void refresh_eligible(std::size_t p) noexcept {
+    if (eligible_bits_dirty_) return;
+    const std::uint64_t mask = std::uint64_t{1} << (p & 63);
+    if (eligible_class(p).has_value()) {
+      eligible_bits_[p >> 6] |= mask;
+    } else {
+      eligible_bits_[p >> 6] &= ~mask;
+    }
+  }
+
+  /// Recomputes the whole bitmap (cold; after membership changes).
+  void rebuild_eligible();
+
+  [[nodiscard]] std::size_t queue_depth(std::size_t p,
+                                        TrafficClass cls) const noexcept {
+    return queues_[static_cast<std::size_t>(cls)][p].size();
+  }
+
+  // --- link pipelines (fixed-depth FIFOs over one flat allocation) --------
+  //
+  // Logical link p (position p -> p+1) lives in physical column
+  // link_col(p) = (p + rot_) mod R.  With depth 1 every in-flight frame
+  // advances exactly one link per slot, so the engine's event-driven fast
+  // regime "moves" all of them at once by decrementing rot_ — a frame's
+  // physical slot never changes between injection and delivery.  Outside
+  // that regime rot_ stays 0 and the translation is the identity.
+
+  [[nodiscard]] std::size_t link_col(std::size_t p) const noexcept {
+    const std::size_t c = p + rot_;
+    const std::size_t columns = link_head_.size();
+    return c >= columns ? c - columns : c;
+  }
+  /// Advances every in-flight frame one link (depth-1 fast regime only).
+  void rotate_links_one() noexcept {
+    rot_ = (rot_ == 0 ? static_cast<std::uint32_t>(link_head_.size()) : rot_) -
+           1;
+  }
+
+  [[nodiscard]] std::size_t link_columns() const noexcept {
+    return link_head_.size();
+  }
+  [[nodiscard]] std::size_t link_depth() const noexcept { return link_depth_; }
+  [[nodiscard]] bool link_empty(std::size_t p) const noexcept {
+    return link_count_[link_col(p)] == 0;
+  }
+  [[nodiscard]] std::size_t link_size(std::size_t p) const noexcept {
+    return link_count_[link_col(p)];
+  }
+  [[nodiscard]] LinkFrame& link_front(std::size_t p) noexcept {
+    const std::size_t c = link_col(p);
+    return link_slots_[c * link_depth_ + link_head_[c]];
+  }
+  [[nodiscard]] const LinkFrame& link_front(std::size_t p) const noexcept {
+    const std::size_t c = link_col(p);
+    return link_slots_[c * link_depth_ + link_head_[c]];
+  }
+  void link_pop(std::size_t p) noexcept {
+    const std::size_t c = link_col(p);
+    link_slots_[c * link_depth_ + link_head_[c]].busy = false;
+    const std::uint32_t next = link_head_[c] + 1;
+    link_head_[c] =
+        next == static_cast<std::uint32_t>(link_depth_) ? 0 : next;
+    --link_count_[c];
+  }
+  /// False when the pipeline is full (cannot happen while the depth
+  /// invariant holds; callers treat it as a lost frame defensively).
+  [[nodiscard]] bool link_push(std::size_t p, LinkFrame&& frame) noexcept {
+    const std::size_t c = link_col(p);
+    if (link_count_[c] == link_depth_) return false;
+    std::size_t tail = link_head_[c] + link_count_[c];
+    if (tail >= link_depth_) tail -= link_depth_;
+    link_slots_[c * link_depth_ + tail] = std::move(frame);
+    ++link_count_[c];
+    return true;
+  }
+
+  [[nodiscard]] LinkFrame& transit(std::size_t p) noexcept {
+    return transit_[p];
+  }
+  [[nodiscard]] const LinkFrame& transit(std::size_t p) const noexcept {
+    return transit_[p];
+  }
+
+  /// Frames on links plus busy transit registers (accounting identity).
+  [[nodiscard]] std::uint64_t frames_in_flight() const noexcept;
+
+  // --- cold-path column accessors -----------------------------------------
+
+  [[nodiscard]] const std::vector<NodeId>& ids() const noexcept {
+    return ids_;
+  }
+  [[nodiscard]] const std::vector<Quota>& quotas() const noexcept {
+    return quota_;
+  }
+
+ private:
+  friend class Engine;
+  friend class Station;
+  friend class ::wrt::check::InvariantAuditor;
+  friend struct ::wrt::check::EngineTestHook;
+
+  std::size_t queue_capacity_ = 4096;
+
+  // Station identity and Send-algorithm state, by ring position.
+  std::vector<NodeId> ids_;
+  std::vector<Quota> quota_;
+  std::vector<std::uint32_t> k1_assured_;
+  std::vector<std::uint32_t> rt_pck_;        ///< RT sent since last release
+  std::vector<std::uint32_t> nrt_pck_;       ///< non-RT since last release
+  std::vector<std::uint32_t> assured_sent_;  ///< Assured share of nrt_pck_
+  std::vector<std::uint64_t> drops_;         ///< queue-full rejections
+  // Class queues: queues_[class][position].
+  std::vector<traffic::PacketRing> queues_[3];
+
+  // Control-plane timers and rotation history, by ring position.
+  std::vector<Tick> last_sat_arrival_;    ///< for SAT_TIMER
+  std::vector<Tick> last_sat_departure_;
+  std::vector<Tick> last_rotation_arrival_;  ///< rotation statistics
+  std::vector<std::int64_t> rounds_since_rap_;
+  std::vector<std::vector<Tick>> arrival_history_;  ///< bounded, oldest first
+
+  // Data plane: logical link p -> p+1 is a ring buffer over link_depth_
+  // slots at physical column link_col(p); transit_[p] holds the frame
+  // position p must forward next (absolute priority over local injection).
+  std::vector<LinkFrame> link_slots_;
+  std::vector<std::uint32_t> link_head_;
+  std::vector<std::uint32_t> link_count_;
+  std::vector<LinkFrame> transit_;
+  std::size_t link_depth_ = 0;
+  std::uint32_t rot_ = 0;  ///< logical->physical column rotation offset
+
+  // Send-eligibility bitmap (see refresh_eligible); rebuilt lazily after
+  // membership changes.
+  std::vector<std::uint64_t> eligible_bits_;
+  bool eligible_bits_dirty_ = true;
+};
+
+}  // namespace wrt::wrtring

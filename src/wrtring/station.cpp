@@ -1,103 +1,68 @@
 #include "wrtring/station.hpp"
 
-#include <algorithm>
 #include <cassert>
+
+#include "wrtring/soa_kernel.hpp"
 
 namespace wrt::wrtring {
 
-Station::Station(NodeId id, Quota quota, std::uint32_t k1_assured,
-                 std::size_t queue_capacity)
-    : id_(id),
-      quota_(quota),
-      k1_assured_(k1_assured),
-      queue_capacity_(queue_capacity) {
-  assert(k1_assured_ <= quota_.k);
-}
+NodeId Station::id() const noexcept { return kernel_->ids_[position_]; }
+
+Quota Station::quota() const noexcept { return kernel_->quota_[position_]; }
 
 void Station::set_quota(Quota quota) noexcept {
-  quota_ = quota;
-  rt_pck_ = std::min(rt_pck_, quota_.l);
-  nrt_pck_ = std::min(nrt_pck_, quota_.k);
-  assured_sent_ = std::min(assured_sent_, nrt_pck_);
-  k1_assured_ = std::min(k1_assured_, quota_.k);
+  kernel_->set_quota(position_, quota);
 }
 
 void Station::set_k1_assured(std::uint32_t k1) noexcept {
-  assert(k1 <= quota_.k);
-  k1_assured_ = k1;
+  assert(k1 <= quota().k);
+  kernel_->set_k1_assured(position_, k1);
+}
+
+std::uint32_t Station::k1_assured() const noexcept {
+  return kernel_->k1_assured_[position_];
 }
 
 bool Station::enqueue(traffic::Packet&& packet) {
-  auto& queue = queues_[static_cast<std::size_t>(packet.cls)];
-  if (queue.size() >= queue_capacity_) {
-    ++drops_;
-    return false;
-  }
-  queue.push_back(std::move(packet));
-  return true;
+  return kernel_->enqueue(position_, std::move(packet));
+}
+
+std::size_t Station::queue_depth(TrafficClass cls) const noexcept {
+  return kernel_->queue_depth(position_, cls);
+}
+
+std::uint64_t Station::queue_drops() const noexcept {
+  return kernel_->drops_[position_];
 }
 
 std::optional<TrafficClass> Station::eligible_class() const {
-  // Send rule 1: real-time while RT_PCK has not reached l.
-  if (!queues_[0].empty() && rt_pck_ < quota_.l) {
-    return TrafficClass::kRealTime;
-  }
-  // Send rule 2: non-real-time only when the real-time buffer is empty or
-  // the real-time quota is exhausted, and NRT_PCK has not reached k.
-  const bool rt_gate = queues_[0].empty() || rt_pck_ == quota_.l;
-  if (!rt_gate || nrt_pck_ >= quota_.k) return std::nullopt;
-
-  // Diffserv split (Section 2.3): Assured traffic draws on the k1 share
-  // with priority over best-effort; best-effort uses the remainder.  With
-  // k1 = 0 the assured queue competes as plain best-effort-priority class.
-  const bool assured_allowed =
-      !queues_[1].empty() &&
-      (k1_assured_ == 0 || assured_sent_ < k1_assured_);
-  if (assured_allowed) return TrafficClass::kAssured;
-
-  // With the split enabled, leftover k1 authorizations are a reservation for
-  // Assured traffic and are not usable by best-effort.
-  const std::uint32_t k2 = quota_.k - k1_assured_;
-  const std::uint32_t be_sent = nrt_pck_ - assured_sent_;
-  if (!queues_[2].empty() && (k1_assured_ == 0 || be_sent < k2)) {
-    return TrafficClass::kBestEffort;
-  }
-  return std::nullopt;
+  return kernel_->eligible_class(position_);
 }
 
 traffic::Packet Station::take_for_transmit(TrafficClass cls) {
-  auto& queue = queues_[static_cast<std::size_t>(cls)];
-  assert(!queue.empty());
-  traffic::Packet packet = std::move(queue.front());
-  queue.pop_front();
-  if (cls == TrafficClass::kRealTime) {
-    assert(rt_pck_ < quota_.l);
-    ++rt_pck_;
-  } else {
-    assert(nrt_pck_ < quota_.k);
-    ++nrt_pck_;
-    if (cls == TrafficClass::kAssured) ++assured_sent_;
-  }
-  return packet;
+  return kernel_->take_for_transmit(position_, cls);
 }
 
 bool Station::satisfied() const noexcept {
-  return rt_pck_ == quota_.l || queues_[0].empty();
+  return kernel_->satisfied(position_);
 }
 
 void Station::on_sat_release() noexcept {
-  rt_pck_ = 0;
-  nrt_pck_ = 0;
-  assured_sent_ = 0;
+  kernel_->on_sat_release(position_);
+}
+
+std::uint32_t Station::rt_pck() const noexcept {
+  return kernel_->rt_pck_[position_];
+}
+
+std::uint32_t Station::nrt_pck() const noexcept {
+  return kernel_->nrt_pck_[position_];
 }
 
 const traffic::Packet* Station::peek(TrafficClass cls) const {
-  const auto& queue = queues_[static_cast<std::size_t>(cls)];
-  return queue.empty() ? nullptr : &queue.front();
+  return kernel_->peek(position_, cls);
 }
 
-void Station::clear_queues() {
-  for (auto& queue : queues_) queue.clear();
-}
+void Station::clear_queues() { kernel_->clear_queues(position_); }
 
 }  // namespace wrt::wrtring

@@ -1,20 +1,25 @@
-// Per-station MAC state: the queues, the quota counters, and the two
+// Per-station MAC view: the queues, the quota counters, and the two
 // protocol decisions of Section 2.2 — the Send algorithm and the SAT
 // algorithm's satisfied/not-satisfied predicate.
+//
+// Since the structure-of-arrays refactor the state itself lives in the
+// engine's SlotKernel (one dense column per field, indexed by ring
+// position); a Station is a value-type view — a (kernel, position) handle —
+// that keeps the object-per-station API for tests, tools and cold paths
+// while the per-slot hot path sweeps the arrays directly.  Copying a
+// Station copies the handle, not the state, and a view is invalidated by
+// any membership change that moves its position.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 
 #include "traffic/traffic.hpp"
 #include "util/types.hpp"
 
-namespace wrt::check {
-struct EngineTestHook;  // test-only state corruption (src/check/)
-}  // namespace wrt::check
-
 namespace wrt::wrtring {
+
+class SlotKernel;
 
 /// Section 2.2, verbatim:
 ///   Send 1. A station can send real-time packets only if RT_PCK < l  [sic:
@@ -27,11 +32,11 @@ namespace wrt::wrtring {
 class Station final {
  public:
   Station() = default;
-  Station(NodeId id, Quota quota, std::uint32_t k1_assured,
-          std::size_t queue_capacity);
+  Station(SlotKernel* kernel, std::uint32_t position)
+      : kernel_(kernel), position_(position) {}
 
-  [[nodiscard]] NodeId id() const noexcept { return id_; }
-  [[nodiscard]] Quota quota() const noexcept { return quota_; }
+  [[nodiscard]] NodeId id() const noexcept;
+  [[nodiscard]] Quota quota() const noexcept;
 
   /// Renegotiates the quota.  When it shrinks below what was already
   /// transmitted this round, the counters are clamped to the new quota —
@@ -44,9 +49,7 @@ class Station final {
   /// affecting and without being affected by the behavior of the other
   /// stations").  Precondition: k1 <= quota().k.
   void set_k1_assured(std::uint32_t k1) noexcept;
-  [[nodiscard]] std::uint32_t k1_assured() const noexcept {
-    return k1_assured_;
-  }
+  [[nodiscard]] std::uint32_t k1_assured() const noexcept;
 
   /// Enqueues an arriving packet into its class queue; returns false (and
   /// counts a drop) when the class queue is full.  On failure the caller's
@@ -59,12 +62,10 @@ class Station final {
 
   /// Number of real-time packets currently queued (the `x` of Theorem 3).
   [[nodiscard]] std::size_t rt_queue_depth() const noexcept {
-    return queues_[0].size();
+    return queue_depth(TrafficClass::kRealTime);
   }
-  [[nodiscard]] std::size_t queue_depth(TrafficClass cls) const noexcept {
-    return queues_[static_cast<std::size_t>(cls)].size();
-  }
-  [[nodiscard]] std::uint64_t queue_drops() const noexcept { return drops_; }
+  [[nodiscard]] std::size_t queue_depth(TrafficClass cls) const noexcept;
+  [[nodiscard]] std::uint64_t queue_drops() const noexcept;
 
   /// Send algorithm: picks the packet this station would transmit into an
   /// empty slot right now, honouring quota counters, class priority
@@ -83,8 +84,8 @@ class Station final {
   /// (new authorizations for the round that begins now).
   void on_sat_release() noexcept;
 
-  [[nodiscard]] std::uint32_t rt_pck() const noexcept { return rt_pck_; }
-  [[nodiscard]] std::uint32_t nrt_pck() const noexcept { return nrt_pck_; }
+  [[nodiscard]] std::uint32_t rt_pck() const noexcept;
+  [[nodiscard]] std::uint32_t nrt_pck() const noexcept;
 
   /// Peeks the head packet of a class (for access-delay accounting).
   [[nodiscard]] const traffic::Packet* peek(TrafficClass cls) const;
@@ -93,20 +94,8 @@ class Station final {
   void clear_queues();
 
  private:
-  friend struct ::wrt::check::EngineTestHook;
-
-  NodeId id_ = kInvalidNode;
-  Quota quota_{1, 1};
-  std::uint32_t k1_assured_ = 0;
-  std::size_t queue_capacity_ = 4096;
-
-  // Index by TrafficClass value: 0 = RT, 1 = assured, 2 = BE.
-  std::deque<traffic::Packet> queues_[3];
-
-  std::uint32_t rt_pck_ = 0;        ///< RT packets sent since last SAT release
-  std::uint32_t nrt_pck_ = 0;       ///< non-RT packets sent since last release
-  std::uint32_t assured_sent_ = 0;  ///< portion of nrt_pck_ that was Assured
-  std::uint64_t drops_ = 0;
+  SlotKernel* kernel_ = nullptr;
+  std::uint32_t position_ = 0;
 };
 
 }  // namespace wrt::wrtring

@@ -199,8 +199,8 @@ TEST_P(LossyChurnTest, RingRecoversUnderBurstyLoss) {
   // Frame conservation across the whole lossy, churny horizon.
   EXPECT_EQ(stats.data_transmissions,
             stats.sink.total_delivered() + stats.frames_lost_link +
-                stats.frames_lost_rebuild + stats.frames_dropped_stale +
-                engine.frames_in_flight());
+                stats.frames_lost_rebuild + stats.frames_lost_churn +
+                stats.frames_dropped_stale + engine.frames_in_flight());
   EXPECT_TRUE(engine.check_invariants().ok());
 }
 

@@ -67,6 +67,7 @@ struct SeedResult {
   std::uint64_t joins_abandoned = 0;
   std::uint64_t frames_lost_link = 0;
   std::uint64_t frames_lost_rebuild = 0;
+  std::uint64_t frames_lost_churn = 0;
   std::uint64_t auditor_violations = 0;
   std::int64_t reconverge_slots = -1;  ///< horizon -> full membership
 };
@@ -247,6 +248,7 @@ SeedResult run_seed(std::uint64_t seed, const Options& options,
   result.joins_abandoned = stats.joins_abandoned;
   result.frames_lost_link = stats.frames_lost_link;
   result.frames_lost_rebuild = stats.frames_lost_rebuild;
+  result.frames_lost_churn = stats.frames_lost_churn;
   if (stats.sat_loss_detection_slots.count() > 0) {
     result.mttd_mean_slots = stats.sat_loss_detection_slots.mean();
     result.mttd_max_slots = stats.sat_loss_detection_slots.max();
@@ -304,6 +306,7 @@ void print_json(const std::vector<SeedResult>& results) {
                 "\"rebuilds\": %llu, \"control_lost\": %llu, "
                 "\"join_retries\": %llu, \"joins_abandoned\": %llu, "
                 "\"frames_lost_link\": %llu, \"frames_lost_rebuild\": %llu, "
+                "\"frames_lost_churn\": %llu, "
                 "\"auditor_violations\": %llu, \"reconverge_slots\": %lld}",
                 first ? "" : ",",
                 static_cast<unsigned long long>(r.seed),
@@ -317,6 +320,7 @@ void print_json(const std::vector<SeedResult>& results) {
                 static_cast<unsigned long long>(r.joins_abandoned),
                 static_cast<unsigned long long>(r.frames_lost_link),
                 static_cast<unsigned long long>(r.frames_lost_rebuild),
+                static_cast<unsigned long long>(r.frames_lost_churn),
                 static_cast<unsigned long long>(r.auditor_violations),
                 static_cast<long long>(r.reconverge_slots));
     first = false;

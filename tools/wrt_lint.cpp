@@ -14,6 +14,10 @@
 //   missing-nodiscard    Zero-argument const accessors in headers must be
 //                        [[nodiscard]] — dropping an accessor result is
 //                        always a bug.
+//   kernel-aos-access    The per-slot passes operate on the SlotKernel's
+//                        dense arrays (PR 6); `stations_[...]` access in a
+//                        kernel file reintroduces the per-station object
+//                        indirection the SoA refactor removed.
 //
 // Suppressions (a justification is mandatory):
 //   // wrt-lint-allow(<rule>): <reason>        same line or line above
@@ -61,13 +65,18 @@ struct SourceFile {
 
 const std::set<std::string> kRules = {
     "hot-path-assoc", "by-value-frame-param", "stale-include",
-    "missing-nodiscard"};
+    "missing-nodiscard", "kernel-aos-access"};
 
 // Files whose per-slot code must stay free of associative lookups.
 const std::vector<std::string> kHotPathFiles = {
     "wrtring/engine.hpp", "wrtring/engine.cpp", "wrtring/station.hpp",
     "wrtring/station.cpp", "traffic/traffic.hpp", "traffic/traffic.cpp",
     "ring/frame.hpp",      "ring/frame.cpp"};
+
+// Files implementing the slot-kernel passes: all per-station state must be
+// reached through the SlotKernel arrays, never a station-object vector.
+const std::vector<std::string> kKernelFiles = {
+    "wrtring/engine.cpp", "wrtring/soa_kernel.hpp", "wrtring/soa_kernel.cpp"};
 
 // stale-include table: header -> regex proving it is used.  Only headers
 // whose entire API is reliably greppable belong here.
@@ -317,6 +326,30 @@ void rule_missing_nodiscard(const SourceFile& file,
   }
 }
 
+void rule_kernel_aos_access(const SourceFile& file,
+                            std::vector<Finding>& findings) {
+  bool kernel = false;
+  for (const std::string& suffix : kKernelFiles) {
+    if (file.path.size() >= suffix.size() &&
+        file.path.compare(file.path.size() - suffix.size(), suffix.size(),
+                          suffix) == 0) {
+      kernel = true;
+      break;
+    }
+  }
+  if (!kernel) return;
+  static const std::regex kAosAccess(R"(\bstations_\s*\[)");
+  for (auto it = std::sregex_iterator(file.code.begin(), file.code.end(),
+                                      kAosAccess);
+       it != std::sregex_iterator(); ++it) {
+    report(file, "kernel-aos-access",
+           line_of(file.code, static_cast<std::size_t>(it->position())),
+           "per-station object indexing 'stations_[...]' in a kernel file; "
+           "go through the SlotKernel arrays (or a Station view) instead",
+           findings);
+  }
+}
+
 bool load(const fs::path& path, SourceFile& file,
           std::vector<Finding>& findings) {
   std::ifstream in(path, std::ios::binary);
@@ -381,6 +414,7 @@ int main(int argc, char** argv) {
     rule_by_value_frame_param(file, findings);
     rule_stale_include(file, findings);
     rule_missing_nodiscard(file, findings);
+    rule_kernel_aos_access(file, findings);
   }
 
   for (const Finding& finding : findings) {
