@@ -21,6 +21,7 @@ namespace wrt {
 namespace {
 
 constexpr std::size_t kN = 10;
+// wrt-lint-allow(mutable-global-state): bench CLI knob written once in main() before the single-threaded driver runs
 std::int64_t g_slots = 40000;  // shrunk by --smoke (see main)
 constexpr std::int64_t kMobilityPeriod = 50;
 

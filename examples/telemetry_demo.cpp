@@ -14,6 +14,7 @@
 //
 // Exit status 0 iff the observed per-station SAT rotation maximum stays
 // within the Theorem 1 bound — the same check tools/wrt_report performs.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -32,7 +33,10 @@ int main(int argc, char** argv) {
     std::cout << "telemetry_demo: built with WRT_TELEMETRY=OFF; counters and "
                  "histograms will read zero (the journal still records).\n";
   }
-  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  // Default into build/ so a bare run from the repo root never litters the
+  // working tree; created if absent so the demo also works from elsewhere.
+  const std::string out_dir = argc > 1 ? argv[1] : "build";
+  std::filesystem::create_directories(out_dir);
 
   // 32 stations around a 40 m circle — the paper's larger indoor scenario.
   phy::Topology topology(phy::placement::circle(32, 40.0),

@@ -13,17 +13,23 @@
 #   scripts/check.sh --chaos-smoke  # build only, then run the fixed 16-seed
 #                                   # wrt_chaos soak (FaultPlan chaos +
 #                                   # recovery-SLO + invariant audit)
+#   scripts/check.sh --tsan         # ThreadSanitizer build (build-tsan/) and
+#                                   # the concurrency suite: K engines on K
+#                                   # threads must be race-free AND digest
+#                                   # bit-identical to their serial runs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 WITH_ASAN=0
 WITH_LINT=0
+WITH_TSAN=0
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --asan) WITH_ASAN=1 ;;
     --lint) WITH_LINT=1 ;;
+    --tsan) WITH_TSAN=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
     --chaos-smoke) CHAOS_SMOKE=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
@@ -39,6 +45,25 @@ configure() {
     cmake -B "$dir" -G Ninja "$@"
   fi
 }
+
+if [ "$WITH_TSAN" = 1 ]; then
+  echo "== TSan build + concurrency suite =="
+  # Standalone mode (skips the regular build): builds only the test targets
+  # that exercise threads, because a TSan pass over the serial suite spends
+  # hours to probe nothing.  The shard smoke test is both the race probe
+  # (engines flush telemetry into the shared registry while running) and
+  # the determinism gate (parallel digests must equal serial digests).
+  TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g"
+  configure build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
+  cmake --build build-tsan --target test_concurrency test_telemetry test_sim
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+  build-tsan/tests/test_concurrency
+  build-tsan/tests/test_telemetry
+  build-tsan/tests/test_sim --gtest_filter='Replication*'
+  echo "TSAN PASSED"
+  exit 0
+fi
 
 configure build
 cmake --build build
@@ -72,13 +97,20 @@ ctest --test-dir build --output-on-failure
 
 if [ "$WITH_LINT" = 1 ]; then
   echo "== lint: wrt_lint =="
-  build/tools/wrt_lint src
+  # Everything that ships: library code, tools, benches and examples.
+  # tests/ is exempt (fixtures under tests/lint/fixtures are deliberately
+  # rule-violating inputs for the linter's own self-test).
+  build/tools/wrt_lint src tools bench examples
+
+  echo "== lint: suppression inventory =="
+  # Fails on suppressions that name a rule wrt_lint does not implement.
+  build/tools/wrt_lint --list-suppressions src tools bench examples
 
   # External analyzers are optional (not baked into every container); the
   # repo-specific linter above is the part that must always run and gate.
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "== lint: clang-tidy =="
-    find src tools -name '*.cpp' -print0 |
+    find src tools bench examples -name '*.cpp' -print0 |
       xargs -0 clang-tidy -p build --quiet
   else
     echo "== lint: clang-tidy not installed, skipping =="
@@ -88,7 +120,7 @@ if [ "$WITH_LINT" = 1 ]; then
     echo "== lint: cppcheck =="
     cppcheck --enable=warning,performance,portability --inline-suppr \
       --suppressions-list=scripts/cppcheck.suppressions \
-      --error-exitcode=1 --quiet -I src src tools/wrt_lint.cpp
+      --error-exitcode=1 --quiet -I src src tools bench examples
   else
     echo "== lint: cppcheck not installed, skipping =="
   fi

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "util/thread_safety.hpp"
 #include "util/types.hpp"
 
 namespace wrt::sim {
@@ -23,7 +24,11 @@ struct EventHandle {
   std::uint64_t id = 0;
 };
 
-class Scheduler {
+/// Shard-confined: a scheduler belongs to exactly one simulation shard and
+/// has no internal locking.  Federation workers each own a private
+/// Scheduler; cross-shard event injection must go through value-type
+/// gateway messages, never by scheduling into another shard's queue.
+class WRT_SHARD_CONFINED Scheduler {
  public:
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;

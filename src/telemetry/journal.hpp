@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "util/result.hpp"
+#include "util/thread_safety.hpp"
 #include "util/types.hpp"
 
 namespace wrt::telemetry {
@@ -66,7 +67,12 @@ struct RingMeta {
   std::vector<std::pair<NodeId, Quota>> quotas;  ///< per ring member
 };
 
-class Journal {
+/// Shard-confined single-writer: the journal's append path is an index
+/// computation plus a plain store, so exactly one engine thread may record
+/// into a journal and readers (exporters, wrt_report) must wait for the
+/// writer to quiesce.  Per-shard journals in a federation are merged
+/// offline, never shared live.
+class WRT_SHARD_CONFINED Journal {
  public:
   /// `capacity_per_station` bounds each station's ring (rounded up to 1).
   explicit Journal(std::size_t capacity_per_station = 4096);

@@ -146,21 +146,21 @@ void TelemetryBatch::flush() noexcept {
 
 void MetricRegistry::add_flush_source(TelemetryBatch* batch) {
   if (batch == nullptr) return;
-  const std::lock_guard<std::mutex> lock(sources_mutex_);
+  const util::MutexLock lock(sources_mutex_);
   if (std::find(sources_.begin(), sources_.end(), batch) == sources_.end()) {
     sources_.push_back(batch);
   }
 }
 
 void MetricRegistry::remove_flush_source(TelemetryBatch* batch) noexcept {
-  const std::lock_guard<std::mutex> lock(sources_mutex_);
+  const util::MutexLock lock(sources_mutex_);
   sources_.erase(std::remove(sources_.begin(), sources_.end(), batch),
                  sources_.end());
 }
 
 RegistrySnapshot MetricRegistry::snapshot() const {
   {
-    const std::lock_guard<std::mutex> lock(sources_mutex_);
+    const util::MutexLock lock(sources_mutex_);
     for (TelemetryBatch* source : sources_) source->flush();
   }
   RegistrySnapshot snap;

@@ -13,11 +13,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "telemetry/metrics.hpp"
+#include "util/thread_safety.hpp"
 
 namespace wrt::telemetry {
 
@@ -56,12 +56,23 @@ struct RegistrySnapshot {
   }
 };
 
+// The registry is the one sanctioned piece of cross-shard mutable state:
+// every worker thread (replication workers today, federation shards
+// tomorrow) writes it concurrently.  Each field is therefore an atomic, a
+// lock, or annotated with the lock that guards it — enforced by wrt_lint's
+// `unguarded-shared-field` rule via the registrations below and by Clang's
+// `-Wthread-safety` on the annotations themselves.
+//
+// wrt-lint-shared-type(MetricRegistry): written concurrently by every shard
+// wrt-lint-shared-type(PaddedCounter): element of the registry counter block
+// wrt-lint-shared-type(PaddedHistogram): element of the registry histogram block
 class MetricRegistry {
  public:
   /// Largest bucket_count any HistogramLayout may declare.
   static constexpr std::uint32_t kMaxBuckets = 64;
 
   [[nodiscard]] static MetricRegistry& instance() noexcept {
+    // wrt-lint-allow(mutable-global-state): the one sanctioned cross-shard sink (every field atomic or lock-guarded)
     static MetricRegistry registry;
     return registry;
   }
@@ -90,7 +101,8 @@ class MetricRegistry {
   /// Copies every metric out (advisory while writers run).  Registered
   /// flush sources are drained first, so totals include deltas an engine
   /// has staged but not yet batch-flushed (see add_flush_source).
-  [[nodiscard]] RegistrySnapshot snapshot() const;
+  [[nodiscard]] RegistrySnapshot snapshot() const
+      WRT_EXCLUDES(sources_mutex_);
 
   /// Registers a staging batch to be drained by every snapshot().  An
   /// engine driven by bare step() calls flushes its batch only every
@@ -99,10 +111,14 @@ class MetricRegistry {
   /// caller must remove_flush_source() before the batch is destroyed.
   /// Contract: a registered batch must only be written from the thread
   /// that takes snapshots (the single-threaded driver pattern) — batches
-  /// owned by replication worker threads must NOT be registered.
-  void add_flush_source(TelemetryBatch* batch);
+  /// owned by replication worker threads must NOT be registered, and no
+  /// thread may take a snapshot() while engines run on other threads (the
+  /// drain would race their batch writes; see DESIGN.md "Concurrency
+  /// model").
+  void add_flush_source(TelemetryBatch* batch) WRT_EXCLUDES(sources_mutex_);
 
-  void remove_flush_source(TelemetryBatch* batch) noexcept;
+  void remove_flush_source(TelemetryBatch* batch) noexcept
+      WRT_EXCLUDES(sources_mutex_);
 
   /// Zeroes everything.  For tests and bench isolation only — production
   /// consumers difference successive snapshots instead.
@@ -134,8 +150,8 @@ class MetricRegistry {
   // Flush-source list: cold (mutated on engine construction/destruction,
   // walked per snapshot), so a mutex-guarded vector is plenty.  mutable
   // because snapshot() is logically const but must drain the sources.
-  mutable std::mutex sources_mutex_;
-  mutable std::vector<TelemetryBatch*> sources_;
+  mutable util::Mutex sources_mutex_;
+  mutable std::vector<TelemetryBatch*> sources_ WRT_GUARDED_BY(sources_mutex_);
 };
 
 /// Single-writer staging area for a hot loop (one per engine).  Events bump
@@ -149,7 +165,11 @@ class MetricRegistry {
 /// interval; Engine::run_slots flushes on return (and the batch flushes on
 /// destruction), so totals are exact whenever a driving loop has handed
 /// control back.
-class TelemetryBatch {
+///
+/// Shard-confined: exactly one thread (the owning engine's) may touch a
+/// batch.  flush() publishes through atomics, so concurrent batches on
+/// different threads are safe; one batch on two threads is not.
+class WRT_SHARD_CONFINED TelemetryBatch {
  public:
   TelemetryBatch() = default;
   TelemetryBatch(const TelemetryBatch&) = delete;

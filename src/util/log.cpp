@@ -6,7 +6,9 @@
 namespace wrt::util {
 namespace {
 
+// wrt-lint-allow(mutable-global-state): process-wide atomic log level; per-shard levels would fragment operator UX
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// wrt-lint-allow(mutable-global-state): one atomic sink pointer for the whole process, installed before workers start
 std::atomic<LogSink> g_sink{nullptr};
 
 void default_sink(LogLevel level, const std::string& message) {

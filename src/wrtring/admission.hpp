@@ -92,6 +92,7 @@ class AdmissionController {
   [[nodiscard]] util::Result<analysis::RingParams> try_allocate(
       const SessionRequest* extra);
 
+  // wrt-lint-allow(cross-shard-handle): the controller manages its own ring's admission — same shard by construction
   Engine* engine_;
   analysis::AllocationScheme scheme_;
   std::int64_t l_budget_;

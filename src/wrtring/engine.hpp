@@ -58,6 +58,7 @@
 #include "util/flat_map.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
+#include "util/thread_safety.hpp"
 #include "wrtring/config.hpp"
 #include "wrtring/soa_kernel.hpp"
 #include "wrtring/station.hpp"
@@ -122,7 +123,16 @@ enum class SatState : std::uint8_t {
   kRebuilding, ///< ring re-formation downtime in progress
 };
 
-class Engine final {
+/// Shard-confined: one engine is one federation shard, driven by exactly
+/// one thread.  Independent engines on independent threads are safe (the
+/// process-wide MetricRegistry they all flush into is atomic/lock-guarded;
+/// see tests/concurrency/shard_smoke_test.cpp), but every entry point
+/// below — stepping, membership (request_join / request_leave /
+/// kill_station), and the fault plane (stall_station, degrade_link,
+/// drop_control_once) — must be called from the engine's owning thread.
+/// Cross-shard interaction goes through value-type gateway messages, never
+/// by poking another shard's engine (lint rule `cross-shard-handle`).
+class WRT_SHARD_CONFINED Engine final {
  public:
   /// `topology` must outlive the engine; the engine mutates liveness when
   /// stations are killed and reads reachability every slot.

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "traffic/traffic.hpp"
+#include "util/thread_safety.hpp"
 #include "util/types.hpp"
 
 namespace wrt::check {
@@ -53,7 +54,10 @@ struct LinkFrame {
   bool busy = false;
 };
 
-class SlotKernel final {
+/// Shard-confined: the kernel's dense arrays are the per-shard mutable
+/// core; they are written by the owning engine's thread only and carry no
+/// internal synchronisation (see Engine's confinement contract).
+class WRT_SHARD_CONFINED SlotKernel final {
  public:
   SlotKernel() = default;
 

@@ -94,6 +94,7 @@ class Station final {
   void clear_queues();
 
  private:
+  // wrt-lint-allow(cross-shard-handle): Station is the non-owning view over its own kernel's columns (same shard)
   SlotKernel* kernel_ = nullptr;
   std::uint32_t position_ = 0;
 };

@@ -1,0 +1,8 @@
+// Fixture: Packet passed by value (1 finding).
+#pragma once
+namespace fixture {
+struct Packet {
+  int bytes = 0;
+};
+void deliver(Packet packet);
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: by-value Packet with a justified suppression.
+#pragma once
+namespace fixture {
+struct Packet {
+  int bytes = 0;
+};
+// wrt-lint-allow(by-value-frame-param): fixture — sink takes ownership by copy on purpose
+void deliver(Packet packet);
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: stored raw Engine pointer in ring code (1 finding).
+#pragma once
+namespace fixture {
+class Engine;
+class PeerTable {
+ private:
+  Engine* neighbor_ = nullptr;
+};
+}  // namespace fixture

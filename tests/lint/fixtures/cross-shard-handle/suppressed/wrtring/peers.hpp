@@ -1,0 +1,10 @@
+// Fixture: the same handle with a justified same-shard suppression.
+#pragma once
+namespace fixture {
+class Engine;
+class PeerTable {
+ private:
+  // wrt-lint-allow(cross-shard-handle): fixture — handle to the table's own engine, same shard
+  Engine* neighbor_ = nullptr;
+};
+}  // namespace fixture

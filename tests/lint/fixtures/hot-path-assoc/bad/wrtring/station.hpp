@@ -1,0 +1,13 @@
+// Fixture: associative container in a hot-path file (2 findings — the
+// include and the member declaration).
+#pragma once
+#include <map>
+namespace fixture {
+class StationIndex {
+ public:
+  void insert(int key, int value) { lookup_[key] = value; }
+
+ private:
+  std::map<int, int> lookup_;
+};
+}  // namespace fixture

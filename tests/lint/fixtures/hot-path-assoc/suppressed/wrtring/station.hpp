@@ -1,0 +1,13 @@
+// Fixture: the same hot-path associative container, silenced file-wide.
+// wrt-lint-allow-file(hot-path-assoc): fixture — cold lookup table, not the per-slot path
+#pragma once
+#include <map>
+namespace fixture {
+class StationIndex {
+ public:
+  void insert(int key, int value) { lookup_[key] = value; }
+
+ private:
+  std::map<int, int> lookup_;
+};
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: per-station object indexing in a kernel file (1 finding).
+#include <vector>
+namespace fixture {
+struct StationState {
+  int rt_pck = 0;
+};
+struct Kernel {
+  std::vector<StationState> stations_;
+  int rt(int position) { return stations_[position].rt_pck; }
+};
+}  // namespace fixture

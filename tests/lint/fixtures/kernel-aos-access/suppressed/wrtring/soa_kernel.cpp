@@ -1,0 +1,12 @@
+// Fixture: the same AoS access with a justified suppression.
+#include <vector>
+namespace fixture {
+struct StationState {
+  int rt_pck = 0;
+};
+struct Kernel {
+  std::vector<StationState> stations_;
+  // wrt-lint-allow(kernel-aos-access): fixture — cold debug dump, not a per-slot pass
+  int rt(int position) { return stations_[position].rt_pck; }
+};
+}  // namespace fixture

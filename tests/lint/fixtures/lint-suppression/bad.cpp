@@ -1,0 +1,6 @@
+// Fixture: suppression naming a rule that does not exist (1 finding; also
+// makes --list-suppressions exit non-zero).
+// wrt-lint-allow(no-such-rule): this rule was retired
+namespace fixture {
+const int kAnswer = 42;
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: zero-argument const accessor without [[nodiscard]] (1 finding).
+#pragma once
+namespace fixture {
+class Counter {
+ public:
+  int value() const { return value_; }
+
+ private:
+  int value_ = 0;
+};
+}  // namespace fixture

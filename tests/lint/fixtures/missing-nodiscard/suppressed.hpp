@@ -1,0 +1,12 @@
+// Fixture: the same accessor with a justified suppression.
+#pragma once
+namespace fixture {
+class Counter {
+ public:
+  // wrt-lint-allow(missing-nodiscard): fixture — result intentionally droppable in the demo API
+  int value() const { return value_; }
+
+ private:
+  int value_ = 0;
+};
+}  // namespace fixture

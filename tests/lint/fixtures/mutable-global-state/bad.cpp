@@ -1,0 +1,9 @@
+// Fixture: a namespace-scope mutable global and a mutable function-local
+// static (2 findings).
+namespace fixture {
+int g_counter = 0;
+int bump() {
+  static int calls;
+  return ++calls + g_counter;
+}
+}  // namespace fixture

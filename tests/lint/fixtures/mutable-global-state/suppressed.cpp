@@ -1,0 +1,10 @@
+// Fixture: the same globals, each with a justified suppression.
+namespace fixture {
+// wrt-lint-allow(mutable-global-state): fixture — written once before any shard starts
+int g_counter = 0;
+int bump() {
+  // wrt-lint-allow(mutable-global-state): fixture — per-process call counter, test-only
+  static int calls;
+  return ++calls + g_counter;
+}
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// Fixture: <sstream> included, nothing from it used (1 finding).
+#include <sstream>
+namespace fixture {
+int answer() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Fixture: stale include with a justified suppression.
+// wrt-lint-allow(stale-include): fixture — kept for a macro expansion the table cannot see
+#include <sstream>
+namespace fixture {
+int answer() { return 42; }
+}  // namespace fixture

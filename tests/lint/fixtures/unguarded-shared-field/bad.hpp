@@ -1,0 +1,11 @@
+// Fixture: registered shared type with one unannotated field (1 finding —
+// the atomic field is fine, the plain int is not).
+#pragma once
+#include <atomic>
+namespace fixture {
+// wrt-lint-shared-type(SharedBox): fixture shared type
+struct SharedBox {
+  std::atomic<int> hits{0};
+  int unguarded = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: registered shared type whose plain field carries a justified
+// suppression.
+#pragma once
+namespace fixture {
+// wrt-lint-shared-type(SuppressedBox): fixture shared type
+struct SuppressedBox {
+  // wrt-lint-allow(unguarded-shared-field): fixture — synchronised externally by the harness
+  int cold = 0;
+};
+}  // namespace fixture

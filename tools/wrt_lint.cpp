@@ -18,19 +18,46 @@
 //                        dense arrays (PR 6); `stations_[...]` access in a
 //                        kernel file reintroduces the per-station object
 //                        indirection the SoA refactor removed.
+//   mutable-global-state Non-const namespace-scope / static-local mutable
+//                        variables are banned: a federation shard must own
+//                        its state, and a hidden global is cross-shard
+//                        state nobody annotated.  The sanctioned globals
+//                        (the MetricRegistry singleton, the log sinks)
+//                        carry justified suppressions — the whitelist is
+//                        the suppression list, auditable via
+//                        --list-suppressions.
+//   cross-shard-handle   Ring/engine code (wrtring/, tpt/) may not declare
+//                        raw pointer/reference variables or fields to
+//                        Engine / SlotKernel / Station: a stored handle
+//                        into another shard's mutable core bypasses the
+//                        epoch-synchronized gateway-message path.  Handles
+//                        to *own-shard* objects get a justified
+//                        suppression.
+//   unguarded-shared-field
+//                        Types registered as shared via
+//                        `// wrt-lint-shared-type(Name): <why>` (anywhere
+//                        in the scanned tree) must have every field atomic,
+//                        const, a lock, annotated WRT_GUARDED_BY /
+//                        WRT_PT_GUARDED_BY, or itself a registered shared
+//                        type — the textual complement of Clang's
+//                        -Wthread-safety pass.
 //
 // Suppressions (a justification is mandatory):
 //   // wrt-lint-allow(<rule>): <reason>        same line or line above
 //   // wrt-lint-allow-file(<rule>): <reason>   whole file
 //
-// Usage: wrt_lint [--list-rules] [dir-or-file ...]   (default: src)
-// Exits 0 when clean, 1 when any finding survives suppression.
+// Usage: wrt_lint [--list-rules] [--list-suppressions] [dir-or-file ...]
+// (default: src).  Exits 0 when clean, 1 when any finding survives
+// suppression.  --list-suppressions dumps every active wrt-lint-allow with
+// its justification and fails on suppressions naming a rule that no longer
+// exists (stale-suppression rot).
 //
 // The scanner is textual by intent: it blanks comments and string literals
 // and then works with regular expressions.  That keeps it dependency-free
 // (no libclang in the container) and fast enough to run on every check.
 
 #include <algorithm>
+#include <cctype>
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
@@ -64,8 +91,25 @@ struct SourceFile {
 };
 
 const std::set<std::string> kRules = {
-    "hot-path-assoc", "by-value-frame-param", "stale-include",
-    "missing-nodiscard", "kernel-aos-access"};
+    "hot-path-assoc",       "by-value-frame-param", "stale-include",
+    "missing-nodiscard",    "kernel-aos-access",    "mutable-global-state",
+    "cross-shard-handle",   "unguarded-shared-field"};
+
+/// Active suppression, for --list-suppressions.
+struct Suppression {
+  std::string path;
+  std::size_t line = 0;
+  std::string rule;
+  std::string reason;
+  bool file_wide = false;
+};
+
+/// Cross-file context built in a first pass over every input file: the
+/// shared-type registrations the unguarded-shared-field rule checks.
+struct LintContext {
+  std::set<std::string> shared_types;
+  std::vector<Suppression> suppressions;
+};
 
 // Files whose per-slot code must stay free of associative lookups.
 const std::vector<std::string> kHotPathFiles = {
@@ -174,9 +218,12 @@ std::string strip_comments_and_strings(const std::string& raw) {
   return out;
 }
 
-void parse_suppressions(SourceFile& file, std::vector<Finding>& findings) {
+void parse_suppressions(SourceFile& file, LintContext& context,
+                        std::vector<Finding>& findings) {
+  // Rule names start with a letter, so the regex cannot match its own
+  // source text (where "-file(" follows "allow") when tools/ lints itself.
   static const std::regex kAllow(
-      R"(wrt-lint-allow(-file)?\(([a-z0-9-]+)\)\s*:?\s*(.*))");
+      R"(wrt-lint-allow(-file)?\(([a-z][a-z0-9-]*)\)\s*:?\s*(.*))");
   std::istringstream stream(file.raw);
   std::string line;
   for (std::size_t number = 1; std::getline(stream, line); ++number) {
@@ -196,6 +243,8 @@ void parse_suppressions(SourceFile& file, std::vector<Finding>& findings) {
                               "' lacks a justification"});
       continue;
     }
+    context.suppressions.push_back({file.path, number, rule, reason,
+                                    file_wide});
     if (file_wide) {
       file.suppressed_rules.insert(rule);
     } else {
@@ -203,6 +252,18 @@ void parse_suppressions(SourceFile& file, std::vector<Finding>& findings) {
       file.suppressed_lines[rule].insert(number);
       file.suppressed_lines[rule].insert(number + 1);
     }
+  }
+}
+
+/// Collects `// wrt-lint-shared-type(Name)` registrations: the classes the
+/// unguarded-shared-field rule audits, declared next to their definition so
+/// the shared-type list lives with the code it describes.
+void parse_shared_types(const SourceFile& file, LintContext& context) {
+  static const std::regex kSharedType(R"(wrt-lint-shared-type\((\w+)\))");
+  for (auto it = std::sregex_iterator(file.raw.begin(), file.raw.end(),
+                                      kSharedType);
+       it != std::sregex_iterator(); ++it) {
+    context.shared_types.insert((*it)[1].str());
   }
 }
 
@@ -350,7 +411,243 @@ void rule_kernel_aos_access(const SourceFile& file,
   }
 }
 
-bool load(const fs::path& path, SourceFile& file,
+// --- shard-safety rules (PR 7) --------------------------------------------
+
+/// True when the declaration segment contains any of the words that make a
+/// `static`/global immutable or per-thread (and therefore shard-safe).
+bool is_immutable_decl(const std::string& segment) {
+  static const std::regex kImmutable(
+      R"(\b(const|constexpr|constinit|thread_local)\b)");
+  return std::regex_search(segment, kImmutable);
+}
+
+/// mutable-global-state, detector 1: `static` storage-duration variables at
+/// any scope (static locals and static data members).  A declaration whose
+/// first delimiter is '(' is a function or a direct-initialised object and
+/// is skipped — parenthesised initialisers of mutable statics are rare
+/// enough that the fixture covers the brace/equals forms only.
+void rule_mutable_static(const SourceFile& file,
+                         std::vector<Finding>& findings) {
+  static const std::regex kStatic(R"(\bstatic\b)");
+  const std::string& code = file.code;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kStatic);
+       it != std::sregex_iterator(); ++it) {
+    const auto at = static_cast<std::size_t>(it->position());
+    const std::size_t delim = code.find_first_of(";{(", at);
+    if (delim == std::string::npos || code[delim] != ';') {
+      if (delim == std::string::npos || code[delim] == '(') continue;
+      // '{' first: brace-initialised static variable — still a static.
+    }
+    const std::size_t stop = std::min(delim, code.size());
+    std::string segment = code.substr(at, stop - at);
+    if (segment.find('(') != std::string::npos) continue;
+    if (is_immutable_decl(segment)) continue;
+    // The declarator name precedes any `= ...` initializer.
+    const std::size_t init = segment.find('=');
+    if (init != std::string::npos) segment = segment.substr(0, init);
+    // Name = last identifier of the segment.
+    static const std::regex kName(R"((\w+)\s*$)");
+    std::smatch name;
+    std::string trimmed = segment;
+    const std::size_t end = trimmed.find_last_not_of(" \t\n");
+    if (end != std::string::npos) trimmed = trimmed.substr(0, end + 1);
+    if (!std::regex_search(trimmed, name, kName)) continue;
+    if (name[1].str() == "static") continue;  // bare keyword (e.g. macros)
+    report(file, "mutable-global-state", line_of(code, at),
+           "mutable static '" + name[1].str() +
+               "' — shards must own their state; make it const, "
+               "thread_local, or justify a suppression",
+           findings);
+  }
+}
+
+/// mutable-global-state, detector 2: namespace-scope mutable globals.  The
+/// repo writes namespace-scope declarations at column 0 (function bodies
+/// and class members are indented), so the scan is line-anchored: a
+/// column-0 declaration with no parentheses and no const/using/type-intro
+/// keyword is a mutable global.
+void rule_mutable_namespace_global(const SourceFile& file,
+                                   std::vector<Finding>& findings) {
+  static const std::regex kDecl(
+      R"(^(?:inline\s+)?[A-Za-z_][\w:]*(?:\s*<[^;()]*>)?[\w:\s*&\[\]]*[\s*&](\w+)\s*(?:\{[^;]*\}|=[^;]*)?;)");
+  static const std::regex kSkip(
+      R"(^\s*(?:using|typedef|extern|template|friend|namespace|struct|class|enum|union|return|public|private|protected|#)\b)");
+  std::istringstream stream(file.code);
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(stream, line)) {
+    ++number;
+    if (line.empty() || std::isspace(static_cast<unsigned char>(line[0]))) {
+      continue;
+    }
+    if (line.find('(') != std::string::npos) continue;
+    if (std::regex_search(line, kSkip)) continue;
+    if (is_immutable_decl(line)) continue;
+    if (line.find("static") != std::string::npos) continue;  // detector 1
+    std::smatch match;
+    if (!std::regex_search(line, match, kDecl)) continue;
+    report(file, "mutable-global-state", number,
+           "mutable namespace-scope variable '" + match[1].str() +
+               "' — shards must own their state; make it const, "
+               "thread_local, or justify a suppression",
+           findings);
+  }
+}
+
+void rule_mutable_global_state(const SourceFile& file,
+                               std::vector<Finding>& findings) {
+  rule_mutable_static(file, findings);
+  rule_mutable_namespace_global(file, findings);
+}
+
+/// cross-shard-handle applies to the ring/engine trees: a stored pointer or
+/// reference to another shard's Engine/SlotKernel/Station would let one
+/// worker thread reach into a second shard's mutable core.
+bool is_ring_code(const std::string& path) {
+  return path.find("wrtring/") != std::string::npos ||
+         path.find("tpt/") != std::string::npos;
+}
+
+void rule_cross_shard_handle(const SourceFile& file,
+                             std::vector<Finding>& findings) {
+  if (!is_ring_code(file.path)) return;
+  static const std::regex kHandle(
+      R"((?:\bconst\s+)?(?:\w+::)*\b(Engine|SlotKernel|Station)\s*[*&]+\s*(\w+)\s*(?:=[^;{}()]*)?;)");
+  const std::string& code = file.code;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kHandle);
+       it != std::sregex_iterator(); ++it) {
+    const auto at = static_cast<std::size_t>(it->position());
+    // Declaration statements only: the segment since the previous
+    // ';'/'{'/'}' must not sit inside a parameter list (no parens).
+    std::size_t start = code.find_last_of(";{}", at);
+    start = start == std::string::npos ? 0 : start + 1;
+    const std::string before = code.substr(start, at - start);
+    if (before.find('(') != std::string::npos ||
+        before.find(')') != std::string::npos) {
+      continue;
+    }
+    report(file, "cross-shard-handle", line_of(code, at),
+           "stored raw handle '" + (*it)[2].str() + "' to a " +
+               (*it)[1].str() +
+               " — inter-ring communication must use value-type gateway "
+               "messages; same-shard handles need a justified suppression",
+           findings);
+  }
+}
+
+/// One depth-1 statement of a registered shared type's body: flag it when
+/// it is a field with no visible concurrency contract.
+void check_shared_field(const SourceFile& file, const std::string& type,
+                        const std::string& statement, std::size_t offset,
+                        const LintContext& context,
+                        std::vector<Finding>& findings) {
+  std::string decl = statement;
+  // Access specifiers share the statement slot with the first declaration
+  // after them; strip them.
+  static const std::regex kAccess(R"(\b(public|private|protected)\s*:)");
+  decl = std::regex_replace(decl, kAccess, "");
+  const std::size_t first = decl.find_first_not_of(" \t\n");
+  if (first == std::string::npos) return;
+  decl = decl.substr(first);
+  static const std::regex kNotAField(
+      R"(^(?:using|typedef|friend|template|static_assert|struct|class|enum|union)\b)");
+  if (std::regex_search(decl, kNotAField)) return;
+  const bool annotated =
+      decl.find("WRT_GUARDED_BY") != std::string::npos ||
+      decl.find("WRT_PT_GUARDED_BY") != std::string::npos;
+  std::string probe = decl;
+  static const std::regex kAnnotation(R"(WRT(_PT)?_GUARDED_BY\s*\([^)]*\))");
+  probe = std::regex_replace(probe, kAnnotation, "");
+  if (probe.find('(') != std::string::npos) return;  // method, ctor, =default
+  static const std::regex kField(R"((\w+)\s*(?:\{[^;]*\}|=[^;]*)?$)");
+  std::smatch name;
+  if (!std::regex_search(probe, name, kField)) return;
+  if (annotated || is_immutable_decl(probe)) return;
+  static const std::regex kSyncType(
+      R"(atomic|Mutex|mutex|once_flag|condition_variable)");
+  if (std::regex_search(probe, kSyncType)) return;
+  for (const std::string& shared : context.shared_types) {
+    if (probe.find(shared) != std::string::npos) return;
+  }
+  report(file, "unguarded-shared-field", line_of(file.code, offset),
+         "field '" + name[1].str() + "' of shared type '" + type +
+             "' has no concurrency annotation — make it atomic/const, "
+             "guard it with WRT_GUARDED_BY, or justify a suppression",
+         findings);
+}
+
+/// unguarded-shared-field: every field of a registered shared type must
+/// carry a concurrency story the analyser can see.
+void rule_unguarded_shared_field(const SourceFile& file,
+                                 const LintContext& context,
+                                 std::vector<Finding>& findings) {
+  if (context.shared_types.empty()) return;
+  // alignas(...) is the one paren construct legitimate in a field decl;
+  // blank it (preserving offsets) so the function-vs-field test stays "has
+  // parentheses".
+  std::string code = file.code;
+  static const std::regex kAlignas(R"(\balignas\s*\([^)]*\))");
+  for (std::smatch match;
+       std::regex_search(code, match, kAlignas);) {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(match.length());
+         ++i) {
+      char& c = code[static_cast<std::size_t>(match.position()) + i];
+      if (c != '\n') c = ' ';
+    }
+  }
+  for (const std::string& type : context.shared_types) {
+    const std::regex class_re("(?:class|struct)\\s+(?:[A-Za-z_]\\w*\\s+)*" +
+                              type + "\\b[^;{]*\\{");
+    std::smatch class_match;
+    std::string::const_iterator search_from = code.cbegin();
+    if (!std::regex_search(search_from, code.cend(), class_match, class_re)) {
+      continue;
+    }
+    const auto body_open =
+        static_cast<std::size_t>(class_match.position() +
+                                 class_match.length()) - 1;
+    // Walk the class body: statements at depth 1 are member declarations;
+    // nested braces (inline method bodies, nested types) are skipped, and
+    // returning to depth 1 resets the statement so a field following an
+    // inline body is still seen.
+    int depth = 0;
+    std::string statement;
+    std::size_t statement_start = body_open;
+    for (std::size_t i = body_open; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '{') {
+        ++depth;
+        if (depth == 2) statement.clear();
+        continue;
+      }
+      if (c == '}') {
+        --depth;
+        if (depth == 0) break;
+        if (depth == 1) {
+          statement.clear();
+          statement_start = i + 1;
+        }
+        continue;
+      }
+      if (depth != 1) continue;
+      if (c == ';') {
+        if (!statement.empty()) {
+          check_shared_field(file, type, statement, statement_start,
+                             context, findings);
+        }
+        statement.clear();
+        continue;
+      }
+      if (statement.empty()) {
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+        statement_start = i;
+      }
+      statement += c;
+    }
+  }
+}
+
+bool load(const fs::path& path, SourceFile& file, LintContext& context,
           std::vector<Finding>& findings) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -363,7 +660,8 @@ bool load(const fs::path& path, SourceFile& file,
   file.raw = buffer.str();
   file.code = strip_comments_and_strings(file.raw);
   file.is_header = path.extension() == ".hpp" || path.extension() == ".h";
-  parse_suppressions(file, findings);
+  parse_suppressions(file, context, findings);
+  parse_shared_types(file, context);
   return true;
 }
 
@@ -387,11 +685,16 @@ void collect(const fs::path& root, std::vector<fs::path>& files) {
 
 int main(int argc, char** argv) {
   std::vector<fs::path> roots;
+  bool list_suppressions = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
       for (const std::string& rule : kRules) std::cout << rule << '\n';
       return 0;
+    }
+    if (arg == "--list-suppressions") {
+      list_suppressions = true;
+      continue;
     }
     roots.emplace_back(arg);
   }
@@ -406,15 +709,44 @@ int main(int argc, char** argv) {
     collect(root, files);
   }
 
+  // Pass 1: load everything — suppressions and shared-type registrations
+  // are cross-file context the rules need before any file is judged.
   std::vector<Finding> findings;
-  for (const fs::path& path : files) {
-    SourceFile file;
-    if (!load(path, file, findings)) return 2;
+  LintContext context;
+  std::vector<SourceFile> sources(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!load(files[i], sources[i], context, findings)) return 2;
+  }
+
+  if (list_suppressions) {
+    // Audit mode: every active suppression with its justification.  The
+    // unknown-rule / missing-justification findings recorded during the
+    // load pass still gate, so a suppression naming a retired rule rots
+    // loudly instead of silently.
+    for (const Suppression& s : context.suppressions) {
+      std::cout << s.path << ':' << s.line << ": ["
+                << (s.file_wide ? "file" : "line") << "] " << s.rule << ": "
+                << s.reason << '\n';
+    }
+    std::cout << "wrt_lint: " << context.suppressions.size()
+              << " active suppression(s)\n";
+    for (const Finding& finding : findings) {
+      std::cout << finding.path << ':' << finding.line << ": ["
+                << finding.rule << "] " << finding.message << '\n';
+    }
+    return findings.empty() ? 0 : 1;
+  }
+
+  // Pass 2: the rules.
+  for (SourceFile& file : sources) {
     rule_hot_path_assoc(file, findings);
     rule_by_value_frame_param(file, findings);
     rule_stale_include(file, findings);
     rule_missing_nodiscard(file, findings);
     rule_kernel_aos_access(file, findings);
+    rule_mutable_global_state(file, findings);
+    rule_cross_shard_handle(file, findings);
+    rule_unguarded_shared_field(file, context, findings);
   }
 
   for (const Finding& finding : findings) {
