@@ -13,6 +13,11 @@
 #   scripts/check.sh --chaos-smoke  # build only, then run the fixed 16-seed
 #                                   # wrt_chaos soak (FaultPlan chaos +
 #                                   # recovery-SLO + invariant audit)
+#   scripts/check.sh --federation-smoke
+#                                   # build bench_federation only, then run
+#                                   # its --determinism mode: same (seed, K)
+#                                   # must digest identically for worker
+#                                   # counts W in {1,2,8}
 #   scripts/check.sh --tsan         # ThreadSanitizer build (build-tsan/) and
 #                                   # the concurrency suite: K engines on K
 #                                   # threads must be race-free AND digest
@@ -25,6 +30,7 @@ WITH_LINT=0
 WITH_TSAN=0
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
+FEDERATION_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --asan) WITH_ASAN=1 ;;
@@ -32,6 +38,7 @@ for arg in "$@"; do
     --tsan) WITH_TSAN=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
     --chaos-smoke) CHAOS_SMOKE=1 ;;
+    --federation-smoke) FEDERATION_SMOKE=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -53,6 +60,9 @@ if [ "$WITH_TSAN" = 1 ]; then
   # hours to probe nothing.  The shard smoke test is both the race probe
   # (engines flush telemetry into the shared registry while running) and
   # the determinism gate (parallel digests must equal serial digests).
+  # test_concurrency also carries the federation determinism test: worker
+  # threads post/drain the epoch mailboxes and flush telemetry while the
+  # coordinator owns the buffer flips — the PR 8 race surface.
   TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g"
   configure build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
@@ -62,6 +72,19 @@ if [ "$WITH_TSAN" = 1 ]; then
   build-tsan/tests/test_telemetry
   build-tsan/tests/test_sim --gtest_filter='Replication*'
   echo "TSAN PASSED"
+  exit 0
+fi
+
+if [ "$FEDERATION_SMOKE" = 1 ]; then
+  echo "== federation smoke: worker-count determinism =="
+  # Standalone mode: builds only the federation bench and runs its
+  # determinism oracle (same (seed, K) -> same digest for W in {1,2,8}).
+  # The full federation scaling run (1M+ stations) happens in the regular
+  # bench pass below; this gate is the seconds-cheap CI version.
+  configure build
+  cmake --build build --target bench_federation
+  build/bench/bench_federation --determinism
+  echo "FEDERATION SMOKE PASSED"
   exit 0
 fi
 

@@ -135,4 +135,56 @@ bool LanModel::can_reserve_premium(double rate_per_slot) const noexcept {
   return reserved_premium_ + rate_per_slot <= policy_.premium_rate;
 }
 
+BackboneSegment::BackboneSegment(std::size_t hops,
+                                 double service_rate_per_slot,
+                                 std::size_t queue_capacity,
+                                 double premium_capacity)
+    : premium_capacity_(premium_capacity) {
+  if (hops == 0) hops = 1;
+  hops_.reserve(hops);
+  for (std::size_t h = 0; h < hops; ++h) {
+    hops_.emplace_back(service_rate_per_slot, queue_capacity);
+  }
+}
+
+void BackboneSegment::inject(const traffic::Packet& packet) {
+  hops_.front().enqueue(packet);
+}
+
+void BackboneSegment::step(std::vector<traffic::Packet>& egress) {
+  // Serve from the last hop backwards so a packet crosses one hop per slot
+  // (same discipline as LanModel::step); the last hop feeds the caller.
+  for (std::size_t h = hops_.size(); h-- > 0;) {
+    std::vector<traffic::Packet> served;
+    hops_[h].step(served);
+    for (auto& packet : served) {
+      if (h + 1 == hops_.size()) {
+        egress.push_back(std::move(packet));
+      } else {
+        hops_[h + 1].enqueue(std::move(packet));
+      }
+    }
+  }
+}
+
+std::size_t BackboneSegment::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& hop : hops_) {
+    depth += hop.queue_depth(TrafficClass::kRealTime) +
+             hop.queue_depth(TrafficClass::kAssured) +
+             hop.queue_depth(TrafficClass::kBestEffort);
+  }
+  return depth;
+}
+
+std::uint64_t BackboneSegment::tail_drops() const {
+  std::uint64_t drops = 0;
+  for (const auto& hop : hops_) {
+    drops += hop.tail_drops(TrafficClass::kRealTime) +
+             hop.tail_drops(TrafficClass::kAssured) +
+             hop.tail_drops(TrafficClass::kBestEffort);
+  }
+  return drops;
+}
+
 }  // namespace wrt::diffserv

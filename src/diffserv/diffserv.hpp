@@ -145,4 +145,55 @@ class LanModel {
   double reserved_premium_ = 0.0;
 };
 
+/// Federation backbone segment: the Diffserv cloud between ring gateways.
+/// Same strict-priority per-hop behaviour as LanModel, but transit instead
+/// of terminal — packets that cross the last hop are handed back through
+/// `step()`'s egress parameter for re-injection into the destination ring
+/// rather than absorbed by a sink — and it carries its own Premium
+/// reservation budget (packets/slot), the backbone leg of the three-way
+/// inter-ring admission check (source ring, backbone class, destination
+/// ring).  No edge conditioner: admitted crossings are already policed by
+/// the rings' l-quota grants, and rejected ones travel best-effort.
+class BackboneSegment {
+ public:
+  BackboneSegment(std::size_t hops, double service_rate_per_slot,
+                  std::size_t queue_capacity, double premium_capacity);
+
+  /// Enqueues a packet at the ingress hop.
+  void inject(const traffic::Packet& packet);
+
+  /// Advances all hops one slot; appends packets leaving the last hop to
+  /// `egress` (the caller routes them to their destination ring).
+  void step(std::vector<traffic::Packet>& egress);
+
+  /// Admission query for the backbone leg of a crossing reservation.
+  [[nodiscard]] bool can_reserve_premium(double rate_per_slot) const noexcept {
+    return reserved_premium_ + rate_per_slot <= premium_capacity_;
+  }
+  void reserve_premium(double rate_per_slot) noexcept {
+    reserved_premium_ += rate_per_slot;
+  }
+  void release_premium(double rate_per_slot) noexcept {
+    reserved_premium_ -= rate_per_slot;
+    if (reserved_premium_ < 0.0) reserved_premium_ = 0.0;
+  }
+  [[nodiscard]] double reserved_premium() const noexcept {
+    return reserved_premium_;
+  }
+  [[nodiscard]] double premium_capacity() const noexcept {
+    return premium_capacity_;
+  }
+
+  [[nodiscard]] std::size_t hop_count() const noexcept { return hops_.size(); }
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// Total per-class tail drops summed over every hop.
+  [[nodiscard]] std::uint64_t tail_drops() const;
+
+ private:
+  std::vector<PriorityLink> hops_;
+  double premium_capacity_;
+  double reserved_premium_ = 0.0;
+};
+
 }  // namespace wrt::diffserv

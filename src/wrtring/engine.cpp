@@ -439,6 +439,7 @@ void Engine::deliver(LinkFrame& frame, NodeId at) {
   // here: one batched atomic per slot instead of one per absorbed frame.
   stats_.sink.record_delivery(frame.packet, now_);
   journal_record(at, telemetry::JournalKind::kDeliver, frame.packet.src);
+  if (delivery_tap_) delivery_tap_(frame.packet, at, now_);
 }
 
 void Engine::refresh_hot_caches() {

@@ -290,6 +290,17 @@ class WRT_SHARD_CONFINED Engine final {
     membership_callback_ = std::move(callback);
   }
 
+  /// Delivery observation hook: invoked after every frame absorption (both
+  /// the literal slot loop and the event-driven fast regime route through
+  /// the same deliver()) with the absorbed packet, the absorbing station
+  /// and the current tick.  The federation layer uses it to tap
+  /// gateway-bound crossings without polling per-station sinks.  Unset
+  /// (the default) it costs one branch per delivery.  Pure observation:
+  /// the callback must not re-enter the engine, and in a federation it
+  /// must touch only its own shard's state.
+  using DeliveryTap = std::function<void(const traffic::Packet&, NodeId, Tick)>;
+  void set_delivery_tap(DeliveryTap tap) { delivery_tap_ = std::move(tap); }
+
   [[nodiscard]] const cdma::CodeMap& codes() const noexcept { return codes_; }
 
   /// Ordered protocol events (SAT losses, detections, cut-outs, joins, ...)
@@ -596,6 +607,7 @@ class WRT_SHARD_CONFINED Engine final {
   // Admission.
   std::int64_t max_sat_time_goal_ = 0;
   MembershipCallback membership_callback_;
+  DeliveryTap delivery_tap_;
 
   // Correctness tooling (src/check/): membership events always notify an
   // attached hook; the per-slot cadence exists only in audit builds.

@@ -14,6 +14,16 @@ Gateway::Gateway(Engine* engine, diffserv::LanModel* lan,
   assert(lan_ != nullptr);
 }
 
+Gateway::Gateway(Engine* engine, diffserv::BackboneSegment* backbone,
+                 NodeId gateway_station)
+    : engine_(engine),
+      lan_(nullptr),
+      backbone_(backbone),
+      station_(gateway_station) {
+  assert(engine_ != nullptr);
+  assert(backbone_ != nullptr);
+}
+
 std::uint32_t Gateway::quota_for_rate(double rate_per_slot) const {
   const analysis::RingParams params = engine_->ring_params();
   const auto round_slots =
@@ -36,11 +46,56 @@ util::Result<Reservation> Gateway::reserve_lan_to_ring(FlowId flow,
   }
   // Apply the grant: G1's l quota grows so the MAC can actually carry the
   // admitted stream ("the bandwidth is allocated", Section 2.3).
-  const Quota current = engine_->station(station_).quota();
-  engine_->set_station_quota(station_,
-                             Quota{current.l + extra_l, current.k});
+  grant_quota(station_, extra_l);
   Reservation reservation{flow, rate_per_slot, /*lan_to_ring=*/true,
-                          extra_l};
+                          extra_l, station_, /*backbone_premium=*/false};
+  reservations_.push_back(reservation);
+  return reservation;
+}
+
+void Gateway::grant_quota(NodeId carrier, std::uint32_t extra_l) {
+  const Quota current = engine_->station(carrier).quota();
+  engine_->set_station_quota(carrier, Quota{current.l + extra_l, current.k});
+}
+
+util::Result<Reservation> Gateway::reserve_ring_capacity(
+    NodeId carrier, FlowId flow, double rate_per_slot) {
+  if (rate_per_slot <= 0.0) {
+    return util::Error::invalid_argument("rate must be positive");
+  }
+  const std::uint32_t extra_l = quota_for_rate(rate_per_slot);
+  if (!engine_->admission_allows(Quota{extra_l, 0})) {
+    return util::Error::admission_rejected(
+        "egress ring cannot reserve " + std::to_string(extra_l) +
+        " extra real-time authorizations per SAT round");
+  }
+  grant_quota(carrier, extra_l);
+  Reservation reservation{flow, rate_per_slot, /*lan_to_ring=*/true,
+                          extra_l, carrier, /*backbone_premium=*/false};
+  reservations_.push_back(reservation);
+  return reservation;
+}
+
+util::Result<Reservation> Gateway::reserve_backbone_to_ring(
+    FlowId flow, double rate_per_slot) {
+  assert(backbone_ != nullptr);
+  if (rate_per_slot <= 0.0) {
+    return util::Error::invalid_argument("rate must be positive");
+  }
+  const std::uint32_t extra_l = quota_for_rate(rate_per_slot);
+  if (!engine_->admission_allows(Quota{extra_l, 0})) {
+    return util::Error::admission_rejected(
+        "ingress ring cannot reserve " + std::to_string(extra_l) +
+        " extra real-time authorizations per SAT round");
+  }
+  if (!backbone_->can_reserve_premium(rate_per_slot)) {
+    return util::Error::admission_rejected(
+        "backbone Premium capacity exhausted");
+  }
+  grant_quota(station_, extra_l);
+  backbone_->reserve_premium(rate_per_slot);
+  Reservation reservation{flow, rate_per_slot, /*lan_to_ring=*/true,
+                          extra_l, station_, /*backbone_premium=*/true};
   reservations_.push_back(reservation);
   return reservation;
 }
@@ -49,10 +104,13 @@ util::Status Gateway::release(FlowId flow) {
   for (auto it = reservations_.begin(); it != reservations_.end(); ++it) {
     if (it->flow != flow) continue;
     if (it->lan_to_ring) {
-      const Quota current = engine_->station(station_).quota();
+      const NodeId carrier =
+          it->carrier == kInvalidNode ? station_ : it->carrier;
+      const Quota current = engine_->station(carrier).quota();
       const std::uint32_t restored =
           current.l >= it->granted_l ? current.l - it->granted_l : 0;
-      engine_->set_station_quota(station_, Quota{restored, current.k});
+      engine_->set_station_quota(carrier, Quota{restored, current.k});
+      if (it->backbone_premium) backbone_->release_premium(it->rate_per_slot);
     } else {
       lan_->release_premium(it->rate_per_slot);
     }

@@ -24,7 +24,14 @@ struct Reservation {
   FlowId flow = kInvalidFlow;
   double rate_per_slot = 0.0;  ///< packets per slot
   bool lan_to_ring = true;     ///< direction
-  std::uint32_t granted_l = 0; ///< extra l quota applied to G1 (ring-bound)
+  std::uint32_t granted_l = 0; ///< extra l quota applied to the carrier
+  /// The in-ring station whose l quota carries the stream: G1 for
+  /// ring-bound reservations, the source station for federation egress
+  /// reservations made with reserve_ring_capacity().
+  NodeId carrier = kInvalidNode;
+  /// True when the reservation also holds backbone Premium budget
+  /// (federation ingress reservations).
+  bool backbone_premium = false;
 };
 
 class Gateway {
@@ -32,6 +39,14 @@ class Gateway {
   /// `engine` and `lan` must outlive the gateway.  `gateway_station` is G1's
   /// node id in the ring.
   Gateway(Engine* engine, diffserv::LanModel* lan, NodeId gateway_station);
+
+  /// Federation variant: G1 bridges its ring to a Diffserv backbone
+  /// segment instead of a terminal LAN.  Reservations made through
+  /// reserve_backbone_to_ring() charge both the ring (Theorem-1 check at
+  /// G1) and the segment's Premium budget.  `engine` and `backbone` must
+  /// outlive the gateway.
+  Gateway(Engine* engine, diffserv::BackboneSegment* backbone,
+          NodeId gateway_station);
 
   /// LAN -> ring: "the LAN asks G1 for the needed bandwidth to transmit the
   /// real-time stream towards the ad hoc network.  Station G1 is controlled
@@ -45,6 +60,22 @@ class Gateway {
   /// Ring -> LAN: "G1 asks the Diffserv architecture if the necessary
   /// bandwidth can be guaranteed inside the LAN."
   [[nodiscard]] util::Result<Reservation> reserve_ring_to_lan(
+      FlowId flow, double rate_per_slot);
+
+  /// Federation egress leg: admit a crossing stream whose in-ring
+  /// transmitter is `carrier` (the stream's source station).  Same
+  /// Theorem-1 admission check and l-quota grant as reserve_lan_to_ring,
+  /// applied to the carrier instead of G1; the backbone and ingress-ring
+  /// legs are checked by the destination shard's gateway.
+  [[nodiscard]] util::Result<Reservation> reserve_ring_capacity(
+      NodeId carrier, FlowId flow, double rate_per_slot);
+
+  /// Federation ingress leg: backbone -> ring.  Admits only if the ring
+  /// can grant G1 the extra l quota (G1 relays backbone egress into the
+  /// ring) AND the backbone segment's Premium class has budget for the
+  /// stream; both are reserved atomically.  Requires the backbone
+  /// constructor.
+  [[nodiscard]] util::Result<Reservation> reserve_backbone_to_ring(
       FlowId flow, double rate_per_slot);
 
   /// Tears a reservation down, returning its resources (G1's extra l quota
@@ -68,9 +99,13 @@ class Gateway {
   /// G1, using the expected rotation time (Prop 3) as the round length.
   [[nodiscard]] std::uint32_t quota_for_rate(double rate_per_slot) const;
 
+  /// Installs `extra_l` additional l quota at `carrier`.
+  void grant_quota(NodeId carrier, std::uint32_t extra_l);
+
   // wrt-lint-allow(cross-shard-handle): gateway bridges its OWN ring; other rings are reached via value-type LAN frames
   Engine* engine_;
-  diffserv::LanModel* lan_;
+  diffserv::LanModel* lan_;            ///< exactly one of lan_/backbone_ set
+  diffserv::BackboneSegment* backbone_ = nullptr;
   NodeId station_;
   std::vector<Reservation> reservations_;
 };

@@ -5,8 +5,26 @@
 
 #include "ring/virtual_ring.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace wrt::wrtring {
+
+namespace {
+
+/// Per-ring seed: the coordinator seed mixed (splitmix64) with the ring's
+/// smallest member id.  Anchoring on a stable property of the membership —
+/// instead of the old `seed_ + engines_.size() * 7919`, which depended on
+/// component discovery order — keeps each ring's RNG stream identical when
+/// unrelated components appear, vanish, or are enumerated differently.
+/// Disjoint memberships have distinct minima, so streams never collide.
+[[nodiscard]] std::uint64_t ring_seed(std::uint64_t coordinator_seed,
+                                      NodeId anchor) {
+  std::uint64_t state =
+      coordinator_seed ^ (0x9e3779b97f4a7c15ULL * (anchor + 1ULL));
+  return util::splitmix64(state);
+}
+
+}  // namespace
 
 MultiRingCoordinator::MultiRingCoordinator(phy::Topology* topology,
                                            Config config, std::uint64_t seed)
@@ -19,10 +37,17 @@ void MultiRingCoordinator::form_rings_over(std::vector<NodeId> component) {
     if (ring::build_ring_over(*topology_, group).ok()) {
       Config ring_config = config_;
       ring_config.members = group;
-      auto engine = std::make_unique<Engine>(
-          topology_, std::move(ring_config),
-          seed_ + engines_.size() * 7919);
+      const NodeId anchor = *std::min_element(group.begin(), group.end());
+      auto engine = std::make_unique<Engine>(topology_,
+                                             std::move(ring_config),
+                                             ring_seed(seed_, anchor));
       if (engine->init().ok()) {
+        const std::size_t index = engines_.size();
+        for (const NodeId member : group) ring_index_[member] = index;
+        engine->set_membership_callback(
+            [this, index](NodeId node, bool joined) {
+              on_membership_change(index, node, joined);
+            });
         memberships_.push_back(group);
         engines_.push_back(std::move(engine));
         if (!peeled.empty()) form_rings_over(std::move(peeled));
@@ -91,11 +116,34 @@ void MultiRingCoordinator::run_slots(std::int64_t n) {
   for (std::int64_t i = 0; i < n; ++i) step();
 }
 
-Engine* MultiRingCoordinator::ring_of(NodeId node) {
-  for (std::size_t i = 0; i < engines_.size(); ++i) {
-    if (engines_[i]->virtual_ring().contains(node)) return engines_[i].get();
+void MultiRingCoordinator::on_membership_change(std::size_t index,
+                                                NodeId node, bool joined) {
+  if (joined) {
+    ring_index_[node] = index;
+    const auto it =
+        std::lower_bound(unserved_.begin(), unserved_.end(), node);
+    if (it != unserved_.end() && *it == node) unserved_.erase(it);
+  } else {
+    // Only clear the entry if it still points at this ring: a rebuild of
+    // ring A must not erase a node that has meanwhile joined ring B.
+    const auto entry = ring_index_.find(node);
+    if (entry != ring_index_.end() && entry->second == index) {
+      ring_index_.erase(node);
+      // unserved() means "alive but in no ring": dead stations drop out of
+      // the bookkeeping entirely (coverage() ignores them too).
+      if (topology_->alive(node)) {
+        const auto it =
+            std::lower_bound(unserved_.begin(), unserved_.end(), node);
+        if (it == unserved_.end() || *it != node) unserved_.insert(it, node);
+      }
+    }
   }
-  return nullptr;
+}
+
+Engine* MultiRingCoordinator::ring_of(NodeId node) {
+  const auto entry = ring_index_.find(node);
+  return entry == ring_index_.end() ? nullptr
+                                    : engines_[entry->second].get();
 }
 
 double MultiRingCoordinator::coverage() const {

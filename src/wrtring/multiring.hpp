@@ -11,15 +11,18 @@
 // host a ring (fewer than 3 members or no Hamiltonian cycle) are reported
 // as unserved.
 //
-// No inter-ring bridging is attempted — the paper does not define it; the
-// coordinator's value is serving every serveable pocket of a fragmented
-// deployment and quantifying what fraction of stations that covers.
+// No inter-ring bridging is attempted here — the coordinator's value is
+// serving every serveable pocket of a fragmented deployment and
+// quantifying what fraction of stations that covers.  Bridging (gateways,
+// the Diffserv backbone, reservation brokering) lives one layer up in the
+// sharded federation engine (wrtring/federation.hpp, DESIGN.md §12).
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "phy/topology.hpp"
+#include "util/flat_map.hpp"
 #include "util/result.hpp"
 #include "wrtring/engine.hpp"
 
@@ -48,6 +51,10 @@ class MultiRingCoordinator {
   }
 
   /// The ring engine serving `node`, or nullptr when the node is unserved.
+  /// O(log rings-total-members): answered from a membership index that is
+  /// kept current by the engines' membership callbacks (the coordinator
+  /// owns the callback slot of every engine it creates) — federation
+  /// routing calls this on every crossing, so no linear engine scan.
   [[nodiscard]] Engine* ring_of(NodeId node);
 
   /// Stations alive but in no ring.
@@ -68,12 +75,19 @@ class MultiRingCoordinator {
   /// group is too small.
   void form_rings_over(std::vector<NodeId> component);
 
+  /// Membership-callback body: keeps `ring_index_` and `unserved_`
+  /// consistent as engine `index` gains or loses `node` (joins, cut-outs,
+  /// graceful leaves, rebuild exclusions/recruits).
+  void on_membership_change(std::size_t index, NodeId node, bool joined);
+
   phy::Topology* topology_;
   Config config_;
   std::uint64_t seed_;
   std::vector<std::unique_ptr<Engine>> engines_;
   std::vector<std::vector<NodeId>> memberships_;
-  std::vector<NodeId> unserved_;
+  std::vector<NodeId> unserved_;  ///< sorted
+  /// node -> index into engines_; maintained on churn via callbacks.
+  util::FlatMap<NodeId, std::size_t> ring_index_;
 };
 
 }  // namespace wrt::wrtring

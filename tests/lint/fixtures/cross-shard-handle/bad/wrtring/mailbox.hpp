@@ -1,0 +1,9 @@
+// Fixture: a mailbox frame smuggling a pointer across shards (1 finding).
+#pragma once
+namespace fixture {
+struct Payload;
+struct CrossingFrame {
+  long flow = 0;
+  Payload* origin = nullptr;
+};
+}  // namespace fixture

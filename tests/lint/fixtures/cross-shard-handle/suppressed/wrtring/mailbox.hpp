@@ -1,0 +1,10 @@
+// Fixture: the same frame member with a justified suppression.
+#pragma once
+namespace fixture {
+struct Payload;
+struct CrossingFrame {
+  long flow = 0;
+  // wrt-lint-allow(cross-shard-handle): fixture — scratch pointer, cleared before the frame is posted
+  Payload* origin = nullptr;
+};
+}  // namespace fixture

@@ -80,6 +80,7 @@ TEST(LintSelftest, EveryRuleFiresOnItsBadFixtureAndOnlyThere) {
       "mutable-global-state/bad.cpp:4:mutable-global-state",
       "mutable-global-state/bad.cpp:6:mutable-global-state",
       "cross-shard-handle/bad/wrtring/peers.hpp:7:cross-shard-handle",
+      "cross-shard-handle/bad/wrtring/mailbox.hpp:7:cross-shard-handle",
       "unguarded-shared-field/bad.hpp:9:unguarded-shared-field",
       "lint-suppression/bad.cpp:3:lint-suppression",
   };
@@ -111,9 +112,9 @@ TEST(LintSelftest, ListSuppressionsInventoriesJustifications) {
   EXPECT_NE(result.output.find("unknown rule 'no-such-rule'"),
             std::string::npos)
       << result.output;
-  // ...while the 9 legitimate suppressions are inventoried with their
+  // ...while the 10 legitimate suppressions are inventoried with their
   // scope tag and justification text.
-  EXPECT_NE(result.output.find("9 active suppression(s)"), std::string::npos)
+  EXPECT_NE(result.output.find("10 active suppression(s)"), std::string::npos)
       << result.output;
   EXPECT_NE(result.output.find(
                 "[file] hot-path-assoc: fixture — cold lookup table"),

@@ -2,11 +2,49 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <tuple>
 
 namespace wrt::wrtring {
 namespace {
+
+bool is_unserved(const MultiRingCoordinator& coordinator, NodeId node) {
+  return std::find(coordinator.unserved().begin(),
+                   coordinator.unserved().end(),
+                   node) != coordinator.unserved().end();
+}
+
+/// Bookkeeping invariant: every station is in exactly one of {a ring,
+/// unserved(), dead}, ring_of agrees with the engines' own membership, and
+/// coverage() matches a from-scratch recount.
+void expect_bookkeeping_consistent(MultiRingCoordinator& coordinator,
+                                   const phy::Topology& topology) {
+  std::size_t alive = 0;
+  std::size_t served = 0;
+  for (NodeId node = 0; node < topology.node_count(); ++node) {
+    if (topology.alive(node)) ++alive;
+    Engine* engine = coordinator.ring_of(node);
+    if (engine != nullptr) {
+      ++served;
+      EXPECT_TRUE(engine->virtual_ring().contains(node)) << "node " << node;
+      EXPECT_FALSE(is_unserved(coordinator, node)) << "node " << node;
+    } else {
+      for (std::size_t r = 0; r < coordinator.ring_count(); ++r) {
+        EXPECT_FALSE(coordinator.ring(r).virtual_ring().contains(node))
+            << "ring " << r << " claims node " << node
+            << " behind ring_of's back";
+      }
+      EXPECT_EQ(is_unserved(coordinator, node), topology.alive(node))
+          << "node " << node;
+    }
+  }
+  if (alive > 0) {
+    EXPECT_DOUBLE_EQ(coordinator.coverage(),
+                     static_cast<double>(served) / static_cast<double>(alive));
+  }
+}
 
 /// Two separate 6-station circles, far apart.
 phy::Topology two_islands() {
@@ -126,6 +164,133 @@ TEST(MultiRing, MemberScopedRebuildStaysInIsland) {
   for (std::size_t p = 0; p < ring0.virtual_ring().size(); ++p) {
     EXPECT_LT(ring0.virtual_ring().station_at(p), 6u);
   }
+}
+
+// -- Churn bookkeeping (PR 8) -----------------------------------------------
+//
+// ring_of / unserved() / coverage() must stay consistent while rings churn
+// underneath the coordinator: graceful leaves, rejoins, wedged stations cut
+// out and recruited back, and outright deaths.
+
+TEST(MultiRing, LeaveThenRejoinKeepsBookkeepingConsistent) {
+  phy::Topology topology = two_islands();
+  Config config;
+  config.rap_policy = RapPolicy::kRotating;
+  MultiRingCoordinator coordinator(&topology, config, 1);
+  ASSERT_TRUE(coordinator.init().ok());
+  coordinator.run_slots(100);
+  expect_bookkeeping_consistent(coordinator, topology);
+
+  Engine& ring0 = coordinator.ring(0);
+  const NodeId victim = ring0.virtual_ring().station_at(2);
+  ASSERT_TRUE(ring0.request_leave(victim).ok());
+  coordinator.run_slots(2000);
+  ASSERT_EQ(ring0.virtual_ring().size(), 5u);
+  EXPECT_EQ(coordinator.ring_of(victim), nullptr);
+  EXPECT_TRUE(is_unserved(coordinator, victim));
+  EXPECT_LT(coordinator.coverage(), 1.0);
+  expect_bookkeeping_consistent(coordinator, topology);
+
+  ring0.request_join(victim, {1, 1});
+  coordinator.run_slots(4000);
+  ASSERT_EQ(ring0.virtual_ring().size(), 6u);
+  EXPECT_EQ(coordinator.ring_of(victim), &ring0);
+  EXPECT_FALSE(is_unserved(coordinator, victim));
+  EXPECT_DOUBLE_EQ(coordinator.coverage(), 1.0);
+  expect_bookkeeping_consistent(coordinator, topology);
+}
+
+TEST(MultiRing, StallSplitsAndAutoRejoinRemerges) {
+  phy::Topology topology = two_islands();
+  Config config;
+  config.rap_policy = RapPolicy::kRotating;
+  config.auto_rejoin = true;
+  MultiRingCoordinator coordinator(&topology, config, 1);
+  ASSERT_TRUE(coordinator.init().ok());
+  coordinator.run_slots(100);
+
+  // Wedge a station: the ring cuts it out (membership splits) while it
+  // stays alive in the topology, so it must surface as unserved.
+  Engine& ring0 = coordinator.ring(0);
+  const NodeId wedged = ring0.virtual_ring().station_at(3);
+  ring0.stall_station(wedged);
+  coordinator.run_slots(3000);
+  ASSERT_EQ(ring0.virtual_ring().size(), 5u);
+  EXPECT_EQ(coordinator.ring_of(wedged), nullptr);
+  EXPECT_TRUE(is_unserved(coordinator, wedged));
+  expect_bookkeeping_consistent(coordinator, topology);
+
+  // Un-wedge: auto_rejoin recruits it back through the normal RAP join and
+  // the membership callback re-merges the bookkeeping.
+  ring0.resume_station(wedged);
+  coordinator.run_slots(4000);
+  ASSERT_EQ(ring0.virtual_ring().size(), 6u);
+  EXPECT_EQ(coordinator.ring_of(wedged), &ring0);
+  EXPECT_FALSE(is_unserved(coordinator, wedged));
+  EXPECT_DOUBLE_EQ(coordinator.coverage(), 1.0);
+  expect_bookkeeping_consistent(coordinator, topology);
+}
+
+TEST(MultiRing, DeadStationsLeaveTheBookkeepingEntirely) {
+  phy::Topology topology = two_islands();
+  MultiRingCoordinator coordinator(&topology, Config{}, 1);
+  ASSERT_TRUE(coordinator.init().ok());
+  coordinator.run_slots(100);
+
+  Engine& ring0 = coordinator.ring(0);
+  const NodeId victim = ring0.virtual_ring().station_at(2);
+  ring0.kill_station(victim);
+  coordinator.run_slots(2000);
+  ASSERT_EQ(ring0.virtual_ring().size(), 5u);
+  EXPECT_EQ(coordinator.ring_of(victim), nullptr);
+  // Dead, not unserved: unserved() means "alive but in no ring", and
+  // coverage() likewise ignores the dead.
+  EXPECT_FALSE(is_unserved(coordinator, victim));
+  EXPECT_DOUBLE_EQ(coordinator.coverage(), 1.0);
+  expect_bookkeeping_consistent(coordinator, topology);
+}
+
+TEST(MultiRing, RingSeedIsAnchoredOnMembershipNotDiscoveryOrder) {
+  // The same 6-circle over nodes {6..11} in two worlds that differ only in
+  // what the OTHER six nodes do: a second ring-able island (world A) vs six
+  // isolated stragglers (world B).  The circle is the second engine
+  // discovered in A and the first in B; under the old discovery-order
+  // seeding (seed + engines_.size() * 7919) its RNG stream — and with
+  // channel loss enabled, every loss draw — would differ between worlds.
+  // Anchoring the per-ring seed on the smallest member id makes the two
+  // runs bit-identical.
+  const double chord = 2.0 * 10.0 * std::sin(std::numbers::pi / 6.0);
+  const auto circle = phy::placement::circle(6, 10.0, {200.0, 0.0});
+
+  std::vector<phy::Vec2> world_a = phy::placement::circle(6, 10.0);
+  world_a.insert(world_a.end(), circle.begin(), circle.end());
+  std::vector<phy::Vec2> world_b;
+  for (int i = 0; i < 6; ++i) {
+    world_b.push_back({1000.0 + 100.0 * i, 500.0});  // isolated stragglers
+  }
+  world_b.insert(world_b.end(), circle.begin(), circle.end());
+
+  Config config;
+  config.frame_loss_prob = 0.05;  // make the RNG stream observable
+
+  const auto run = [&](const std::vector<phy::Vec2>& positions) {
+    phy::Topology topology(positions, phy::RadioParams{chord * 2.2, 0.0});
+    MultiRingCoordinator coordinator(&topology, config, 1234);
+    EXPECT_TRUE(coordinator.init().ok());
+    Engine* engine = coordinator.ring_of(6);
+    EXPECT_NE(engine, nullptr);
+    traffic::FlowSpec spec;
+    spec.id = 77;
+    spec.src = 6;
+    spec.dst = 9;
+    spec.cls = TrafficClass::kBestEffort;
+    engine->add_saturated_source(spec, /*backlog=*/4);
+    coordinator.run_slots(600);
+    return std::tuple{engine->stats().data_transmissions,
+                      engine->stats().frames_lost_link,
+                      engine->stats().sink.total_delivered()};
+  };
+  EXPECT_EQ(run(world_a), run(world_b));
 }
 
 }  // namespace

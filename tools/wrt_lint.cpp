@@ -32,7 +32,11 @@
 //                        into another shard's mutable core bypasses the
 //                        epoch-synchronized gateway-message path.  Handles
 //                        to *own-shard* objects get a justified
-//                        suppression.
+//                        suppression.  Additionally, `*Frame` structs in
+//                        ring code must be pure value types (no pointer or
+//                        reference members): mailbox frames cross shard
+//                        boundaries by design (PR 8), so a pointer member
+//                        would smuggle a handle into another shard's epoch.
 //   unguarded-shared-field
 //                        Types registered as shared via
 //                        `// wrt-lint-shared-type(Name): <why>` (anywhere
@@ -508,9 +512,79 @@ bool is_ring_code(const std::string& path) {
          path.find("tpt/") != std::string::npos;
 }
 
+/// cross-shard-handle, detector 2: `*Frame` structs in ring code must be
+/// pure value types.  Mailbox frames cross shard boundaries by design
+/// (wrtring/mailbox.hpp), so ANY pointer or reference member — not just
+/// the Engine/SlotKernel/Station trio — would hand the receiving shard a
+/// live handle into the sender's mutable state.
+void rule_frame_value_type(const SourceFile& file,
+                           std::vector<Finding>& findings) {
+  static const std::regex kFrameType(R"(\bstruct\s+(\w*Frame)\b[^;{]*\{)");
+  const std::string& code = file.code;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kFrameType);
+       it != std::sregex_iterator(); ++it) {
+    const std::string type = (*it)[1].str();
+    const auto body_open =
+        static_cast<std::size_t>(it->position() + it->length()) - 1;
+    // Walk the body like the shared-field rule: depth-1 statements are the
+    // members; nested braces (methods, nested types) are skipped.
+    int depth = 0;
+    std::string statement;
+    std::size_t statement_start = body_open;
+    for (std::size_t i = body_open; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '{') {
+        ++depth;
+        if (depth == 2) statement.clear();
+        continue;
+      }
+      if (c == '}') {
+        --depth;
+        if (depth == 0) break;
+        if (depth == 1) {
+          statement.clear();
+          statement_start = i + 1;
+        }
+        continue;
+      }
+      if (depth != 1) continue;
+      if (c == ';') {
+        // Members only: methods / ctors carry parentheses.  Cut the
+        // initializer so a '*' inside `= a * b` cannot false-positive; the
+        // declarator's pointer/reference marker sits before the name.
+        if (!statement.empty() &&
+            statement.find('(') == std::string::npos) {
+          std::string decl = statement;
+          const std::size_t cut = decl.find_first_of("={");
+          if (cut != std::string::npos) decl = decl.substr(0, cut);
+          static const std::regex kPointerMember(R"([*&]+\s*(\w+)\s*$)");
+          std::smatch member;
+          if (std::regex_search(decl, member, kPointerMember)) {
+            report(file, "cross-shard-handle",
+                   line_of(code, statement_start),
+                   "frame type '" + type + "' has pointer/reference member '" +
+                       member[1].str() +
+                       "' — mailbox frames cross shards and must be pure "
+                       "value types",
+                   findings);
+          }
+        }
+        statement.clear();
+        continue;
+      }
+      if (statement.empty()) {
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+        statement_start = i;
+      }
+      statement += c;
+    }
+  }
+}
+
 void rule_cross_shard_handle(const SourceFile& file,
                              std::vector<Finding>& findings) {
   if (!is_ring_code(file.path)) return;
+  rule_frame_value_type(file, findings);
   static const std::regex kHandle(
       R"((?:\bconst\s+)?(?:\w+::)*\b(Engine|SlotKernel|Station)\s*[*&]+\s*(\w+)\s*(?:=[^;{}()]*)?;)");
   const std::string& code = file.code;
