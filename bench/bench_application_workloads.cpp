@@ -6,6 +6,7 @@
 #include "bench/bench_common.hpp"
 
 #include "analysis/bounds.hpp"
+#include "app/voice_call.hpp"
 #include "tpt/engine.hpp"
 #include "traffic/workloads.hpp"
 #include "wrtring/engine.hpp"
@@ -20,7 +21,29 @@ struct Outcome {
   double rt_p99 = 0.0;
   std::uint64_t be_delivered = 0;
   double be_mean = 0.0;
+  std::size_t voice_ok = 0;   ///< MOS >= 3.8 calls (conference only)
+  double voice_mos = 0.0;     ///< fleet mean MOS (conference only)
 };
+
+/// The browse half of the conference scenario: the voice half now comes
+/// from app::VoiceFleet — the repo's one voice model, shared with the E16
+/// capacity bench — so this only builds the best-effort background.
+traffic::Workload conference_browse(std::size_t n_stations) {
+  traffic::Workload workload;
+  for (std::size_t s = 0; s < n_stations; ++s) {
+    traffic::FlowSpec browse;
+    browse.id = static_cast<FlowId>(s + 1);
+    browse.src = static_cast<NodeId>(s);
+    browse.dst = static_cast<NodeId>((s + 1) % n_stations);
+    browse.cls = TrafficClass::kBestEffort;
+    browse.kind = traffic::ArrivalKind::kOnOff;
+    browse.rate_per_slot = 0.15;
+    browse.on_mean_slots = 100.0;
+    browse.off_mean_slots = 500.0;
+    workload.flows.push_back(browse);
+  }
+  return workload;
+}
 
 Outcome summarize(const traffic::Sink& sink) {
   Outcome outcome;
@@ -59,8 +82,20 @@ void attach(tpt::TptEngine& engine, const traffic::Workload& workload) {
   }
 }
 
+void score_voice(const app::VoiceFleet& fleet, const traffic::Sink& sink,
+                 Outcome& outcome) {
+  const auto scores = app::score_fleet(fleet, sink);
+  outcome.voice_ok =
+      app::compliant_calls(scores, fleet.params().mos_threshold);
+  double sum = 0.0;
+  for (const app::CallScore& score : scores) sum += score.mos;
+  outcome.voice_mos =
+      scores.empty() ? 0.0 : sum / static_cast<double>(scores.size());
+}
+
 Outcome run_wrt(const traffic::Workload& workload, std::size_t n,
-                std::int64_t slots) {
+                std::int64_t slots,
+                const app::VoiceFleet* fleet = nullptr) {
   phy::Topology topology = bench::ring_room(n);
   wrtring::Config config;
   config.default_quota = {2, 2};
@@ -68,12 +103,16 @@ Outcome run_wrt(const traffic::Workload& workload, std::size_t n,
   wrtring::Engine engine(&topology, config, 51);
   if (!engine.init().ok()) return {};
   attach(engine, workload);
+  if (fleet != nullptr) fleet->attach(engine);
   engine.run_slots(slots);
-  return summarize(engine.stats().sink);
+  Outcome outcome = summarize(engine.stats().sink);
+  if (fleet != nullptr) score_voice(*fleet, engine.stats().sink, outcome);
+  return outcome;
 }
 
 Outcome run_tpt(const traffic::Workload& workload, std::size_t n,
-                std::int64_t slots) {
+                std::int64_t slots,
+                const app::VoiceFleet* fleet = nullptr) {
   phy::Topology topology = bench::dense_room(n);
   tpt::TptConfig config;
   config.h_sync_default = 4;
@@ -81,8 +120,11 @@ Outcome run_tpt(const traffic::Workload& workload, std::size_t n,
   tpt::TptEngine engine(&topology, config, 51);
   if (!engine.init().ok()) return {};
   attach(engine, workload);
+  if (fleet != nullptr) fleet->attach(engine);
   engine.run_slots(slots);
-  return summarize(engine.stats().sink);
+  Outcome outcome = summarize(engine.stats().sink);
+  if (fleet != nullptr) score_voice(*fleet, engine.stats().sink, outcome);
+  return outcome;
 }
 
 void emit_rows(util::Table& table, const char* scenario,
@@ -118,15 +160,24 @@ int main(int argc, char** argv) {
 
   {
     constexpr std::size_t kN = 12;
-    const auto workload =
-        traffic::conference(kN, 400, slots_to_ticks(kSlots), 5);
-    const Outcome wrt_outcome = run_wrt(workload, kN, kSlots);
-    const Outcome tpt_outcome = run_tpt(workload, kN, kSlots);
+    app::VoiceCallParams voice_params;
+    voice_params.deadline_slots = 400;
+    const app::VoiceFleet fleet(kN, kN, slots_to_ticks(kSlots), 5,
+                                voice_params);
+    const auto browse = conference_browse(kN);
+    const Outcome wrt_outcome = run_wrt(browse, kN, kSlots, &fleet);
+    const Outcome tpt_outcome = run_tpt(browse, kN, kSlots, &fleet);
     reporter.metric("conference_wrt_rt_misses",
                     static_cast<double>(wrt_outcome.rt_misses), "packets");
     reporter.metric("conference_tpt_rt_misses",
                     static_cast<double>(tpt_outcome.rt_misses), "packets");
     reporter.metric("conference_wrt_rt_p99", wrt_outcome.rt_p99, "slots");
+    reporter.metric("conference_wrt_voice_ok",
+                    static_cast<double>(wrt_outcome.voice_ok), "calls");
+    reporter.metric("conference_tpt_voice_ok",
+                    static_cast<double>(tpt_outcome.voice_ok), "calls");
+    reporter.metric("conference_wrt_voice_mos", wrt_outcome.voice_mos, "mos");
+    reporter.metric("conference_tpt_voice_mos", tpt_outcome.voice_mos, "mos");
     emit_rows(table, "conference (voice + browse)", wrt_outcome, tpt_outcome);
   }
   {

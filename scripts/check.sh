@@ -13,6 +13,10 @@
 #   scripts/check.sh --chaos-smoke  # build only, then run the fixed 16-seed
 #                                   # wrt_chaos soak (FaultPlan chaos +
 #                                   # recovery-SLO + invariant audit)
+#   scripts/check.sh --voice-smoke  # build bench_voice_capacity only, run
+#                                   # the short E16 sweep, validate its JSON
+#                                   # and gate the WRT-vs-Aloha capacity
+#                                   # ordering at the saturation cell
 #   scripts/check.sh --federation-smoke
 #                                   # build bench_federation only, then run
 #                                   # its --determinism mode: same (seed, K)
@@ -31,6 +35,7 @@ WITH_TSAN=0
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
 FEDERATION_SMOKE=0
+VOICE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --asan) WITH_ASAN=1 ;;
@@ -39,6 +44,7 @@ for arg in "$@"; do
     --bench-smoke) BENCH_SMOKE=1 ;;
     --chaos-smoke) CHAOS_SMOKE=1 ;;
     --federation-smoke) FEDERATION_SMOKE=1 ;;
+    --voice-smoke) VOICE_SMOKE=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -85,6 +91,33 @@ if [ "$FEDERATION_SMOKE" = 1 ]; then
   cmake --build build --target bench_federation
   build/bench/bench_federation --determinism
   echo "FEDERATION SMOKE PASSED"
+  exit 0
+fi
+
+if [ "$VOICE_SMOKE" = 1 ]; then
+  echo "== voice smoke: E16 capacity sweep + MOS ordering gate =="
+  # Standalone mode: builds only the voice capacity bench, runs the short
+  # sweep, validates the emitted JSON, and asserts the headline protocol
+  # claim the full run demonstrates — WRT-Ring sustains strictly more
+  # MOS-compliant calls than slotted Aloha at the N=32 saturation cell.
+  configure build
+  cmake --build build --target bench_voice_capacity
+  VOICE_JSON_DIR="${VOICE_JSON_DIR:-build/voice-json}"
+  rm -rf "$VOICE_JSON_DIR"
+  mkdir -p "$VOICE_JSON_DIR"
+  build/bench/bench_voice_capacity --smoke --json-dir="$VOICE_JSON_DIR" \
+    > /dev/null
+  python3 scripts/validate_bench_json.py "$VOICE_JSON_DIR"
+  python3 - "$VOICE_JSON_DIR/BENCH_voice_capacity.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+metrics = {m["metric"]: m["value"] for m in doc["metrics"]}
+wrt = metrics["wrt_clean_n32_compliant"]
+aloha = metrics["aloha_clean_n32_compliant"]
+assert wrt > aloha, f"expected WRT > Aloha at clean n=32, got {wrt} vs {aloha}"
+print(f"voice gate: WRT {wrt:g} > Aloha {aloha:g} compliant calls at n=32")
+PY
+  echo "VOICE SMOKE PASSED"
   exit 0
 fi
 

@@ -1,0 +1,45 @@
+#include "app/call_admission.hpp"
+
+#include <algorithm>
+
+namespace wrt::app {
+
+CallAdmission::CallAdmission(wrtring::AdmissionController* controller,
+                             std::int64_t transit_allowance_slots)
+    : controller_(controller),
+      transit_allowance_slots_(transit_allowance_slots) {}
+
+bool CallAdmission::offer(const VoiceCall& call,
+                          const VoiceCallParams& params) {
+  ++offered_;
+  const std::int64_t mac_deadline =
+      params.deadline_slots - transit_allowance_slots_;
+  bool accepted = false;
+  if (mac_deadline > 0) {
+    wrtring::SessionRequest request;
+    request.flow = call.flow;
+    request.station = call.src;
+    request.period_slots = params.voice.packet_period_slots;
+    request.packets_per_period = 1;
+    request.deadline_slots = mac_deadline;
+    accepted = controller_->admit(request).ok();
+  }
+  if (accepted) admitted_.push_back(call.flow);
+  frontier_.push_back({offered_, admitted_.size()});
+  return accepted;
+}
+
+void CallAdmission::release(FlowId flow) {
+  const auto it = std::find(admitted_.begin(), admitted_.end(), flow);
+  if (it == admitted_.end()) return;
+  admitted_.erase(it);
+  (void)controller_->release(flow);
+  frontier_.push_back({offered_, admitted_.size()});
+}
+
+bool CallAdmission::is_admitted(FlowId flow) const {
+  return std::find(admitted_.begin(), admitted_.end(), flow) !=
+         admitted_.end();
+}
+
+}  // namespace wrt::app

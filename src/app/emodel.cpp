@@ -1,0 +1,39 @@
+#include "app/emodel.hpp"
+
+#include <algorithm>
+
+namespace wrt::app {
+
+double delay_impairment_ms(double delay_ms) {
+  const double d = std::max(0.0, delay_ms);
+  double id = 0.024 * d;
+  if (d > 177.3) id += 0.11 * (d - 177.3);
+  return id;
+}
+
+double loss_impairment(double loss_fraction, const EModelParams& params) {
+  const double ppl = 100.0 * std::clamp(loss_fraction, 0.0, 1.0);
+  if (ppl <= 0.0) return params.ie;
+  return params.ie + (95.0 - params.ie) * ppl / (ppl + params.bpl);
+}
+
+double r_factor(double delay_ms, double loss_fraction,
+                const EModelParams& params) {
+  return params.r0 - delay_impairment_ms(delay_ms) -
+         loss_impairment(loss_fraction, params);
+}
+
+double mos_from_r(double r) {
+  if (r <= 0.0) return 1.0;
+  if (r >= 100.0) return 4.5;
+  const double m = 1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7.0e-6;
+  // The Annex-B cubic dips slightly below 1 for small positive R; MOS is
+  // defined on [1, 4.5].
+  return std::clamp(m, 1.0, 4.5);
+}
+
+double mos(double delay_ms, double loss_fraction, const EModelParams& params) {
+  return mos_from_r(r_factor(delay_ms, loss_fraction, params));
+}
+
+}  // namespace wrt::app

@@ -1,0 +1,54 @@
+// ITU-T G.107 E-model voice-quality scoring.
+//
+// The E-model condenses a call's transmission impairments into a scalar
+// rating R = R0 - Id - Ie_eff, which maps to the familiar 1..4.5 MOS scale.
+// This reproduction uses the narrowband default parameter set (R0 = 93.2,
+// i.e. every impairment factor the MAC cannot influence held at its G.107
+// default) and the two terms the MAC *does* influence:
+//
+//  * Id     — delay impairment from one-way mouth-to-ear delay (G.107 §7.4
+//             simplified form: 0.024 d + 0.11 (d - 177.3) H(d - 177.3)),
+//  * Ie_eff — effective equipment impairment from the codec's intrinsic
+//             impairment Ie plus random packet loss, Ie_eff = Ie +
+//             (95 - Ie) * Ppl / (Ppl + Bpl) with Ppl in percent.
+//
+// Frames that arrive past their playout deadline are useless to the decoder,
+// so the scorer folds late frames into Ppl alongside genuine drops.
+//
+// Reference anchors (unit-tested): R = 93.2 -> MOS 4.41 (zero impairment),
+// R = 75 -> MOS 3.8 ("satisfied" threshold), R = 50 -> MOS 2.6, and the
+// clamp points MOS = 1.0 below R = 0 and 4.5 above R = 100.
+#pragma once
+
+namespace wrt::app {
+
+/// Codec-dependent E-model constants.  Defaults are G.711 (Ie = 0,
+/// Bpl = 4.3) on the default transmission-plan rating R0 = 93.2.
+struct EModelParams {
+  double r0 = 93.2;   ///< base rating with all static impairments at default
+  double ie = 0.0;    ///< codec equipment impairment factor
+  double bpl = 4.3;   ///< codec packet-loss robustness factor
+};
+
+/// Delay impairment Id for a one-way mouth-to-ear delay in milliseconds.
+[[nodiscard]] double delay_impairment_ms(double delay_ms);
+
+/// Effective equipment impairment Ie_eff for a loss *fraction* in [0, 1]
+/// (late frames count as lost; the fraction is converted to percent
+/// internally, per the G.107 formula).
+[[nodiscard]] double loss_impairment(double loss_fraction,
+                                     const EModelParams& params = {});
+
+/// Full rating R = R0 - Id(delay) - Ie_eff(loss).
+[[nodiscard]] double r_factor(double delay_ms, double loss_fraction,
+                              const EModelParams& params = {});
+
+/// G.107 Annex B mapping from rating to mean opinion score: clamped to
+/// [1.0, 4.5], cubic in between.
+[[nodiscard]] double mos_from_r(double r);
+
+/// Convenience: MOS for a (delay, loss) pair under `params`.
+[[nodiscard]] double mos(double delay_ms, double loss_fraction,
+                         const EModelParams& params = {});
+
+}  // namespace wrt::app

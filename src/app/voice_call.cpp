@@ -1,0 +1,93 @@
+#include "app/voice_call.hpp"
+
+#include <algorithm>
+
+namespace wrt::app {
+
+VoiceFleet::VoiceFleet(std::size_t n_calls, std::size_t n_stations,
+                       Tick horizon, std::uint64_t seed,
+                       VoiceCallParams params)
+    : params_(params) {
+  calls_.reserve(n_calls);
+  const std::size_t half = std::max<std::size_t>(1, n_stations / 2);
+  for (std::size_t i = 0; i < n_calls; ++i) {
+    VoiceCall call;
+    call.flow = params_.base_flow + static_cast<FlowId>(i);
+    call.src = static_cast<NodeId>(i % n_stations);
+    call.dst = static_cast<NodeId>((call.src + half) % n_stations);
+    if (call.dst == call.src) {
+      call.dst = static_cast<NodeId>((call.src + 1) % n_stations);
+    }
+    // Per-call seed stream: distinct spurt phases per call, reproducible
+    // across engines for the same (seed, i).
+    call.trace = traffic::make_voice_trace(params_.voice, horizon,
+                                           seed + 0x9E3779B97F4A7C15ull * (i + 1));
+    call.offered = call.trace.total_packets();
+    calls_.push_back(std::move(call));
+  }
+}
+
+std::uint64_t VoiceFleet::offered_packets() const noexcept {
+  std::uint64_t total = 0;
+  for (const VoiceCall& call : calls_) total += call.offered;
+  return total;
+}
+
+double VoiceFleet::offered_load(Tick horizon) const noexcept {
+  if (horizon <= 0) return 0.0;
+  return static_cast<double>(offered_packets()) /
+         ticks_to_slots_real(horizon);
+}
+
+CallScore score_call(const VoiceCall& call, const traffic::Sink& sink,
+                     const VoiceCallParams& params) {
+  CallScore score;
+  score.flow = call.flow;
+  score.offered = call.offered;
+
+  std::uint64_t delivered = 0;
+  double mean_delay_slots = 0.0;
+  if (const auto it = sink.per_flow().find(call.flow);
+      it != sink.per_flow().end()) {
+    delivered = it->second.count();
+    mean_delay_slots = it->second.mean();
+  }
+  std::uint64_t misses = 0;
+  if (const auto it = sink.per_flow_counts().find(call.flow);
+      it != sink.per_flow_counts().end()) {
+    misses = it->second.deadline_misses;
+  }
+  // Late frames are delivered but useless to the playout buffer; undelivered
+  // frames (drops and still-queued at the horizon) never reached it at all.
+  score.on_time = delivered > misses ? delivered - misses : 0;
+  score.mean_delay_ms = mean_delay_slots * params.slot_ms;
+  score.loss_fraction =
+      call.offered == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(std::min(score.on_time, call.offered)) /
+                      static_cast<double>(call.offered);
+  score.r = r_factor(score.mean_delay_ms, score.loss_fraction);
+  score.mos = mos_from_r(score.r);
+  return score;
+}
+
+std::vector<CallScore> score_fleet(const VoiceFleet& fleet,
+                                   const traffic::Sink& sink) {
+  std::vector<CallScore> scores;
+  scores.reserve(fleet.calls().size());
+  for (const VoiceCall& call : fleet.calls()) {
+    scores.push_back(score_call(call, sink, fleet.params()));
+  }
+  return scores;
+}
+
+std::size_t compliant_calls(const std::vector<CallScore>& scores,
+                            double mos_threshold) {
+  return static_cast<std::size_t>(
+      std::count_if(scores.begin(), scores.end(),
+                    [mos_threshold](const CallScore& s) {
+                      return s.mos >= mos_threshold;
+                    }));
+}
+
+}  // namespace wrt::app

@@ -40,8 +40,11 @@ double SampleStats::variance() const noexcept {
 double SampleStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 double SampleStats::quantile(double q) const {
-  if (reservoir_.empty()) return 0.0;
+  // Validate q before the degenerate-size checks so a bad argument is
+  // reported even on an empty collector.
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile q out of [0,1]");
+  if (reservoir_.empty()) return 0.0;
+  if (reservoir_.size() == 1) return reservoir_.front();
   std::vector<double> sorted = reservoir_;
   std::sort(sorted.begin(), sorted.end());
   const double pos = q * static_cast<double>(sorted.size() - 1);

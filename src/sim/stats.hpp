@@ -30,11 +30,17 @@ class SampleStats {
   [[nodiscard]] double mean() const noexcept;
   [[nodiscard]] double variance() const noexcept;
   [[nodiscard]] double stddev() const noexcept;
-  [[nodiscard]] double min() const noexcept { return min_; }
-  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Empty collectors report 0.0 (not +/-inf) so per-class tables and JSON
+  /// emission stay finite when a sweep cell produced no samples — e.g. the
+  /// voice admission cliff, where a class sees zero deliveries.
+  [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
   [[nodiscard]] double sum() const noexcept { return count_ == 0 ? 0.0 : mean_ * static_cast<double>(count_); }
 
   /// Quantile in [0, 1] from the reservoir; exact when count <= capacity.
+  /// Degenerate distributions are well-defined rather than caller-guarded:
+  /// an empty collector returns 0.0 for every q, a single-sample collector
+  /// returns that sample for every q.  q outside [0, 1] always throws.
   [[nodiscard]] double quantile(double q) const;
 
   void reset();

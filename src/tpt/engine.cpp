@@ -35,9 +35,27 @@ util::Status TptEngine::init() {
   for (const NodeId member : tree_.members()) {
     stations_[member];  // default-construct state
   }
+  loss_field_.configure(config_.channel, seed_ ^ 0x7907F00Du);
   initialised_ = true;
   launch_token();
   return util::Status::success();
+}
+
+void TptEngine::degrade_link(NodeId a, NodeId b,
+                             const fault::GeParams& params) {
+  for (const auto purpose :
+       {fault::LossPurpose::kData, fault::LossPurpose::kSat}) {
+    loss_field_.set_link_params(purpose, a, b, params);
+    loss_field_.set_link_params(purpose, b, a, params);
+  }
+}
+
+void TptEngine::heal_link(NodeId a, NodeId b) {
+  for (const auto purpose :
+       {fault::LossPurpose::kData, fault::LossPurpose::kSat}) {
+    loss_field_.clear_link_params(purpose, a, b);
+    loss_field_.clear_link_params(purpose, b, a);
+  }
 }
 
 std::int64_t TptEngine::h_sync_for(NodeId node) const {
@@ -274,6 +292,14 @@ void TptEngine::transmit_one(NodeId holder) {
   ++stats_.data_transmissions;
 
   if (packet.dst == holder || topology_->reachable(holder, packet.dst)) {
+    if (packet.dst != holder &&
+        loss_field_.enabled(fault::LossPurpose::kData) &&
+        loss_field_.offer(fault::LossPurpose::kData, holder, packet.dst)) {
+      ++stats_.data_channel_losses;
+      ++stats_.frames_lost;
+      stats_.sink.record_drop(packet);
+      return;
+    }
     stats_.sink.record_delivery(packet, now_);
     return;
   }
@@ -287,6 +313,13 @@ void TptEngine::transmit_one(NodeId holder) {
   }
   const NodeId next = tree_.next_hop(holder, packet.dst);
   if (!topology_->reachable(holder, next)) {
+    ++stats_.frames_lost;
+    stats_.sink.record_drop(packet);
+    return;
+  }
+  if (loss_field_.enabled(fault::LossPurpose::kData) &&
+      loss_field_.offer(fault::LossPurpose::kData, holder, next)) {
+    ++stats_.data_channel_losses;
     ++stats_.frames_lost;
     stats_.sink.record_drop(packet);
     return;
@@ -315,6 +348,16 @@ void TptEngine::pass_token() {
   if (!topology_->reachable(from, to)) {
     state_ = TokenState::kLost;
     if (token_lost_at_ == kNeverTick) token_lost_at_ = now_;
+    trace_.record(sim::EventKind::kTokenLost, now_, from, to);
+    return;
+  }
+  // A token hop faded by the channel is a lost token: nobody holds it and
+  // the 2·TTRT timers must notice (the same recovery path as a dead link).
+  if (loss_field_.enabled(fault::LossPurpose::kSat) &&
+      loss_field_.offer(fault::LossPurpose::kSat, from, to)) {
+    ++stats_.token_channel_losses;
+    state_ = TokenState::kLost;
+    token_lost_at_ = now_;
     trace_.record(sim::EventKind::kTokenLost, now_, from, to);
     return;
   }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "analysis/bounds.hpp"
+#include "fault/gilbert_elliott.hpp"
 #include "phy/topology.hpp"
 #include "sim/event_trace.hpp"
 #include "sim/stats.hpp"
@@ -52,6 +53,13 @@ struct TptConfig {
   std::int64_t rebuild_base_slots = 8;
   std::int64_t rebuild_per_station_slots = 2;
   std::size_t queue_capacity = 4096;
+
+  /// Gilbert–Elliott per-link loss, same plane as the other engines: kData
+  /// governs data frames (direct and hop-by-hop), kSat governs token and
+  /// claim hops (a faded token is a lost token, Section 3.1.3's trigger).
+  /// All processes disabled by default — zero RNG draws, so existing
+  /// fixed-seed TPT behaviour is untouched.
+  fault::ChannelConfig channel;
 };
 
 struct TptStats {
@@ -67,6 +75,8 @@ struct TptStats {
   std::uint64_t tree_rebuilds = 0;
   std::uint64_t joins_completed = 0;
   std::uint64_t frames_lost = 0;
+  std::uint64_t data_channel_losses = 0;   ///< Gilbert–Elliott data fades
+  std::uint64_t token_channel_losses = 0;  ///< token hops lost to fades
   sim::SampleStats loss_detection_slots;
   sim::SampleStats recovery_total_slots;
   sim::SampleStats join_latency_slots;
@@ -111,6 +121,11 @@ class TptEngine final {
   void request_join(NodeId node);
   void kill_station(NodeId node);
   void drop_token_once() noexcept { drop_token_pending_ = true; }
+
+  /// Gilbert–Elliott override on a <-> b for both purposes the tree uses
+  /// (data frames and token hops), mirroring wrtring::Engine::degrade_link.
+  void degrade_link(NodeId a, NodeId b, const fault::GeParams& params);
+  void heal_link(NodeId a, NodeId b);
 
   [[nodiscard]] const TptStats& stats() const noexcept { return stats_; }
 
@@ -158,6 +173,7 @@ class TptEngine final {
   std::uint64_t seed_;
   Tick now_ = 0;
   bool initialised_ = false;
+  fault::LinkLossField loss_field_;
 
   Tree tree_;
   std::vector<NodeId> tour_;

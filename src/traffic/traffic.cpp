@@ -119,12 +119,14 @@ void Sink::record_delivery(const Packet& packet, Tick now) {
   ++cls.delivered;
   if (packet.deadline != kNeverTick && now > packet.deadline) {
     ++cls.deadline_misses;
+    ++per_flow_counts_[packet.flow].deadline_misses;
   }
   per_flow_delay_[packet.flow].add(delay);
 }
 
 void Sink::record_drop(const Packet& packet) {
   ++classes_[static_cast<std::size_t>(packet.cls)].dropped;
+  ++per_flow_counts_[packet.flow].dropped;
 }
 
 const Sink::ClassStats& Sink::by_class(TrafficClass cls) const {

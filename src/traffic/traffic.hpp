@@ -152,6 +152,12 @@ class SaturatedSource {
 };
 
 /// Delivery accounting, per class and per flow.
+///
+/// Degenerate distributions are first-class: a class (or flow) with zero or
+/// one delivery reports finite, well-defined statistics — mean()/min()/max()
+/// of an empty series are 0.0 and quantile() of a single sample is that
+/// sample — so sweep harnesses (e.g. the voice admission cliff, where a
+/// class legitimately sees nothing) never have to guard their reporting.
 class Sink {
  public:
   void record_delivery(const Packet& packet, Tick now);
@@ -161,6 +167,14 @@ class Sink {
     sim::SampleStats delay_slots;  ///< creation -> delivery, in slots
     std::uint64_t delivered = 0;
     std::uint64_t deadline_misses = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  /// Per-flow deadline-miss / drop counters.  Per-flow *delay* lives in
+  /// per_flow(); this is the loss side, which per-call quality scoring
+  /// (app::score_call) needs flow-resolved rather than class-aggregated.
+  struct FlowCounts {
+    std::uint64_t deadline_misses = 0;  ///< delivered, but past deadline
     std::uint64_t dropped = 0;
   };
 
@@ -179,11 +193,20 @@ class Sink {
     return per_flow_delay_;
   }
 
+  /// Per-flow miss/drop counters (present only for flows that missed a
+  /// deadline or were dropped; a clean flow has no entry).
+  [[nodiscard]] const util::FlatMap<FlowId, FlowCounts>& per_flow_counts()
+      const {
+    return per_flow_counts_;
+  }
+
  private:
   ClassStats classes_[3];
   // Flat map: record_delivery() sits on the per-delivery hot path and a
   // simulation has few distinct flows.
   util::FlatMap<FlowId, sim::SampleStats> per_flow_delay_;
+  // Touched only on the miss/drop paths, so clean runs pay nothing.
+  util::FlatMap<FlowId, FlowCounts> per_flow_counts_;
 };
 
 }  // namespace wrt::traffic

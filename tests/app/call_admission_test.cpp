@@ -1,0 +1,106 @@
+#include "app/call_admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/wrtring/test_helpers.hpp"
+
+namespace wrt::app {
+namespace {
+
+class CallAdmissionTest : public ::testing::Test {
+ protected:
+  CallAdmissionTest()
+      : harness_(8, wrtring::Config{}),
+        controller_(&harness_.engine,
+                    analysis::AllocationScheme::kProportional,
+                    /*l_budget=*/8, /*k_per_station=*/1),
+        fleet_(64, 8, slots_to_ticks(20000), 3) {}
+
+  wrtring::testing::Harness harness_;
+  wrtring::AdmissionController controller_;
+  VoiceFleet fleet_;
+};
+
+TEST_F(CallAdmissionTest, AdmitsUntilQuotaExhausts) {
+  CallAdmission admission(&controller_, /*transit_allowance_slots=*/10);
+  std::size_t accepted = 0;
+  for (const VoiceCall& call : fleet_.calls()) {
+    if (admission.offer(call, fleet_.params())) ++accepted;
+  }
+  // 64 calls on an 8-station ring: the 150-slot playout deadline admits a
+  // batch, but the Theorem-3 feasibility test must eventually say no.
+  EXPECT_GT(accepted, 0u);
+  EXPECT_LT(accepted, fleet_.calls().size());
+  EXPECT_EQ(admission.admitted_count(), accepted);
+  EXPECT_EQ(admission.offered_count(), fleet_.calls().size());
+  EXPECT_EQ(controller_.session_count(), accepted);
+}
+
+TEST_F(CallAdmissionTest, FrontierIsMonotoneAndComplete) {
+  CallAdmission admission(&controller_, 10);
+  for (const VoiceCall& call : fleet_.calls()) {
+    (void)admission.offer(call, fleet_.params());
+  }
+  const auto& frontier = admission.frontier();
+  ASSERT_EQ(frontier.size(), fleet_.calls().size());
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    EXPECT_EQ(frontier[i].offered, i + 1);
+    EXPECT_LE(frontier[i].admitted, frontier[i].offered);
+    if (i > 0) {
+      EXPECT_GE(frontier[i].admitted, frontier[i - 1].admitted);
+    }
+  }
+}
+
+TEST_F(CallAdmissionTest, RejectsNonPositiveMacDeadline) {
+  // Transit allowance at/above the playout deadline leaves no MAC budget.
+  CallAdmission admission(&controller_,
+                          fleet_.params().deadline_slots + 1);
+  EXPECT_FALSE(admission.offer(fleet_.calls()[0], fleet_.params()));
+  EXPECT_EQ(controller_.session_count(), 0u);
+}
+
+TEST_F(CallAdmissionTest, ReleaseFreesHeadroom) {
+  CallAdmission admission(&controller_, 10);
+  std::vector<FlowId> admitted;
+  for (const VoiceCall& call : fleet_.calls()) {
+    if (admission.offer(call, fleet_.params())) admitted.push_back(call.flow);
+  }
+  ASSERT_FALSE(admitted.empty());
+  const std::size_t before = admission.admitted_count();
+  const FlowId released = admitted.front();
+  admission.release(released);
+  EXPECT_EQ(admission.admitted_count(), before - 1);
+  EXPECT_FALSE(admission.is_admitted(released));
+  EXPECT_EQ(controller_.session_count(), before - 1);
+
+  // The freed quota re-admits the same call.
+  const VoiceCall* call = nullptr;
+  for (const VoiceCall& c : fleet_.calls()) {
+    if (c.flow == released) call = &c;
+  }
+  ASSERT_NE(call, nullptr);
+  EXPECT_TRUE(admission.offer(*call, fleet_.params()));
+}
+
+TEST_F(CallAdmissionTest, AttachIfOnlyDrivesAdmittedCalls) {
+  CallAdmission admission(&controller_, 10);
+  for (const VoiceCall& call : fleet_.calls()) {
+    (void)admission.offer(call, fleet_.params());
+  }
+  // Count trace sources the engine would receive via attach_if.
+  struct CountingEngine {
+    std::size_t count = 0;
+    void add_trace_source(const traffic::Trace&, FlowId, NodeId, NodeId,
+                          std::int64_t) {
+      ++count;
+    }
+  } counting;
+  fleet_.attach_if(counting, [&](FlowId flow) {
+    return admission.is_admitted(flow);
+  });
+  EXPECT_EQ(counting.count, admission.admitted_count());
+}
+
+}  // namespace
+}  // namespace wrt::app

@@ -1,0 +1,91 @@
+#include "app/emodel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrt::app {
+namespace {
+
+// Published G.107 reference points, so MOS numbers are anchored to the
+// standard rather than invented.
+
+TEST(EModel, ZeroImpairmentIsDefaultRating) {
+  // With no delay and no loss, R equals the default transmission rating
+  // R0 = 93.2, whose Annex-B MOS is ~4.41 — the narrowband ceiling quoted
+  // everywhere VoIP quality is discussed.
+  EXPECT_DOUBLE_EQ(r_factor(0.0, 0.0), 93.2);
+  EXPECT_NEAR(mos_from_r(93.2), 4.41, 0.005);
+}
+
+TEST(EModel, SatisfiedThresholdNearR75) {
+  // R = 75 sits at the bottom of the "satisfied" band; its MOS is ~3.8 —
+  // the compliance bar the capacity bench uses.
+  EXPECT_NEAR(mos_from_r(75.0), 3.8, 0.03);
+}
+
+TEST(EModel, R50IsPoor) {
+  // R = 50 is the "nearly all users dissatisfied" boundary, MOS ~2.6.
+  EXPECT_NEAR(mos_from_r(50.0), 2.6, 0.03);
+}
+
+TEST(EModel, MosClampsAtExtremes) {
+  EXPECT_DOUBLE_EQ(mos_from_r(-10.0), 1.0);
+  EXPECT_DOUBLE_EQ(mos_from_r(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(mos_from_r(100.0), 4.5);
+  EXPECT_DOUBLE_EQ(mos_from_r(150.0), 4.5);
+}
+
+TEST(EModel, DelayImpairmentPiecewise) {
+  // Below the 177.3 ms knee only the linear term applies.
+  EXPECT_NEAR(delay_impairment_ms(100.0), 2.4, 1e-9);
+  // Above the knee the second linear term kicks in.
+  EXPECT_NEAR(delay_impairment_ms(277.3), 0.024 * 277.3 + 0.11 * 100.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(delay_impairment_ms(0.0), 0.0);
+  // Negative delay cannot produce a negative impairment.
+  EXPECT_DOUBLE_EQ(delay_impairment_ms(-5.0), 0.0);
+}
+
+TEST(EModel, LossImpairmentG711Shape) {
+  // G.711: Ie = 0, Bpl = 4.3.  Zero loss -> zero impairment; the curve is
+  // monotone and saturates toward 95.
+  EXPECT_DOUBLE_EQ(loss_impairment(0.0), 0.0);
+  const double at_1pct = loss_impairment(0.01);
+  const double at_5pct = loss_impairment(0.05);
+  const double at_20pct = loss_impairment(0.20);
+  EXPECT_NEAR(at_1pct, 95.0 * 1.0 / (1.0 + 4.3), 1e-9);
+  EXPECT_LT(at_1pct, at_5pct);
+  EXPECT_LT(at_5pct, at_20pct);
+  EXPECT_LT(at_20pct, 95.0);
+  // Total loss converges to (almost) the full 95-point impairment.
+  EXPECT_NEAR(loss_impairment(1.0), 95.0 * 100.0 / 104.3, 1e-9);
+}
+
+TEST(EModel, RoughlyOnePercentLossCostsHalfAMos) {
+  // Sanity on the composed mapping: 1% random loss on an otherwise clean
+  // G.711 call costs ~0.4 MOS (93.2 -> ~75.3 R).
+  const double clean = mos(0.0, 0.0);
+  const double lossy = mos(0.0, 0.01);
+  EXPECT_GT(clean - lossy, 0.3);
+  EXPECT_LT(clean - lossy, 0.7);
+}
+
+TEST(EModel, DelayBelowKneeBarelyHurts) {
+  // 150 ms one-way (the classic interactive budget) costs only the linear
+  // term: R = 93.2 - 3.6 -> still comfortably "satisfied".
+  EXPECT_GT(mos(150.0, 0.0), 4.2);
+  // 400 ms is past the knee and noticeably worse, but the piecewise Id is
+  // gentle: it alone does not cross the 3.8 bar.
+  EXPECT_LT(mos(400.0, 0.0), mos(150.0, 0.0));
+}
+
+TEST(EModel, CustomCodecParams) {
+  // A codec with intrinsic impairment shifts the whole curve down.
+  EModelParams g729;
+  g729.ie = 11.0;
+  g729.bpl = 19.0;
+  EXPECT_DOUBLE_EQ(loss_impairment(0.0, g729), 11.0);
+  EXPECT_LT(mos(0.0, 0.0, g729), mos(0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace wrt::app

@@ -1,0 +1,152 @@
+#include "app/voice_call.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "aloha/engine.hpp"
+
+namespace wrt::app {
+namespace {
+
+constexpr Tick kHorizon = slots_to_ticks(20000);
+
+TEST(VoiceFleet, PlacesDistinctCalls) {
+  const VoiceFleet fleet(12, 8, kHorizon, 42);
+  ASSERT_EQ(fleet.calls().size(), 12u);
+  std::set<FlowId> flows;
+  for (const VoiceCall& call : fleet.calls()) {
+    flows.insert(call.flow);
+    EXPECT_NE(call.src, call.dst);
+    EXPECT_LT(call.src, 8u);
+    EXPECT_LT(call.dst, 8u);
+    EXPECT_EQ(call.offered, call.trace.total_packets());
+    EXPECT_GT(call.offered, 0u);
+  }
+  EXPECT_EQ(flows.size(), 12u) << "flow ids must be unique";
+}
+
+TEST(VoiceFleet, DeterministicPerSeed) {
+  const VoiceFleet a(4, 8, kHorizon, 7);
+  const VoiceFleet b(4, 8, kHorizon, 7);
+  const VoiceFleet c(4, 8, kHorizon, 8);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.calls()[i].offered, b.calls()[i].offered);
+  }
+  // Different master seed -> at least one call's spurt pattern differs.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (a.calls()[i].offered != c.calls()[i].offered) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(VoiceFleet, CallsGetDistinctSpurtPhases) {
+  // Within one fleet, per-call seeds must differ or every call talks in
+  // lockstep and the fleet is one giant burst.
+  const VoiceFleet fleet(6, 12, kHorizon, 3);
+  std::set<std::uint64_t> offered;
+  for (const VoiceCall& call : fleet.calls()) offered.insert(call.offered);
+  EXPECT_GT(offered.size(), 1u);
+}
+
+TEST(VoiceFleet, OfferedLoadMatchesVoiceModel) {
+  // Brady duty cycle ~ 1000/(1000+1350) at one frame per 20 slots:
+  // ~0.0213 pkt/slot per call.
+  const VoiceFleet fleet(10, 10, kHorizon, 11);
+  const double per_call = fleet.offered_load(kHorizon) / 10.0;
+  EXPECT_GT(per_call, 0.012);
+  EXPECT_LT(per_call, 0.032);
+}
+
+TEST(ScoreCall, AllOnTimeIsNearCeiling) {
+  VoiceCallParams params;
+  VoiceCall call;
+  call.flow = 1;
+  call.offered = 100;
+  traffic::Sink sink;
+  traffic::Packet p;
+  p.flow = 1;
+  p.cls = TrafficClass::kRealTime;
+  for (int i = 0; i < 100; ++i) {
+    p.created = slots_to_ticks(20 * i);
+    p.deadline = p.created + slots_to_ticks(params.deadline_slots);
+    sink.record_delivery(p, p.created + slots_to_ticks(10));  // 10 ms MAC
+  }
+  const CallScore score = score_call(call, sink, params);
+  EXPECT_EQ(score.on_time, 100u);
+  EXPECT_DOUBLE_EQ(score.loss_fraction, 0.0);
+  EXPECT_NEAR(score.mean_delay_ms, 10.0, 1e-9);
+  EXPECT_GT(score.mos, 4.3);
+}
+
+TEST(ScoreCall, NoDeliveriesScoresOne) {
+  const VoiceCallParams params;
+  VoiceCall call;
+  call.flow = 9;
+  call.offered = 50;
+  const traffic::Sink sink;  // never saw the flow
+  const CallScore score = score_call(call, sink, params);
+  EXPECT_EQ(score.on_time, 0u);
+  EXPECT_DOUBLE_EQ(score.loss_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(score.mos, 1.0);
+}
+
+TEST(ScoreCall, LateFramesCountAsLost) {
+  VoiceCallParams params;
+  VoiceCall call;
+  call.flow = 2;
+  call.offered = 100;
+  traffic::Sink sink;
+  traffic::Packet p;
+  p.flow = 2;
+  p.cls = TrafficClass::kRealTime;
+  for (int i = 0; i < 100; ++i) {
+    p.created = slots_to_ticks(20 * i);
+    p.deadline = p.created + slots_to_ticks(params.deadline_slots);
+    // Every 10th frame arrives one slot past its playout deadline.
+    const Tick arrive = i % 10 == 0
+                            ? p.deadline + slots_to_ticks(1)
+                            : p.created + slots_to_ticks(5);
+    sink.record_delivery(p, arrive);
+  }
+  const CallScore score = score_call(call, sink, params);
+  EXPECT_EQ(score.on_time, 90u);
+  EXPECT_NEAR(score.loss_fraction, 0.10, 1e-9);
+  EXPECT_LT(score.mos, 3.8) << "10% effective loss must break compliance";
+  EXPECT_GT(score.mos, 1.0);
+}
+
+TEST(ScoreFleet, CompliantCountsThreshold) {
+  std::vector<CallScore> scores(5);
+  scores[0].mos = 4.4;
+  scores[1].mos = 3.8;
+  scores[2].mos = 3.79;
+  scores[3].mos = 1.0;
+  scores[4].mos = 4.0;
+  EXPECT_EQ(compliant_calls(scores), 3u);
+  EXPECT_EQ(compliant_calls(scores, 1.0), 5u);
+}
+
+TEST(VoiceFleet, AttachDrivesAnEngine) {
+  // End-to-end through the Aloha MAC: a tiny fleet in a dense room where
+  // contention is light delivers most frames on time.
+  phy::Topology topology(phy::placement::circle(8, 5.0),
+                         phy::RadioParams{100.0, 0.0});
+  aloha::AlohaEngine engine(&topology, aloha::AlohaConfig{}, 1);
+  ASSERT_TRUE(engine.init().ok());
+  const VoiceFleet fleet(2, 8, slots_to_ticks(8000), 5);
+  fleet.attach(engine);
+  engine.run_slots(8000 + 400);
+  ASSERT_TRUE(engine.check_invariants().ok());
+  const auto scores = score_fleet(fleet, engine.stats().sink);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_EQ(compliant_calls(scores), 2u);
+  for (const CallScore& s : scores) {
+    EXPECT_GT(s.mos, 3.8);
+    EXPECT_LT(s.loss_fraction, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace wrt::app

@@ -22,6 +22,18 @@ TEST(SampleStats, EmptyIsSafe) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  // Empty extrema report 0.0, not +/-infinity: sweep cells with no samples
+  // (e.g. past the voice admission cliff) must stay finite in JSON output.
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(SampleStats, EmptyQuantileIsZeroForAllQ) {
+  const SampleStats s;
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), 0.0) << "q=" << q;
+  }
 }
 
 TEST(SampleStats, SingleSample) {
@@ -29,6 +41,16 @@ TEST(SampleStats, SingleSample) {
   s.add(3.0);
   EXPECT_DOUBLE_EQ(s.mean(), 3.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(SampleStats, SingleSampleQuantileIsThatSample) {
+  SampleStats s;
+  s.add(-7.5);
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), -7.5) << "q=" << q;
+  }
 }
 
 TEST(SampleStats, QuantileExactWhenSmall) {
@@ -50,6 +72,11 @@ TEST(SampleStats, QuantileRejectsBadQ) {
   s.add(1.0);
   EXPECT_THROW((void)s.quantile(-0.1), std::invalid_argument);
   EXPECT_THROW((void)s.quantile(1.1), std::invalid_argument);
+  // Bad q is an error even when the collector is empty or degenerate; the
+  // argument check runs before the size-based shortcuts.
+  const SampleStats empty;
+  EXPECT_THROW((void)empty.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)empty.quantile(2.0), std::invalid_argument);
 }
 
 TEST(SampleStats, ResetClears) {

@@ -205,5 +205,37 @@ TEST(Sink, EmptyMissRatioIsZero) {
   EXPECT_DOUBLE_EQ(sink.rt_miss_ratio(), 0.0);
 }
 
+TEST(Sink, PerFlowCountsTrackMissesAndDrops) {
+  Sink sink;
+  Packet a;
+  a.flow = 1;
+  a.cls = TrafficClass::kRealTime;
+  a.created = 0;
+  a.deadline = slots_to_ticks(10);
+  Packet b;
+  b.flow = 2;
+  b.cls = TrafficClass::kRealTime;
+  b.created = 0;
+  b.deadline = slots_to_ticks(10);
+  sink.record_delivery(a, slots_to_ticks(5));   // on time: no entry for flow 1
+  sink.record_delivery(b, slots_to_ticks(20));  // late
+  sink.record_drop(b);
+  sink.record_drop(b);
+  // Clean flows have no entry at all (counters are touched only on the
+  // miss/drop paths).
+  EXPECT_FALSE(sink.per_flow_counts().contains(1));
+  ASSERT_TRUE(sink.per_flow_counts().contains(2));
+  EXPECT_EQ(sink.per_flow_counts().at(2).deadline_misses, 1u);
+  EXPECT_EQ(sink.per_flow_counts().at(2).dropped, 2u);
+}
+
+TEST(Sink, PerFlowStatsOfUnseenFlowAreAbsent) {
+  // A flow that never delivered has no per_flow() entry; callers scoring a
+  // call must treat "absent" as an empty (all-zero) distribution.
+  const Sink sink;
+  EXPECT_TRUE(sink.per_flow().empty());
+  EXPECT_TRUE(sink.per_flow_counts().empty());
+}
+
 }  // namespace
 }  // namespace wrt::traffic

@@ -88,6 +88,62 @@ def plot_table(title, header, rows, out_dir):
     print(f"  wrote {target}")
 
 
+def plot_voice_frontier(doc, path, out_dir):
+    """Capacity frontier for BENCH_voice_capacity.json: compliant calls vs
+    offered fleet size, one panel per channel regime, one line per MAC.
+    Returns False when the metric grid is absent (falls back to bars)."""
+    import re
+
+    grid = {}  # (regime, mac) -> {n: compliant}
+    for m in doc.get("metrics", []):
+        match = re.fullmatch(r"(wrt|tpt|aloha)_(\w+)_n(\d+)_compliant",
+                             m["metric"])
+        if match and isinstance(m.get("value"), (int, float)):
+            mac, regime, n = match.group(1), match.group(2), int(match.group(3))
+            grid.setdefault((regime, mac), {})[n] = float(m["value"])
+    if not grid:
+        return False
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    regimes = sorted({regime for regime, _ in grid},
+                     key=lambda r: ("clean", "mobility", "bursty").index(r)
+                     if r in ("clean", "mobility", "bursty") else 99)
+    macs = [m for m in ("wrt", "tpt", "aloha")
+            if any(mac == m for _, mac in grid)]
+    labels = {"wrt": "WRT-Ring", "tpt": "TPT", "aloha": "slotted Aloha"}
+
+    fig, axes = plt.subplots(1, len(regimes),
+                             figsize=(4.0 * len(regimes), 4.0),
+                             sharey=True, squeeze=False)
+    for ax, regime in zip(axes[0], regimes):
+        for mac in macs:
+            series = grid.get((regime, mac))
+            if not series:
+                continue
+            ns = sorted(series)
+            ax.plot(ns, [series[n] for n in ns], marker="o",
+                    label=labels.get(mac, mac))
+        ax.set_xscale("log", base=2)
+        ax.set_xlabel("offered calls N")
+        ax.set_title(regime)
+        ax.grid(True, alpha=0.3)
+    axes[0][0].set_ylabel("MOS >= threshold calls")
+    axes[0][0].legend(fontsize=8)
+    smoke = " (smoke)" if doc.get("smoke") else ""
+    fig.suptitle(f"voice capacity frontier{smoke} "
+                 f"@ {doc.get('git_rev', '?')}", fontsize=10)
+    target = out_dir / f"{path.stem}_frontier.png"
+    fig.tight_layout()
+    fig.savefig(target, dpi=120)
+    plt.close(fig)
+    print(f"  wrote {target}")
+    return True
+
+
 def plot_bench_json(path, out_dir):
     """Renders one BENCH_<name>.json as a horizontal bar chart of metrics."""
     import matplotlib
@@ -97,6 +153,9 @@ def plot_bench_json(path, out_dir):
 
     with open(path) as handle:
         doc = json.load(handle)
+    if doc.get("bench") == "voice_capacity" and \
+            plot_voice_frontier(doc, path, out_dir):
+        return
     metrics = [m for m in doc.get("metrics", [])
                if isinstance(m.get("value"), (int, float))]
     if not metrics:
