@@ -12,7 +12,9 @@
 #                                   # emitted BENCH_*.json schema
 #   scripts/check.sh --chaos-smoke  # build only, then run the fixed 16-seed
 #                                   # wrt_chaos soak (FaultPlan chaos +
-#                                   # recovery-SLO + invariant audit)
+#                                   # recovery-SLO + invariant audit) plus
+#                                   # the flapping-link RecoveryFsm A/B
+#                                   # matrix (BENCH_recovery_fsm.json)
 #   scripts/check.sh --voice-smoke  # build bench_voice_capacity only, run
 #                                   # the short E16 sweep, validate its JSON
 #                                   # and gate the WRT-vs-Aloha capacity
@@ -145,6 +147,18 @@ if [ "$CHAOS_SMOKE" = 1 ]; then
   # must reconverge within the analytic deadline with a clean invariant
   # audit.  Deterministic, so a failure here is a real regression.
   build/tools/wrt_chaos
+
+  echo "== chaos smoke: 16-seed flapping-link matrix (RecoveryFsm A/B) =="
+  # Every seed's flap-only plan runs twice — all-defaults recovery vs
+  # guard+WTR+revertive — and the run gates on what the FSM must buy:
+  # zero spurious cut-outs under the guard, strictly fewer ring
+  # re-formations than baseline, and a p99 MTTR no worse.  The headline
+  # numbers are published as schema-v1 BENCH_recovery_fsm.json.
+  CHAOS_JSON_DIR=build/chaos_json
+  rm -rf "$CHAOS_JSON_DIR"
+  mkdir -p "$CHAOS_JSON_DIR"
+  build/tools/wrt_chaos --flap-matrix --json-dir="$CHAOS_JSON_DIR"
+  python3 scripts/validate_bench_json.py "$CHAOS_JSON_DIR"
   echo "CHAOS SMOKE PASSED"
   exit 0
 fi

@@ -14,7 +14,8 @@ namespace {
 constexpr const char* kCheckNames[] = {
     "ring-lockstep",      "position-bijection", "single-sat",
     "rap-mutex",          "quota-conservation", "link-pipeline",
-    "theorem1-oracle",    "theorem2-oracle",
+    "theorem1-oracle",    "theorem2-oracle",    "guard_no_stale_rec",
+    "wtr_no_flap_readmit", "revertive_position_restored",
 };
 constexpr std::size_t kCheckCount = std::size(kCheckNames);
 
@@ -88,6 +89,9 @@ std::size_t InvariantAuditor::run(const char* event) {
     execute(6, [&](Details& d) { check_theorem1_oracle(d); });
     execute(7, [&](Details& d) { check_theorem2_oracle(d); });
   }
+  execute(8, [&](Details& d) { check_guard_no_stale_rec(d); });
+  execute(9, [&](Details& d) { check_wtr_no_flap_readmit(d); });
+  execute(10, [&](Details& d) { check_revertive_position_restored(d); });
   return found;
 }
 
@@ -366,6 +370,49 @@ void InvariantAuditor::check_theorem2_oracle(Details& out) const {
             std::to_string(ticks_to_slots(bound_ticks)) + " slots");
       }
     }
+  }
+}
+
+void InvariantAuditor::check_guard_no_stale_rec(Details& out) const {
+  // The RecoveryFsm latches acceptance of a signal-fail request while its
+  // own guard window was open — by construction that must never happen
+  // (guard-active requests map to kSuppress in the transition table).
+  const wrtring::RecoveryFsm& fsm = engine_.fsm_;
+  if (fsm.accepted_sf_during_guard_) {
+    out.push_back(
+        "RecoveryFsm started a recovery inside its own guard window "
+        "(stale SAT_REC suppression violated)");
+  }
+}
+
+void InvariantAuditor::check_wtr_no_flap_readmit(Details& out) const {
+  // admit() records the worst (continuous-healthy - required hold) slack;
+  // a negative slack means a flapping station was re-admitted before its
+  // WTR/WTB hold-off was continuously satisfied.
+  const wrtring::RecoveryFsm& fsm = engine_.fsm_;
+  if (fsm.min_readmit_slack_slots_ != wrtring::RecoveryFsm::kNoAdmission &&
+      fsm.min_readmit_slack_slots_ < 0) {
+    out.push_back("a rejoin candidate was admitted " +
+                  std::to_string(-fsm.min_readmit_slack_slots_) +
+                  " slots before its WTR/WTB hold-off lapsed");
+  }
+}
+
+void InvariantAuditor::check_revertive_position_restored(Details& out) const {
+  // Validated only while the membership epoch the insertion was recorded
+  // under is still current — any later churn legitimately moves stations.
+  const wrtring::RecoveryFsm& fsm = engine_.fsm_;
+  const wrtring::Engine& e = engine_;
+  if (!fsm.tuning_.revertive) return;
+  if (fsm.last_revert_.node == kInvalidNode) return;
+  if (fsm.last_revert_.epoch != e.membership_epoch_) return;
+  if (!e.ring_.contains(fsm.last_revert_.node) ||
+      !e.ring_.contains(fsm.last_revert_.anchor) ||
+      e.ring_.predecessor(fsm.last_revert_.node) != fsm.last_revert_.anchor) {
+    out.push_back("revertive re-insertion of station " +
+                  node_str(fsm.last_revert_.node) +
+                  " did not restore it after anchor " +
+                  node_str(fsm.last_revert_.anchor));
   }
 }
 

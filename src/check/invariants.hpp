@@ -25,6 +25,14 @@
 //                       transit register left busy between slots
 //   theorem1-oracle     observed SAT inter-arrival < Eq (1) bound (strict)
 //   theorem2-oracle     every window of n rotations <= Eq (3) bound
+//   guard_no_stale_rec  RecoveryFsm never starts a recovery inside its own
+//                       guard window (stale SAT_REC suppression holds)
+//   wtr_no_flap_readmit no station re-admitted before its WTR/WTB hold-off
+//                       was continuously satisfied
+//   revertive_position_restored
+//                       a revertive re-insertion put the station back after
+//                       its recorded anchor (checked while the membership
+//                       epoch it was recorded under is still current)
 //
 // The analytic oracles self-gate on "disturbances": a membership change,
 // SAT loss, rebuild, or quota renegotiation invalidates history collected
@@ -116,6 +124,9 @@ class InvariantAuditor {
   void check_link_pipeline(Details& out) const;
   void check_theorem1_oracle(Details& out) const;
   void check_theorem2_oracle(Details& out) const;
+  void check_guard_no_stale_rec(Details& out) const;
+  void check_wtr_no_flap_readmit(Details& out) const;
+  void check_revertive_position_restored(Details& out) const;
 
   /// Detects ring-parameter / fault disturbances and advances the oracle
   /// horizon past history the current bounds do not cover.

@@ -117,6 +117,47 @@ struct EngineTestHook {
         static_cast<std::size_t>(engine.station_position(node));
     engine.kernel_.arrival_history_[position] = std::move(arrivals);
   }
+
+  // --- RecoveryFsm --------------------------------------------------------
+  /// Backdates a member's last SAT arrival so its SAT_TIMER reads as
+  /// expired `slots` slots ago — the stale-SAT_REC stimulus the guard
+  /// window must suppress (and, without a guard, must spuriously act on).
+  static void age_sat_timer(wrtring::Engine& engine, NodeId node,
+                            std::int64_t slots) {
+    const auto position =
+        static_cast<std::size_t>(engine.station_position(node));
+    engine.kernel_.last_sat_arrival_[position] -= slots_to_ticks(slots);
+    engine.sat_timer_guard_valid_ = false;
+  }
+
+  /// Opens the FSM's guard window directly (as a completed recovery would).
+  static void open_guard(wrtring::Engine& engine) {
+    engine.fsm_.open_guard(engine.now_);
+  }
+
+  // --- guard_no_stale_rec -------------------------------------------------
+  /// Latches the trap the transition table makes unreachable: a recovery
+  /// accepted while the guard window was open.
+  static void force_guard_violation(wrtring::Engine& engine) {
+    engine.fsm_.accepted_sf_during_guard_ = true;
+  }
+
+  // --- wtr_no_flap_readmit ------------------------------------------------
+  /// Records an admission that undercut its hold-off by `slots` slots.
+  static void force_wtr_violation(wrtring::Engine& engine,
+                                  std::int64_t slots) {
+    engine.fsm_.min_readmit_slack_slots_ = -slots;
+  }
+
+  // --- revertive_position_restored ----------------------------------------
+  /// Records a revertive insertion whose anchor the ring does not
+  /// corroborate (the engine never writes such an outcome itself).
+  static void force_revertive_mismatch(wrtring::Engine& engine) {
+    engine.fsm_.tuning_.revertive = true;
+    engine.fsm_.last_revert_ = {engine.ring_.station_at(0),
+                                engine.ring_.station_at(1),
+                                engine.membership_epoch_};
+  }
 };
 
 }  // namespace wrt::check

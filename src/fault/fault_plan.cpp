@@ -48,6 +48,9 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kDropSat: return "drop-sat";
     case FaultKind::kDropControl: return "drop-control";
     case FaultKind::kJoin: return "join";
+    case FaultKind::kFlap: return "flap";
+    case FaultKind::kForceSwitch: return "force-switch";
+    case FaultKind::kClearSwitch: return "clear-switch";
     case FaultKind::kMark: return "mark";
   }
   return "unknown";
@@ -95,6 +98,14 @@ std::string FaultPlan::to_text() const {
         break;
       case FaultKind::kJoin:
         out << ' ' << e.a << " l=" << e.quota.l << " k=" << e.quota.k;
+        break;
+      case FaultKind::kFlap:
+        out << ' ' << e.a << ' ' << e.b << " period=" << e.period_slots
+            << " duty=" << e.duty_pct << " cycles=" << e.cycles;
+        break;
+      case FaultKind::kForceSwitch:
+      case FaultKind::kClearSwitch:
+        out << ' ' << e.a;
         break;
       case FaultKind::kMark:
         out << ' ' << e.label;
@@ -261,6 +272,45 @@ util::Result<FaultPlan> FaultPlan::parse(const std::string& text) {
           return parse_error(line_no, "bad value in '" + token + "'");
         }
       }
+    } else if (verb == "flap") {
+      event.kind = FaultKind::kFlap;
+      if (!need_node(event.a) || !need_node(event.b)) {
+        return parse_error(line_no, "flap needs two endpoints");
+      }
+      std::string token;
+      while (tokens >> token) {
+        std::string key;
+        std::string value;
+        if (!split_kv(token, key, value)) {
+          return parse_error(line_no, "bad parameter '" + token + "'");
+        }
+        try {
+          if (key == "period") {
+            event.period_slots = std::stoll(value);
+          } else if (key == "duty") {
+            event.duty_pct = static_cast<std::uint32_t>(std::stoul(value));
+          } else if (key == "cycles") {
+            event.cycles = static_cast<std::uint32_t>(std::stoul(value));
+          } else {
+            return parse_error(line_no, "unknown parameter '" + key + "'");
+          }
+        } catch (const std::exception&) {
+          return parse_error(line_no, "bad value in '" + token + "'");
+        }
+      }
+      if (event.period_slots < 2) {
+        return parse_error(line_no, "flap period must be >= 2 slots");
+      }
+      if (event.duty_pct < 1 || event.duty_pct > 99) {
+        return parse_error(line_no, "flap duty must be in [1, 99] percent");
+      }
+      if (event.cycles < 1) {
+        return parse_error(line_no, "flap needs cycles >= 1");
+      }
+    } else if (verb == "force-switch" || verb == "clear-switch") {
+      event.kind = verb == "force-switch" ? FaultKind::kForceSwitch
+                                          : FaultKind::kClearSwitch;
+      if (!need_node(event.a)) return parse_error(line_no, "missing node");
     } else if (verb == "mark") {
       event.kind = FaultKind::kMark;
       std::getline(tokens, event.label);
@@ -446,6 +496,32 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
         break;
     }
     plan.add(std::move(event));
+  }
+
+  // Flapping links ride in a second pass so that turning them on never
+  // changes the draws — and hence the plan — the primary loop produced for
+  // an existing seed.  Each flap targets the ring link between consecutive
+  // ids (always a real hop on the circle placements) and finishes before
+  // `settle` so the tail stays quiet.  The down window (period * duty) is
+  // kept below the SAT_REC travel time on the small rings the chaos matrix
+  // uses: a flap is the transient-blip stimulus the guard window / WTR
+  // hold-off are specified against, not a hard outage (kLinkBreak covers
+  // those in the primary pass).
+  for (std::size_t f = 0; f < options.flap_events; ++f) {
+    FaultEvent flap;
+    flap.kind = FaultKind::kFlap;
+    flap.a = static_cast<NodeId>(
+        rng.uniform_int(static_cast<std::uint64_t>(options.n_stations)));
+    flap.b = static_cast<NodeId>((flap.a + 1) % options.n_stations);
+    flap.period_slots = rng.uniform_int(16, 48);
+    flap.duty_pct = static_cast<std::uint32_t>(rng.uniform_int(25, 50));
+    flap.cycles = static_cast<std::uint32_t>(rng.uniform_int(2, 6));
+    flap.slot = rng.uniform_int(first, last);
+    const std::int64_t budget = settle - flap.slot;
+    const auto max_cycles = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(budget / flap.period_slots, 1));
+    flap.cycles = std::min(flap.cycles, max_cycles);
+    plan.add(std::move(flap));
   }
   return plan;
 }

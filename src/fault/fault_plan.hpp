@@ -28,6 +28,9 @@
 //   @<slot> drop-sat
 //   @<slot> drop-control <next-free|join-req|join-ack>
 //   @<slot> join <node> [l=<l>] [k=<k>]
+//   @<slot> flap <a> <b> period=<slots> duty=<pct> cycles=<n>
+//   @<slot> force-switch <node>
+//   @<slot> clear-switch <node>
 //   @<slot> mark <label...>
 #pragma once
 
@@ -54,6 +57,9 @@ enum class FaultKind : std::uint8_t {
   kDropSat,        ///< one-shot SAT/SAT_REC drop on its next hop
   kDropControl,    ///< one-shot handshake-message drop (arg: ControlMsg)
   kJoin,           ///< forced (re)join request
+  kFlap,           ///< periodic link break/heal cycling (the WTR stimulus)
+  kForceSwitch,    ///< operator forces a station out (ERPS forced switch)
+  kClearSwitch,    ///< operator releases the forced switch (WTB starts)
   kMark,           ///< free-form label for logs
 };
 
@@ -75,6 +81,13 @@ struct FaultEvent {
   std::uint8_t control_msg = kCtrlNextFree;      ///< kDropControl target
   std::vector<std::vector<NodeId>> groups;       ///< kPartition groups
   std::string label;                             ///< kMark text
+  // kFlap: the link a <-> b cycles down/up `cycles` times starting at
+  // `slot`; each cycle is `period_slots` long and the link is down for the
+  // first `duty_pct` percent of it.  Scenario expands this into timed
+  // break/heal pairs, so the plan stays pure data.
+  std::int64_t period_slots = 0;
+  std::uint32_t duty_pct = 50;
+  std::uint32_t cycles = 0;
 };
 
 class FaultPlan {
@@ -106,6 +119,10 @@ class FaultPlan {
     std::int64_t horizon_slots = 10000;
     std::size_t events = 8;         ///< primary faults (heals come extra)
     std::size_t min_alive = 5;
+    /// Flapping-link events (generated after — and independently of — the
+    /// primary faults, so enabling them never perturbs the event stream an
+    /// existing seed produces).  0 keeps legacy plans byte-identical.
+    std::size_t flap_events = 0;
   };
 
   /// Deterministic: the same (seed, options) always yields the same plan.

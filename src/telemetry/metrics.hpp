@@ -57,6 +57,10 @@ enum class CounterId : std::uint16_t {
   kTptTreeRebuilds,       ///< TPT: full tree re-formations
   kJournalEvents,         ///< journal appends (any station)
   kSnapshots,             ///< registry snapshots taken
+  kRecoveryFsmTransitions,///< RecoveryFsm state changes
+  kStaleRecSuppressed,    ///< stale SAT_REC / SF indications suppressed
+  kWtrHoldoffs,           ///< rejoins held back by the WTR timer
+  kSpuriousCutOuts,       ///< healthy stations cut out by a stale SAT_REC
   kCount_,                ///< sentinel — number of counters
 };
 
@@ -71,6 +75,7 @@ enum class HistogramId : std::uint16_t {
   kSatRecSlots,           ///< SAT loss -> SAT restored
   kSatDetectSlots,        ///< SAT loss -> SAT_TIMER detection (MTTD)
   kSpanNanos,             ///< WRT_SPAN wall-clock durations (cold paths)
+  kRecoveryMttrSlots,     ///< RecoveryFsm MTTR: loss -> ring restored
   kCount_,                ///< sentinel — number of histograms
 };
 

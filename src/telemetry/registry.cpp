@@ -35,6 +35,10 @@ const char* counter_name(CounterId id) noexcept {
     case CounterId::kTptTreeRebuilds: return "tpt_tree_rebuilds";
     case CounterId::kJournalEvents: return "journal_events";
     case CounterId::kSnapshots: return "snapshots";
+    case CounterId::kRecoveryFsmTransitions: return "recovery_fsm_transitions";
+    case CounterId::kStaleRecSuppressed: return "stale_rec_suppressed";
+    case CounterId::kWtrHoldoffs: return "wtr_holdoffs";
+    case CounterId::kSpuriousCutOuts: return "spurious_cut_outs";
     case CounterId::kCount_: break;
   }
   return "unknown";
@@ -50,6 +54,7 @@ const char* histogram_name(HistogramId id) noexcept {
     case HistogramId::kSatRecSlots: return "sat_rec_slots";
     case HistogramId::kSatDetectSlots: return "sat_detect_slots";
     case HistogramId::kSpanNanos: return "span_nanos";
+    case HistogramId::kRecoveryMttrSlots: return "recovery_mttr_slots";
     case HistogramId::kCount_: break;
   }
   return "unknown";
@@ -70,6 +75,9 @@ HistogramLayout histogram_layout(HistogramId id) noexcept {
     case HistogramId::kSatDetectSlots: return {0.0, 16.0, 64};
     // Wall-clock spans: 1us buckets up to 64us; slower spans overflow.
     case HistogramId::kSpanNanos: return {0.0, 1000.0, 64};
+    // MTTR spans detection + SAT_REC circuit (and, worst case, a rebuild);
+    // wider buckets than kSatRecSlots to keep the rebuild tail resolved.
+    case HistogramId::kRecoveryMttrSlots: return {0.0, 32.0, 64};
     case HistogramId::kCount_: break;
   }
   return {};

@@ -64,6 +64,14 @@ util::Status Config::validate() const {
     return util::Error::invalid_argument(
         "sat_timeout_slots must be >= 0 (0 = Theorem-1 bound)");
   }
+  if (guard_slots < 0 || wtr_slots < 0 || wtb_slots < 0) {
+    return util::Error::invalid_argument(
+        "recovery timers (guard/wtr/wtb) must be >= 0");
+  }
+  if ((wtr_slots > 0 || revertive) && !auto_rejoin) {
+    return util::Error::invalid_argument(
+        "wtr_slots/revertive govern re-admission and need auto_rejoin");
+  }
   return util::Status::success();
 }
 

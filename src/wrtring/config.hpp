@@ -104,6 +104,30 @@ struct Config {
   /// is set and a RAP policy is active.
   bool auto_rejoin = false;
 
+  /// ERPS-grade protection switching (RecoveryFsm, DESIGN.md §14).  All
+  /// defaults keep the engine bit-identical to the paper's bare
+  /// SAT_TIMER -> SAT_REC -> re-form chain (the SoA digest oracles gate
+  /// that); each knob opts one hardening in.
+  ///
+  /// Guard window: for this many slots after a recovery, rebuild, or
+  /// cancelled stale SAT_REC, fresh SAT_TIMER expiries are suppressed as
+  /// stale echoes (the detector's timer is re-armed instead).  With the
+  /// guard configured, a SAT_REC about to cut out a station that is alive
+  /// and reachable again is cancelled in flight instead of cutting.
+  std::int64_t guard_slots = 0;
+  /// Wait-to-restore: a station cut out of the ring must stay continuously
+  /// healthy this many slots before auto_rejoin re-admits it (a flap
+  /// restarts the clock).  0 = re-admit immediately (legacy).
+  std::int64_t wtr_slots = 0;
+  /// Wait-to-block: same hold-off for stations released from an
+  /// operator-forced switch (force_switch / clear_force_switch).
+  std::int64_t wtb_slots = 0;
+  /// Revertive recovery: a re-admitted station is inserted back after its
+  /// original ring predecessor with its original quota and Diffserv split,
+  /// so rotation history and the Theorem 1/2 bounds survive the blip.
+  /// Non-revertive (default) keeps the arbitrary-ingress legacy behaviour.
+  bool revertive = false;
+
   [[nodiscard]] std::int64_t effective_sat_hop_latency() const noexcept {
     return sat_hop_latency_slots > 0 ? sat_hop_latency_slots
                                      : hop_latency_slots;

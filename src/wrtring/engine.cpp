@@ -41,6 +41,8 @@ Engine::~Engine() {
 util::Status Engine::init() {
   assert(!initialised_);
   if (const auto valid = config_.validate(); !valid.ok()) return valid;
+  fsm_.bind(this, {config_.guard_slots, config_.wtr_slots, config_.wtb_slots,
+                   config_.revertive});
 
   // Channel model: the scalar i.i.d. knobs are the degenerate form of the
   // per-link Gilbert–Elliott field; each folds in only when the richer
@@ -387,6 +389,9 @@ void Engine::step() {
     sat_plane_step();
     check_sat_timers();
   }
+  // Recovery timers (guard window, WTR/WTB hold-offs) run even through a
+  // rebuild; with all-defaults tuning timers_active() is always false.
+  if (fsm_.timers_active()) fsm_.tick(now_);
   if (journal_queue_sample_slots_ > 0) maybe_sample_queues();
 
   now_ += kTicksPerSlot;
@@ -917,6 +922,10 @@ void Engine::sat_arrive(NodeId at) {
       trace_.record(sim::EventKind::kRecovered, now_, at, sat_.rec_failed);
     }
     journal_record(at, telemetry::JournalKind::kSatRecDone, sat_.rec_failed);
+    fsm_.on_recovery_complete(now_, sat_lost_at_ != kNeverTick
+                                        ? ticks_to_slots_real(now_ -
+                                                              sat_lost_at_)
+                                        : -1.0);
     sat_.is_rec = false;
     sat_.rec_origin = kInvalidNode;
     sat_.rec_failed = kInvalidNode;
@@ -942,6 +951,7 @@ void Engine::sat_arrive(NodeId at) {
     sat_.rec_failed = leave_pending_;
     rec_deadline_ = now_ + slots_to_ticks(effective_sat_timeout(at));
     leave_pending_ = kInvalidNode;
+    fsm_.on_graceful_leave(at, sat_.rec_failed, now_);
   }
 
   // RAP entry (Section 2.4.1): one station per round, guarded by the mutex.
@@ -977,40 +987,91 @@ void Engine::sat_release(NodeId from) {
   bool rerouted = false;
 
   if (sat_.is_rec && target == sat_.rec_failed) {
-    // This station plays the role of i-1: skip the failed station by
-    // addressing i+1 directly with code i+1 (Section 2.5).
-    const NodeId beyond = ring_.order()[(from_position + 2) % R];
-    if (R <= 3 || !topology_->reachable(from, beyond)) {
-      // "station i-1 could be too far to directly reach station i+1":
-      // the previous ring is no longer valid.
-      start_rebuild();
-      return;
+    // Heal cancellation (guard mode only): the accused station is alive
+    // again and the hop to it works — the SAT_REC is a stale claim left
+    // over from a transient (the flapping-link case).  Withdrawing the
+    // claim ends the protection episode right here (the ERPS semantic:
+    // clearing the defect stops the switch): the REC reverts to a plain
+    // SAT instead of burning another loop to its origin, which would
+    // overrun the REC deadline and force a needless re-formation.
+    bool heal_cancelled = false;
+    if (fsm_.tuning().guard_slots > 0 && !sat_.graceful_leave &&
+        station_active(target)) {
+      refresh_hot_caches();
+      heal_cancelled = link_ok_cache_[from_position] != 0;
     }
-    const NodeId failed = target;
-    const std::size_t failed_position = (from_position + 1) % R;
-    const Quota failed_quota = kernel_.quota_[failed_position];
-    erase_member(failed_position);
-    drop_in_flight_frames();
-    // Re-anchor the round counter: a cut-out anchor would otherwise freeze
-    // stats_.sat_rounds until a full rebuild.
-    if (rotation_anchor_ == failed) rotation_anchor_ = beyond;
-    target = beyond;
-    rerouted = true;
-    util::log(util::LogLevel::kInfo,
-              "WRT-Ring: cut out station " + std::to_string(failed));
-    WRT_COUNT(kCutOuts);
-    journal_record(failed, telemetry::JournalKind::kCutOut, sat_.rec_origin);
-    trace_.record(sim::EventKind::kCutOut, now_, from, failed);
-    if (membership_callback_) membership_callback_(failed, false);
-    notify_audit(sat_.graceful_leave ? "leave" : "cut-out");
-    // A healthy station cut out by a spurious SAT_REC re-enters through the
-    // normal join procedure when configured to.
-    if (config_.auto_rejoin && station_active(failed) &&
-        config_.rap_policy != RapPolicy::kDisabled) {
-      PendingJoin rejoin;
-      rejoin.quota = failed_quota;
-      rejoin.requested_at = now_;
-      pending_joins_[failed] = std::move(rejoin);
+    if (heal_cancelled) {
+      fsm_.on_stale_rec_cancelled(now_);
+      ++stats_.sat_recoveries;
+      WRT_COUNT(kSatRecoveries);
+      if (sat_lost_at_ != kNeverTick) {
+        const double rec = ticks_to_slots_real(now_ - sat_lost_at_);
+        stats_.recovery_total_slots.add(rec);
+        WRT_OBSERVE(kSatRecSlots, rec);
+      }
+      trace_.record(sim::EventKind::kRecovered, now_, from, sat_.rec_failed);
+      journal_record(from, telemetry::JournalKind::kSatRecDone,
+                     sat_.rec_failed);
+      fsm_.on_recovery_complete(
+          now_, sat_lost_at_ != kNeverTick
+                    ? ticks_to_slots_real(now_ - sat_lost_at_)
+                    : -1.0);
+      sat_.is_rec = false;
+      sat_.rec_origin = kInvalidNode;
+      sat_.rec_failed = kInvalidNode;
+      sat_.graceful_leave = false;
+      sat_lost_at_ = kNeverTick;
+      rec_deadline_ = kNeverTick;
+    } else {
+      // This station plays the role of i-1: skip the failed station by
+      // addressing i+1 directly with code i+1 (Section 2.5).
+      const NodeId beyond = ring_.order()[(from_position + 2) % R];
+      if (R <= 3 || !topology_->reachable(from, beyond)) {
+        // "station i-1 could be too far to directly reach station i+1":
+        // the previous ring is no longer valid.
+        fsm_.on_ring_unrepairable(now_);
+        return;
+      }
+      const NodeId failed = target;
+      const std::size_t failed_position = (from_position + 1) % R;
+      const Quota failed_quota = kernel_.quota_[failed_position];
+      const std::uint32_t failed_k1 = kernel_.k1_assured_[failed_position];
+      const bool spurious = station_active(failed) && !sat_.graceful_leave;
+      erase_member(failed_position);
+      drop_in_flight_frames();
+      // Re-anchor the round counter: a cut-out anchor would otherwise
+      // freeze stats_.sat_rounds until a full rebuild.
+      if (rotation_anchor_ == failed) rotation_anchor_ = beyond;
+      target = beyond;
+      rerouted = true;
+      util::log(util::LogLevel::kInfo,
+                "WRT-Ring: cut out station " + std::to_string(failed));
+      ++stats_.cut_outs;
+      WRT_COUNT(kCutOuts);
+      if (spurious) {
+        ++stats_.spurious_cutouts;
+        WRT_COUNT(kSpuriousCutOuts);
+      }
+      journal_record(failed, telemetry::JournalKind::kCutOut,
+                     sat_.rec_origin);
+      trace_.record(sim::EventKind::kCutOut, now_, from, failed);
+      if (membership_callback_) membership_callback_(failed, false);
+      notify_audit(sat_.graceful_leave ? "leave" : "cut-out");
+      // A station cut out by a SAT_REC re-enters through the normal join
+      // procedure when configured to.  The FSM decides when: immediately
+      // (legacy default) or after the WTR/WTB hold-off lapses.
+      if (config_.auto_rejoin && config_.rap_policy != RapPolicy::kDisabled) {
+        const bool forced = failed == fsm_.forced_station();
+        if (fsm_.on_station_cut(failed, failed_quota, from, failed_k1,
+                                forced, now_) == RecoveryFsm::Admit::kNow) {
+          if (station_active(failed)) {
+            PendingJoin rejoin;
+            rejoin.quota = failed_quota;
+            rejoin.requested_at = now_;
+            pending_joins_[failed] = std::move(rejoin);
+          }
+        }
+      }
     }
   }
 
@@ -1089,7 +1150,7 @@ void Engine::check_sat_timers() {
   // A pending SAT_REC that fails to return within SAT_TIME invalidates the
   // ring (Section 2.5, last paragraph).
   if (sat_.is_rec && rec_deadline_ != kNeverTick && now_ > rec_deadline_) {
-    start_rebuild();
+    fsm_.on_rec_deadline(now_);
     return;
   }
   if (sat_.is_rec) return;  // recovery already in progress
@@ -1125,7 +1186,13 @@ void Engine::check_sat_timers() {
   }
   if (detector != kInvalidNode) {
     sat_timer_guard_valid_ = false;
-    start_recovery(detector);
+    if (!fsm_.on_signal_fail(detector, ring_.predecessor(detector), now_)) {
+      // Suppressed as a stale echo of the event just survived: re-arm the
+      // detector's timer so the sweep does not re-accuse every slot for
+      // the remainder of the guard window.
+      kernel_.last_sat_arrival_[static_cast<std::size_t>(
+          ring_.position_of(detector))] = now_;
+    }
     return;
   }
   sat_timer_guard_ = next_expiry;
@@ -1275,6 +1342,10 @@ void Engine::finish_rebuild() {
   if (sat_lost_at_ != kNeverTick) {
     stats_.recovery_total_slots.add(ticks_to_slots_real(now_ - sat_lost_at_));
   }
+  fsm_.on_rebuild_complete(now_, sat_lost_at_ != kNeverTick
+                                     ? ticks_to_slots_real(now_ -
+                                                           sat_lost_at_)
+                                     : -1.0);
   util::log(util::LogLevel::kInfo, "WRT-Ring: ring re-formed, size " +
                                        std::to_string(ring_.size()));
   trace_.record(sim::EventKind::kRebuildCompleted, now_);
@@ -1438,8 +1509,11 @@ void Engine::resume_station(NodeId node) {
     // recovery against a healthy ring.
     kernel_.last_sat_arrival_[static_cast<std::size_t>(position)] = now_;
   } else if (config_.auto_rejoin && topology_->alive(node) &&
-             config_.rap_policy != RapPolicy::kDisabled) {
+             config_.rap_policy != RapPolicy::kDisabled &&
+             !fsm_.tracks_rejoin(node)) {
     // The ring cut it out while it was wedged; re-enter via Section 2.4.1.
+    // When the RecoveryFsm holds the station under a WTR/WTB hold-off it
+    // owns the rejoin (with the original quota), so don't race it here.
     PendingJoin rejoin;
     rejoin.quota = config_.default_quota;
     rejoin.requested_at = now_;
@@ -1629,8 +1703,30 @@ void Engine::complete_join(NodeId joiner, NodeId ingress) {
   // Update phase: insert between the ingress and its successor, assign a
   // fresh distance-2-safe code, and initialise MAC state.  In-flight frames
   // abandoned here are planned churn, not recovery casualties.
+  //
+  // Revertive recovery (RecoveryFsm): when the joiner is a station the FSM
+  // held through its WTR/WTB hold-off, re-insert it after its original ring
+  // predecessor with its original Diffserv split (the update phase may
+  // announce any insertion point), provided that position still physically
+  // works — rotation history and the Theorem 1/2 bounds then survive the
+  // blip.  Otherwise fall back to the RAP ingress.
+  NodeId insert_after = ingress;
+  NodeId revert_anchor = kInvalidNode;
+  std::uint32_t revert_k1 = 0;
+  const bool revert =
+      fsm_.take_revertive_anchor(joiner, &revert_anchor, &revert_k1);
+  if (revert && revert_anchor != joiner && ring_.contains(revert_anchor) &&
+      topology_->reachable(revert_anchor, joiner) &&
+      topology_->reachable(joiner, ring_.successor(revert_anchor))) {
+    insert_after = revert_anchor;
+  }
   drop_in_flight_frames(TeardownCause::kJoin);
-  insert_member(ingress, joiner, join.quota);
+  insert_member(insert_after, joiner, join.quota);
+  if (revert && insert_after == revert_anchor) {
+    kernel_.set_k1_assured(
+        static_cast<std::size_t>(station_position(joiner)), revert_k1);
+    fsm_.record_revert_outcome(joiner, revert_anchor, membership_epoch_);
+  }
   if (codes_.size() <= joiner) codes_.resize(joiner + 1, kInvalidCode);
   codes_[joiner] = allocate_code_for(joiner);
   reset_data_plane();
@@ -1649,6 +1745,35 @@ void Engine::complete_join(NodeId joiner, NodeId ingress) {
   trace_.record(sim::EventKind::kJoinCompleted, now_, joiner, ingress);
   if (membership_callback_) membership_callback_(joiner, true);
   notify_audit("join");
+}
+
+void Engine::queue_rejoin(NodeId node, Quota quota) {
+  if (!config_.auto_rejoin || config_.rap_policy == RapPolicy::kDisabled) {
+    return;
+  }
+  if (ring_.contains(node) || !station_active(node)) return;
+  if (pending_joins_.find(node) != pending_joins_.end()) return;
+  PendingJoin rejoin;
+  rejoin.quota = quota;
+  rejoin.requested_at = now_;
+  pending_joins_[node] = std::move(rejoin);
+}
+
+util::Status Engine::force_switch(NodeId node) {
+  if (!fsm_.on_forced_switch(node, now_)) {
+    return util::Error::protocol_violation(
+        "force_switch: a forced switch is already active");
+  }
+  const auto status = request_leave(node);
+  if (!status.ok()) {
+    fsm_.on_clear_forced(node, now_);
+    return status;
+  }
+  return status;
+}
+
+void Engine::clear_force_switch(NodeId node) {
+  fsm_.on_clear_forced(node, now_);
 }
 
 }  // namespace wrt::wrtring

@@ -60,6 +60,7 @@
 #include "util/rng.hpp"
 #include "util/thread_safety.hpp"
 #include "wrtring/config.hpp"
+#include "wrtring/recovery_fsm.hpp"
 #include "wrtring/soa_kernel.hpp"
 #include "wrtring/station.hpp"
 
@@ -98,6 +99,11 @@ struct EngineStats {
   std::uint64_t joins_abandoned = 0;     ///< gave up after max attempts
   std::uint64_t sat_losses_detected = 0;
   std::uint64_t sat_recoveries = 0;      ///< successful SAT_REC cut-outs
+  std::uint64_t cut_outs = 0;            ///< stations cut by a SAT_REC
+  /// Cut-outs whose victim was demonstrably alive and reachable at the cut
+  /// (a stale SAT_REC claimed it) — the failure mode the RecoveryFsm guard
+  /// window exists to eliminate; the chaos gate asserts 0 under guard.
+  std::uint64_t spurious_cutouts = 0;
   std::uint64_t ring_rebuilds = 0;
   std::uint64_t raps_started = 0;
   std::uint64_t joins_completed = 0;
@@ -230,6 +236,23 @@ class WRT_SHARD_CONFINED Engine final {
   /// Removes a degrade_link override; the link reverts to channel defaults.
   void heal_link(NodeId a, NodeId b);
 
+  // -- operator-forced protection switching (RecoveryFsm, DESIGN.md §14) ----
+
+  /// Forces `node` out of the ring through the graceful-leave machinery and
+  /// holds it out until clear_force_switch; re-admission then waits out the
+  /// WTB hold-off (Config::wtb_slots).  Fails on a duplicate force or when
+  /// the leave cannot start (ring too small, another leave pending).
+  [[nodiscard]] util::Status force_switch(NodeId node);
+
+  /// Releases an operator-forced switch; `node` becomes eligible for
+  /// re-admission once it has stayed healthy for wtb_slots.
+  void clear_force_switch(NodeId node);
+
+  /// The recovery state machine (observers: state, counters, MTTR samples).
+  [[nodiscard]] const RecoveryFsm& recovery_fsm() const noexcept {
+    return fsm_;
+  }
+
   // -- observers ------------------------------------------------------------
 
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
@@ -354,6 +377,7 @@ class WRT_SHARD_CONFINED Engine final {
  private:
   friend class ::wrt::check::InvariantAuditor;
   friend struct ::wrt::check::EngineTestHook;
+  friend class RecoveryFsm;  // sole caller of start_recovery/start_rebuild
 
   struct SatSignal {
     bool is_rec = false;          ///< SAT_REC rather than plain SAT
@@ -425,6 +449,10 @@ class WRT_SHARD_CONFINED Engine final {
   void begin_rap(NodeId ingress);
   void finish_rap();
   void complete_join(NodeId joiner, NodeId ingress);
+  /// RecoveryFsm admission callback: files the auto_rejoin PendingJoin for
+  /// a station whose WTR/WTB hold-off lapsed (no-op if already joining or
+  /// back in the ring).
+  void queue_rejoin(NodeId node, Quota quota);
 
   // --- helpers ---
   void notify_audit(const char* event) {
@@ -628,6 +656,11 @@ class WRT_SHARD_CONFINED Engine final {
   // change, quota renegotiation).
   Tick sat_timer_guard_ = kNeverTick;
   bool sat_timer_guard_valid_ = false;
+
+  // Recovery decision funnel (guard window, WTR/WTB hold-offs, revertive
+  // re-insertion, request de-dup).  All-defaults tuning makes every call a
+  // pass-through to the legacy actions — the digest-identity contract.
+  RecoveryFsm fsm_;
 
   // CDMA fidelity channel (allocated only when config_.cdma_fidelity).
   std::unique_ptr<cdma::Channel<traffic::Packet>> channel_;

@@ -148,6 +148,43 @@ Scenario& Scenario::heal_partition_at(std::int64_t slot) {
   return *this;
 }
 
+Scenario& Scenario::flap_link_at(std::int64_t slot, NodeId a, NodeId b,
+                                 std::int64_t period_slots,
+                                 std::uint32_t duty_pct,
+                                 std::uint32_t cycles) {
+  // Down for the first duty_pct percent of each period (at least 1 slot,
+  // at most period - 1 so the link is also provably up every cycle).
+  const std::int64_t down = std::clamp<std::int64_t>(
+      period_slots * duty_pct / 100, 1, period_slots - 1);
+  for (std::uint32_t c = 0; c < cycles; ++c) {
+    const std::int64_t start = slot + static_cast<std::int64_t>(c) *
+                                          period_slots;
+    fail_link_at(start, a, b);
+    restore_link_at(start + down, a, b);
+  }
+  return *this;
+}
+
+Scenario& Scenario::force_switch_at(std::int64_t slot, NodeId node) {
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kForceSwitch;
+  action.a = node;
+  action.label = "force switch station " + std::to_string(node);
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
+Scenario& Scenario::clear_switch_at(std::int64_t slot, NodeId node) {
+  Action action;
+  action.slot = slot;
+  action.kind = Action::Kind::kClearSwitch;
+  action.a = node;
+  action.label = "clear forced switch station " + std::to_string(node);
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
 Scenario& Scenario::mark_at(std::int64_t slot, std::string label) {
   Action action;
   action.slot = slot;
@@ -196,6 +233,16 @@ Scenario& Scenario::apply_plan(const fault::FaultPlan& plan) {
         break;
       case fault::FaultKind::kJoin:
         join_at(event.slot, event.a, event.quota);
+        break;
+      case fault::FaultKind::kFlap:
+        flap_link_at(event.slot, event.a, event.b, event.period_slots,
+                     event.duty_pct, event.cycles);
+        break;
+      case fault::FaultKind::kForceSwitch:
+        force_switch_at(event.slot, event.a);
+        break;
+      case fault::FaultKind::kClearSwitch:
+        clear_switch_at(event.slot, event.a);
         break;
       case fault::FaultKind::kMark:
         mark_at(event.slot, event.label);
@@ -276,6 +323,16 @@ std::vector<Scenario::LogEntry> Scenario::run(
           break;
         case Action::Kind::kHealPartition:
           topology.clear_partition();
+          break;
+        case Action::Kind::kForceSwitch: {
+          const auto status = engine.force_switch(action.a);
+          if (!status.ok()) {
+            record("force switch refused: " + status.error().message);
+          }
+          break;
+        }
+        case Action::Kind::kClearSwitch:
+          engine.clear_force_switch(action.a);
           break;
         case Action::Kind::kMark:
           break;

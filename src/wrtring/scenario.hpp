@@ -36,6 +36,16 @@ class Scenario {
   Scenario& partition_at(std::int64_t slot,
                          std::vector<std::vector<NodeId>> groups);
   Scenario& heal_partition_at(std::int64_t slot);
+  /// Link a <-> b cycles down/up `cycles` times from `slot`: each cycle is
+  /// `period_slots` long with the link down for its first `duty_pct`
+  /// percent (>= 1 slot).  Expands into fail/restore pairs at build time.
+  Scenario& flap_link_at(std::int64_t slot, NodeId a, NodeId b,
+                         std::int64_t period_slots, std::uint32_t duty_pct,
+                         std::uint32_t cycles);
+  /// Operator-forced protection switch on `node` (Engine::force_switch).
+  Scenario& force_switch_at(std::int64_t slot, NodeId node);
+  /// Releases the forced switch (Engine::clear_force_switch; WTB starts).
+  Scenario& clear_switch_at(std::int64_t slot, NodeId node);
   /// Free-form marker copied into the log (phase labels).
   Scenario& mark_at(std::int64_t slot, std::string label);
 
@@ -75,6 +85,8 @@ class Scenario {
       kHealLink,
       kPartition,
       kHealPartition,
+      kForceSwitch,
+      kClearSwitch,
       kMark,
     };
     std::int64_t slot = 0;

@@ -57,9 +57,12 @@ TEST_F(InvariantAuditorTest, CleanEngineAuditsClean) {
 
 TEST_F(InvariantAuditorTest, RegistryNamesAreStable) {
   const std::vector<std::string> names = InvariantAuditor::check_names();
-  ASSERT_EQ(names.size(), 8u);
+  ASSERT_EQ(names.size(), 11u);
   EXPECT_EQ(names.front(), "ring-lockstep");
-  EXPECT_EQ(names.back(), "theorem2-oracle");
+  EXPECT_EQ(names[7], "theorem2-oracle");
+  EXPECT_EQ(names[8], "guard_no_stale_rec");
+  EXPECT_EQ(names[9], "wtr_no_flap_readmit");
+  EXPECT_EQ(names.back(), "revertive_position_restored");
   EXPECT_EQ(auditor_.violation_count("no-such-check"), 0u);
 }
 
@@ -157,6 +160,24 @@ TEST_F(InvariantAuditorTest, OraclesCanBeDisabled) {
       {base, base + slots_to_ticks(1000000)});
   EXPECT_EQ(no_oracles.run("forged"), 0u);
   EXPECT_TRUE(no_oracles.clean());
+}
+
+TEST_F(InvariantAuditorTest, GuardViolationTripsGuardNoStaleRec) {
+  ASSERT_EQ(auditor_.run("baseline"), 0u);
+  EngineTestHook::force_guard_violation(harness_.engine);
+  expect_only("guard_no_stale_rec");
+}
+
+TEST_F(InvariantAuditorTest, UndercutHoldoffTripsWtrNoFlapReadmit) {
+  ASSERT_EQ(auditor_.run("baseline"), 0u);
+  EngineTestHook::force_wtr_violation(harness_.engine, 17);
+  expect_only("wtr_no_flap_readmit");
+}
+
+TEST_F(InvariantAuditorTest, MismatchedAnchorTripsRevertivePositionRestored) {
+  ASSERT_EQ(auditor_.run("baseline"), 0u);
+  EngineTestHook::force_revertive_mismatch(harness_.engine);
+  expect_only("revertive_position_restored");
 }
 
 TEST_F(InvariantAuditorTest, ViolationRecordsCarryContext) {

@@ -105,6 +105,45 @@ TEST(FaultPlan, ParseRejectsMalformedLines) {
   EXPECT_FALSE(FaultPlan::parse("@10 drop-control maybe").ok());
 }
 
+TEST(FaultPlan, FlapAndSwitchTextRoundTrips) {
+  const auto plan = FaultPlan::parse(
+      "@10 flap 1 2 period=32 duty=40 cycles=3\n"
+      "@50 force-switch 4\n"
+      "@900 clear-switch 4\n");
+  ASSERT_TRUE(plan.ok()) << plan.error().message;
+  ASSERT_EQ(plan.value().events.size(), 3u);
+  const FaultEvent& flap = plan.value().events[0];
+  EXPECT_EQ(flap.kind, FaultKind::kFlap);
+  EXPECT_EQ(flap.a, 1u);
+  EXPECT_EQ(flap.b, 2u);
+  EXPECT_EQ(flap.period_slots, 32);
+  EXPECT_EQ(flap.duty_pct, 40u);
+  EXPECT_EQ(flap.cycles, 3u);
+  EXPECT_EQ(plan.value().events[1].kind, FaultKind::kForceSwitch);
+  EXPECT_EQ(plan.value().events[1].a, 4u);
+  EXPECT_EQ(plan.value().events[2].kind, FaultKind::kClearSwitch);
+
+  const std::string text = plan.value().to_text();
+  const auto reparsed = FaultPlan::parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().message;
+  EXPECT_EQ(reparsed.value().to_text(), text);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedFlapAndSwitch) {
+  EXPECT_FALSE(FaultPlan::parse("@10 flap 1").ok());
+  // period < 2, duty outside [1, 99], cycles < 1.
+  EXPECT_FALSE(
+      FaultPlan::parse("@10 flap 1 2 period=1 duty=40 cycles=3").ok());
+  EXPECT_FALSE(
+      FaultPlan::parse("@10 flap 1 2 period=32 duty=0 cycles=3").ok());
+  EXPECT_FALSE(
+      FaultPlan::parse("@10 flap 1 2 period=32 duty=100 cycles=3").ok());
+  EXPECT_FALSE(
+      FaultPlan::parse("@10 flap 1 2 period=32 duty=40 cycles=0").ok());
+  EXPECT_FALSE(FaultPlan::parse("@10 force-switch").ok());
+  EXPECT_FALSE(FaultPlan::parse("@10 clear-switch").ok());
+}
+
 TEST(FaultPlan, SaveLoadRoundTrips) {
   const FaultPlan plan = sample_plan();
   const std::string path =
@@ -159,6 +198,50 @@ TEST(FaultPlanRandom, EveryDisturbanceHealsBeforeTheTail) {
     EXPECT_EQ(partitions, 0) << "seed " << seed << ": unhealed partition";
     EXPECT_LE(dead, options.n_stations - options.min_alive)
         << "seed " << seed << ": plan kills below min_alive";
+  }
+}
+
+TEST(FaultPlanRandom, FlapEventsLayerWithoutPerturbingPrimaries) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    FaultPlan::RandomOptions base;
+    base.events = 6;
+    FaultPlan::RandomOptions flappy = base;
+    flappy.flap_events = 4;
+    const FaultPlan plain = FaultPlan::random(seed, base);
+    const FaultPlan with_flaps = FaultPlan::random(seed, flappy);
+
+    // The flaps are generated in a second pass: stripping them must
+    // recover the primary stream byte-for-byte (existing seeds keep their
+    // plans when flap_events stays 0).
+    FaultPlan stripped;
+    std::size_t flaps = 0;
+    for (const FaultEvent& event : with_flaps.events) {
+      if (event.kind == FaultKind::kFlap) {
+        ++flaps;
+        continue;
+      }
+      stripped.add(event);
+    }
+    EXPECT_EQ(flaps, 4u) << "seed " << seed;
+    EXPECT_EQ(stripped.to_text(), plain.to_text()) << "seed " << seed;
+
+    for (const FaultEvent& event : with_flaps.events) {
+      if (event.kind != FaultKind::kFlap) continue;
+      // Transient-blip envelope: short periods, down window at most half a
+      // period, adjacent ring link, finished before the quiet tail.
+      EXPECT_GE(event.period_slots, 16) << "seed " << seed;
+      EXPECT_LE(event.period_slots, 48) << "seed " << seed;
+      EXPECT_GE(event.duty_pct, 25u) << "seed " << seed;
+      EXPECT_LE(event.duty_pct, 50u) << "seed " << seed;
+      EXPECT_GE(event.cycles, 1u) << "seed " << seed;
+      EXPECT_EQ(event.b,
+                static_cast<NodeId>((event.a + 1) % base.n_stations))
+          << "seed " << seed;
+      EXPECT_LE(event.slot + static_cast<std::int64_t>(event.cycles) *
+                                 event.period_slots,
+                base.horizon_slots * 9 / 10)
+          << "seed " << seed;
+    }
   }
 }
 

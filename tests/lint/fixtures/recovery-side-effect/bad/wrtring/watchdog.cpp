@@ -1,0 +1,14 @@
+// Fixture: recovery side effects outside the FSM (2 findings).  The
+// declarations and the Engine method definition below must NOT fire —
+// only the two call sites do.
+namespace fixture {
+struct Engine {
+  void start_recovery(int detector);
+  void start_rebuild();
+};
+void Engine::start_rebuild() {}
+void on_timeout(Engine& engine, int detector) {
+  engine.start_recovery(detector);
+}
+void on_unrepairable(Engine& engine) { engine.start_rebuild(); }
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: the same direct dispatch with a justified suppression.
+namespace fixture {
+struct Engine {
+  void start_rebuild();
+};
+void on_unrepairable(Engine& engine) {
+  // wrt-lint-allow(recovery-side-effect): fixture — FSM-sanctioned dispatch
+  engine.start_rebuild();
+}
+}  // namespace fixture

@@ -82,6 +82,8 @@ TEST(LintSelftest, EveryRuleFiresOnItsBadFixtureAndOnlyThere) {
       "cross-shard-handle/bad/wrtring/peers.hpp:7:cross-shard-handle",
       "cross-shard-handle/bad/wrtring/mailbox.hpp:7:cross-shard-handle",
       "unguarded-shared-field/bad.hpp:9:unguarded-shared-field",
+      "recovery-side-effect/bad/wrtring/watchdog.cpp:11:recovery-side-effect",
+      "recovery-side-effect/bad/wrtring/watchdog.cpp:13:recovery-side-effect",
       "lint-suppression/bad.cpp:3:lint-suppression",
   };
   EXPECT_EQ(parse_findings(result.output), expected) << result.output;
@@ -98,7 +100,8 @@ TEST(LintSelftest, SuppressedFixturesAloneAreClean) {
       fixture("kernel-aos-access/suppressed") + " " +
       fixture("mutable-global-state/suppressed.cpp") + " " +
       fixture("cross-shard-handle/suppressed") + " " +
-      fixture("unguarded-shared-field/suppressed.hpp");
+      fixture("unguarded-shared-field/suppressed.hpp") + " " +
+      fixture("recovery-side-effect/suppressed");
   const RunResult result = run_lint(roots);
   EXPECT_EQ(result.exit_code, 0) << result.output;
   EXPECT_NE(result.output.find("clean"), std::string::npos) << result.output;
@@ -112,9 +115,9 @@ TEST(LintSelftest, ListSuppressionsInventoriesJustifications) {
   EXPECT_NE(result.output.find("unknown rule 'no-such-rule'"),
             std::string::npos)
       << result.output;
-  // ...while the 10 legitimate suppressions are inventoried with their
+  // ...while the 11 legitimate suppressions are inventoried with their
   // scope tag and justification text.
-  EXPECT_NE(result.output.find("10 active suppression(s)"), std::string::npos)
+  EXPECT_NE(result.output.find("11 active suppression(s)"), std::string::npos)
       << result.output;
   EXPECT_NE(result.output.find(
                 "[file] hot-path-assoc: fixture — cold lookup table"),
@@ -141,7 +144,8 @@ TEST(LintSelftest, ListRulesNamesAllRules) {
   for (const char* rule :
        {"hot-path-assoc", "by-value-frame-param", "stale-include",
         "missing-nodiscard", "kernel-aos-access", "mutable-global-state",
-        "cross-shard-handle", "unguarded-shared-field"}) {
+        "cross-shard-handle", "unguarded-shared-field",
+        "recovery-side-effect"}) {
     EXPECT_NE(result.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -118,5 +118,49 @@ TEST(Scenario, MobilityHookRuns) {
   EXPECT_LE(moved, 0.3 + 1e-6);
 }
 
+TEST(Scenario, FlapExpandsIntoBreakHealPairsPerCycle) {
+  Harness h(8, Config{});
+  Scenario scenario;
+  scenario.flap_link_at(100, 0, 1, /*period_slots=*/40, /*duty_pct=*/25,
+                        /*cycles=*/3);
+  const auto log = scenario.run(h.engine, h.topology, 400);
+  std::size_t fails = 0;
+  std::size_t restores = 0;
+  std::int64_t first_fail = -1;
+  std::int64_t first_restore = -1;
+  for (const Scenario::LogEntry& entry : log) {
+    if (entry.what == "fail link 0-1") {
+      if (fails == 0) first_fail = entry.slot;
+      ++fails;
+    }
+    if (entry.what == "restore link 0-1") {
+      if (restores == 0) first_restore = entry.slot;
+      ++restores;
+    }
+  }
+  // One break/heal pair per cycle; down for period * duty / 100 slots.
+  EXPECT_EQ(fails, 3u);
+  EXPECT_EQ(restores, 3u);
+  EXPECT_EQ(first_fail, 100);
+  EXPECT_EQ(first_restore, 110);
+}
+
+TEST(Scenario, ForcedSwitchScriptHoldsAndReleasesStation) {
+  Config config;
+  config.rap_policy = RapPolicy::kRotating;
+  config.auto_rejoin = true;
+  Harness h(8, config);
+  const NodeId victim = h.engine.virtual_ring().station_at(4);
+  Scenario scenario;
+  scenario.force_switch_at(100, victim).clear_switch_at(2000, victim);
+  const auto log = scenario.run(h.engine, h.topology, 12000);
+  EXPECT_TRUE(log_contains(log, "force switch station"));
+  EXPECT_TRUE(log_contains(log, "clear forced switch station"));
+  // Forced out via graceful leave, re-admitted after the clear (wtb = 0).
+  EXPECT_TRUE(log_contains(log, "ring shrank"));
+  EXPECT_TRUE(h.engine.virtual_ring().contains(victim));
+  EXPECT_EQ(h.engine.virtual_ring().size(), 8u);
+}
+
 }  // namespace
 }  // namespace wrt::wrtring

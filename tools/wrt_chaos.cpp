@@ -25,6 +25,15 @@
 //   $ build/tools/wrt_chaos --plan storm.fplan --seeds 1,2,3
 //   $ build/tools/wrt_chaos --json > chaos.json
 //
+// --flap-matrix switches to the RecoveryFsm A/B experiment instead: every
+// seed draws a flap-only plan (periodic link break/heal cycling, the
+// classic ERPS stimulus) and runs it twice — once with the all-defaults
+// recovery config (no guard, no WTR) and once with guard + WTR + revertive
+// enabled.  The gates assert what the FSM is for: zero spurious cut-outs
+// under the guard, strictly fewer ring re-formations than the baseline,
+// and a p99 MTTR no worse.  --json-dir=DIR emits the comparison as
+// schema-v1 BENCH_recovery_fsm.json (scripts/validate_bench_json.py).
+//
 // Exit status: 0 when every seed meets the SLO, 1 otherwise, 2 on usage
 // errors.
 #include <algorithm>
@@ -36,6 +45,7 @@
 #include <vector>
 
 #include "analysis/bounds.hpp"
+#include "bench/bench_common.hpp"
 #include "check/invariants.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/gilbert_elliott.hpp"
@@ -81,6 +91,12 @@ struct Options {
   std::string plan_path;  ///< non-empty: fixed plan instead of random
   bool print_plan = false;
   bool json = false;
+
+  // --flap-matrix mode (RecoveryFsm A/B experiment).
+  bool flap_matrix = false;
+  std::size_t flap_events = 4;
+  std::int64_t guard_slots = 32;
+  std::int64_t wtr_slots = 128;
 };
 
 phy::Topology circle_topology(std::size_t n) {
@@ -276,6 +292,219 @@ SeedResult run_seed(std::uint64_t seed, const Options& options,
   return result;
 }
 
+// --- flap matrix (RecoveryFsm A/B) ----------------------------------------
+
+/// One seed under one recovery config: the flap plan runs to the horizon
+/// (clean ambient channel, so every disturbance is the flapping link), the
+/// SAT must circulate again within the analytic deadline, and the auditor
+/// (including the FSM checks) must stay clean.
+struct FlapVariant {
+  bool passed = true;
+  std::vector<std::string> failures;
+  std::uint64_t spurious_cutouts = 0;
+  std::uint64_t reformations = 0;  ///< cut-outs + full ring rebuilds
+  std::uint64_t stale_rec_suppressed = 0;
+  std::uint64_t wtr_holdoffs = 0;
+  std::vector<double> mttr_slots;
+};
+
+FlapVariant run_flap_variant(std::uint64_t seed, const Options& options,
+                             const fault::FaultPlan& plan, bool with_fsm) {
+  FlapVariant result;
+  const auto fail = [&](std::string why) {
+    result.passed = false;
+    result.failures.push_back(std::move(why));
+  };
+
+  phy::Topology topology = circle_topology(options.n);
+  wrtring::Config config;
+  config.rap_policy = wrtring::RapPolicy::kRotating;
+  config.auto_rejoin = true;
+  if (with_fsm) {
+    config.guard_slots = options.guard_slots;
+    config.wtr_slots = options.wtr_slots;
+    config.revertive = true;
+  }
+  wrtring::Engine engine(&topology, config, seed);
+  const auto init = engine.init();
+  if (!init.ok()) {
+    fail("init: " + init.error().message);
+    return result;
+  }
+  for (NodeId n = 0; n < static_cast<NodeId>(options.n); ++n) {
+    engine.add_source(rt_flow(n, n, options.n));
+  }
+
+  check::InvariantAuditor auditor(engine);
+  auditor.install(engine, 64);
+
+  wrtring::Scenario scenario;
+  scenario.apply_plan(plan);
+  (void)scenario.run(engine, topology, options.horizon_slots);
+
+  // Liveness tail: the plan healed every flap by 9/10 of the horizon (and
+  // WTR hold-offs may still be draining), so give the ring one analytic
+  // deadline plus the configured hold-off to circulate again.
+  const std::int64_t bound0 = analysis::sat_time_bound(engine.ring_params());
+  const std::int64_t rebuild_cost =
+      config.rebuild_base_slots +
+      config.rebuild_per_station_slots * static_cast<std::int64_t>(options.n);
+  const std::int64_t deadline_slots = 4 * bound0 + rebuild_cost +
+                                      config.t_rap_slots() +
+                                      options.wtr_slots;
+  const auto circulating = [&] {
+    return engine.sat_state() == wrtring::SatState::kInTransit ||
+           engine.sat_state() == wrtring::SatState::kHeld;
+  };
+  for (std::int64_t i = 0; i < deadline_slots && !circulating(); ++i) {
+    engine.step();
+  }
+  if (!circulating()) {
+    fail("SAT not circulating within " + std::to_string(deadline_slots) +
+         " slots after the flap storm");
+  }
+
+  const auto& stats = engine.stats();
+  result.spurious_cutouts = stats.spurious_cutouts;
+  result.reformations = stats.cut_outs + stats.ring_rebuilds;
+  const wrtring::RecoveryFsm& fsm = engine.recovery_fsm();
+  result.stale_rec_suppressed = fsm.stale_rec_suppressed();
+  result.wtr_holdoffs = fsm.wtr_holdoffs();
+  result.mttr_slots = fsm.mttr_samples();
+
+  if (!auditor.clean()) {
+    fail("auditor recorded " + std::to_string(auditor.total_violations()) +
+         " violations (first: " + auditor.violations().front().check + ": " +
+         auditor.violations().front().detail + ")");
+  }
+  if (const auto status = engine.check_invariants(); !status.ok()) {
+    fail("check_invariants: " + status.error().message);
+  }
+  return result;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(std::min<double>(
+      std::ceil(p * static_cast<double>(samples.size())),
+      static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+int run_flap_matrix(const Options& options, bench::Reporter& reporter) {
+  std::uint64_t base_spurious = 0, fsm_spurious = 0;
+  std::uint64_t base_reform = 0, fsm_reform = 0;
+  std::uint64_t suppressed = 0, holdoffs = 0;
+  std::vector<double> base_mttr, fsm_mttr;
+  bool all_clean = true;
+
+  std::printf("flap matrix: %zu flaps/seed, guard=%lld wtr=%lld\n",
+              options.flap_events,
+              static_cast<long long>(options.guard_slots),
+              static_cast<long long>(options.wtr_slots));
+  for (const std::int64_t seed : options.seeds) {
+    fault::FaultPlan::RandomOptions plan_options;
+    plan_options.n_stations = options.n;
+    plan_options.horizon_slots = options.horizon_slots;
+    plan_options.events = 0;  // flap-only: clean A/B attribution
+    plan_options.flap_events = options.flap_events;
+    const fault::FaultPlan plan =
+        fault::FaultPlan::random(static_cast<std::uint64_t>(seed),
+                                 plan_options);
+    if (options.print_plan) {
+      std::printf("# seed %lld\n%s\n", static_cast<long long>(seed),
+                  plan.to_text().c_str());
+    }
+
+    const FlapVariant base = run_flap_variant(
+        static_cast<std::uint64_t>(seed), options, plan, false);
+    const FlapVariant fsm = run_flap_variant(
+        static_cast<std::uint64_t>(seed), options, plan, true);
+    reporter.seed(static_cast<std::uint64_t>(seed));
+
+    std::printf(
+        "seed %-4lld base: spurious %3llu reform %3llu mttr p99 %7.1f | "
+        "fsm: spurious %3llu reform %3llu mttr p99 %7.1f "
+        "(suppressed %llu holdoffs %llu)%s\n",
+        static_cast<long long>(seed),
+        static_cast<unsigned long long>(base.spurious_cutouts),
+        static_cast<unsigned long long>(base.reformations),
+        percentile(base.mttr_slots, 0.99),
+        static_cast<unsigned long long>(fsm.spurious_cutouts),
+        static_cast<unsigned long long>(fsm.reformations),
+        percentile(fsm.mttr_slots, 0.99),
+        static_cast<unsigned long long>(fsm.stale_rec_suppressed),
+        static_cast<unsigned long long>(fsm.wtr_holdoffs),
+        base.passed && fsm.passed ? "" : "  !!");
+    for (const FlapVariant* v : {&base, &fsm}) {
+      for (const std::string& why : v->failures) {
+        std::printf("         !! %s\n", why.c_str());
+      }
+    }
+
+    all_clean = all_clean && base.passed && fsm.passed;
+    base_spurious += base.spurious_cutouts;
+    fsm_spurious += fsm.spurious_cutouts;
+    base_reform += base.reformations;
+    fsm_reform += fsm.reformations;
+    suppressed += fsm.stale_rec_suppressed;
+    holdoffs += fsm.wtr_holdoffs;
+    base_mttr.insert(base_mttr.end(), base.mttr_slots.begin(),
+                     base.mttr_slots.end());
+    fsm_mttr.insert(fsm_mttr.end(), fsm.mttr_slots.begin(),
+                    fsm.mttr_slots.end());
+  }
+
+  const double base_p50 = percentile(base_mttr, 0.50);
+  const double base_p99 = percentile(base_mttr, 0.99);
+  const double fsm_p50 = percentile(fsm_mttr, 0.50);
+  const double fsm_p99 = percentile(fsm_mttr, 0.99);
+  reporter.metric("baseline_spurious_cutouts",
+                  static_cast<double>(base_spurious), "count");
+  reporter.metric("fsm_spurious_cutouts", static_cast<double>(fsm_spurious),
+                  "count");
+  reporter.metric("baseline_reformations", static_cast<double>(base_reform),
+                  "count");
+  reporter.metric("fsm_reformations", static_cast<double>(fsm_reform),
+                  "count");
+  reporter.metric("stale_rec_suppressed", static_cast<double>(suppressed),
+                  "count");
+  reporter.metric("wtr_holdoffs", static_cast<double>(holdoffs), "count");
+  reporter.metric("baseline_mttr_p50", base_p50, "slots");
+  reporter.metric("baseline_mttr_p99", base_p99, "slots");
+  reporter.metric("fsm_mttr_p50", fsm_p50, "slots");
+  reporter.metric("fsm_mttr_p99", fsm_p99, "slots");
+
+  // The gates: what guard + WTR must buy over the legacy behaviour.
+  bool passed = all_clean;
+  if (fsm_spurious != 0) {
+    passed = false;
+    std::printf("GATE FAIL: %llu spurious cut-outs with the guard enabled\n",
+                static_cast<unsigned long long>(fsm_spurious));
+  }
+  if (fsm_reform >= base_reform) {
+    passed = false;
+    std::printf("GATE FAIL: re-formations %llu (fsm) not below %llu "
+                "(baseline)\n",
+                static_cast<unsigned long long>(fsm_reform),
+                static_cast<unsigned long long>(base_reform));
+  }
+  if (fsm_p99 > base_p99) {
+    passed = false;
+    std::printf("GATE FAIL: p99 MTTR %.1f slots (fsm) worse than %.1f "
+                "(baseline)\n", fsm_p99, base_p99);
+  }
+  std::printf("totals    base: spurious %llu reform %llu mttr %.1f/%.1f | "
+              "fsm: spurious %llu reform %llu mttr %.1f/%.1f — %s\n",
+              static_cast<unsigned long long>(base_spurious),
+              static_cast<unsigned long long>(base_reform), base_p50,
+              base_p99, static_cast<unsigned long long>(fsm_spurious),
+              static_cast<unsigned long long>(fsm_reform), fsm_p50, fsm_p99,
+              passed ? "PASS" : "FAIL");
+  return passed ? 0 : 1;
+}
+
 void print_text(const SeedResult& r) {
   std::printf("seed %-4llu %s  mttd %6.1f/%6.1f  mttr %6.1f/%6.1f  "
               "losses %llu rec %llu rebuilds %llu ctrl-lost %llu "
@@ -337,7 +566,9 @@ int main(int argc, char** argv) {
     std::puts(
         "usage: wrt_chaos [--seeds 1,2,...] [--n 12] [--parked 4]\n"
         "                 [--slots 8000] [--events 8] [--plan file]\n"
-        "                 [--print-plan] [--json]");
+        "                 [--print-plan] [--json]\n"
+        "       wrt_chaos --flap-matrix [--flap-events 4] [--guard 32]\n"
+        "                 [--wtr 128] [--json-dir=DIR]");
     return 0;
   }
   wrt::Options options;
@@ -350,6 +581,12 @@ int main(int argc, char** argv) {
   options.plan_path = args.get_string("plan", "");
   options.print_plan = args.has("print-plan");
   options.json = args.has("json");
+  options.flap_matrix = args.has("flap-matrix");
+  options.flap_events =
+      static_cast<std::size_t>(args.get_int("flap-events", 4));
+  options.guard_slots = args.get_int("guard", 32);
+  options.wtr_slots = args.get_int("wtr", 128);
+  (void)args.get_string("json-dir", "");  // parsed by bench::Reporter
   for (const std::string& flag : args.unknown_flags()) {
     std::fprintf(stderr, "wrt_chaos: unknown flag --%s\n", flag.c_str());
     return 2;
@@ -357,6 +594,11 @@ int main(int argc, char** argv) {
   if (options.n < 5) {
     std::fprintf(stderr, "wrt_chaos: --n must be >= 5\n");
     return 2;
+  }
+
+  if (options.flap_matrix) {
+    wrt::bench::Reporter reporter("recovery_fsm", argc, argv);
+    return wrt::run_flap_matrix(options, reporter);
   }
 
   wrt::fault::FaultPlan fixed_plan;

@@ -45,6 +45,12 @@
 //                        WRT_PT_GUARDED_BY, or itself a registered shared
 //                        type — the textual complement of Clang's
 //                        -Wthread-safety pass.
+//   recovery-side-effect Ring recovery has exactly one decision point: the
+//                        RecoveryFsm (PR 10).  Direct calls to the engine's
+//                        start_recovery / start_rebuild from anywhere else
+//                        in wrtring/ bypass the guard window, WTR hold-off,
+//                        and request de-duplication; the FSM's own
+//                        dispatch sites carry justified suppressions.
 //
 // Suppressions (a justification is mandatory):
 //   // wrt-lint-allow(<rule>): <reason>        same line or line above
@@ -97,7 +103,8 @@ struct SourceFile {
 const std::set<std::string> kRules = {
     "hot-path-assoc",       "by-value-frame-param", "stale-include",
     "missing-nodiscard",    "kernel-aos-access",    "mutable-global-state",
-    "cross-shard-handle",   "unguarded-shared-field"};
+    "cross-shard-handle",   "unguarded-shared-field",
+    "recovery-side-effect"};
 
 /// Active suppression, for --list-suppressions.
 struct Suppression {
@@ -411,6 +418,39 @@ void rule_kernel_aos_access(const SourceFile& file,
            line_of(file.code, static_cast<std::size_t>(it->position())),
            "per-station object indexing 'stations_[...]' in a kernel file; "
            "go through the SlotKernel arrays (or a Station view) instead",
+           findings);
+  }
+}
+
+/// recovery-side-effect: ring recovery decisions are owned by RecoveryFsm
+/// (PR 10) — a direct start_recovery / start_rebuild call anywhere else in
+/// wrtring/ skips the guard window, the WTR hold-off, and the request
+/// de-duplication the FSM provides.  Declarations and the Engine method
+/// definitions themselves (segments led by `void`) are not call sites; the
+/// FSM's dispatch lines carry justified suppressions.  tpt/ is out of
+/// scope: TptEngine::start_rebuild is a different, unrelated method.
+void rule_recovery_side_effect(const SourceFile& file,
+                               std::vector<Finding>& findings) {
+  if (file.path.find("wrtring/") == std::string::npos) return;
+  static const std::regex kCall(R"(\b(start_recovery|start_rebuild)\s*\()");
+  const std::string& code = file.code;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kCall);
+       it != std::sregex_iterator(); ++it) {
+    const auto at = static_cast<std::size_t>(it->position());
+    // The statement segment before the name tells call from definition:
+    // `void Engine::start_rebuild() {` / `void start_rebuild();` lead with
+    // the return type, a call site never does.
+    std::size_t start = code.find_last_of(";{}", at);
+    start = start == std::string::npos ? 0 : start + 1;
+    const std::string before = code.substr(start, at - start);
+    if (std::regex_search(before, std::regex(R"(\bvoid\s*$|\bvoid\s+Engine\s*::\s*$)"))) {
+      continue;
+    }
+    report(file, "recovery-side-effect", line_of(code, at),
+           "direct '" + (*it)[1].str() +
+               "' call outside RecoveryFsm — recovery decisions must go "
+               "through the FSM (guard/WTR/de-dup); justify a suppression "
+               "only for the FSM's own dispatch",
            findings);
   }
 }
@@ -818,6 +858,7 @@ int main(int argc, char** argv) {
     rule_stale_include(file, findings);
     rule_missing_nodiscard(file, findings);
     rule_kernel_aos_access(file, findings);
+    rule_recovery_side_effect(file, findings);
     rule_mutable_global_state(file, findings);
     rule_cross_shard_handle(file, findings);
     rule_unguarded_shared_field(file, context, findings);
